@@ -1,0 +1,76 @@
+//! `cargo bench` entry point that regenerates every paper table and
+//! figure (custom harness, not criterion — each "benchmark" is one
+//! experiment).
+//!
+//! Scale is `tiny` by default so `cargo bench` stays quick; set
+//! `DELOREAN_BENCH_SCALE=demo` (or `paper`) and optionally
+//! `DELOREAN_BENCH_FILTER=<name>` to reproduce the recorded
+//! EXPERIMENTS.md numbers (the same output `run_all --scale demo`
+//! produces).
+
+use delorean_bench::experiments::{
+    ablation, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, table1,
+    LLC_512MB, LLC_8MB,
+};
+use delorean_bench::{compare_all, ExpOptions};
+use delorean_trace::Scale;
+use std::time::Instant;
+
+fn main() {
+    let scale = match std::env::var("DELOREAN_BENCH_SCALE").as_deref() {
+        Ok("paper") => Scale::paper(),
+        Ok("demo") => Scale::demo(),
+        _ => Scale::tiny(),
+    };
+    let mut opts = ExpOptions {
+        scale,
+        ..ExpOptions::default()
+    };
+    if scale == Scale::tiny() {
+        opts.regions = Some(3);
+    }
+    if let Ok(f) = std::env::var("DELOREAN_BENCH_FILTER") {
+        opts.filter = Some(f);
+    }
+    eprintln!(
+        "# figures bench at scale {} (set DELOREAN_BENCH_SCALE=demo for the recorded runs)",
+        opts.scale
+    );
+
+    let timed = |name: &str, f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        eprintln!("[{name}] regenerated in {:.1}s", t.elapsed().as_secs_f64());
+    };
+
+    timed("table1", &mut || println!("{}", table1::run(&opts)));
+    let mut rows8 = Vec::new();
+    timed("sweep@8MiB (figs 5-9)", &mut || {
+        rows8 = compare_all(&opts, LLC_8MB);
+    });
+    println!("{}", fig05::table(&rows8));
+    println!("{}", fig06::table(&rows8));
+    println!("{}", fig07::table(&rows8));
+    println!("{}", fig08::table(&rows8));
+    println!("{}", fig09::table(&rows8));
+    timed("fig10", &mut || {
+        println!("{}", fig10::table(&compare_all(&opts, LLC_512MB)))
+    });
+    timed("fig11", &mut || println!("{}", fig11::run(&opts)));
+    timed("fig12", &mut || println!("{}", fig12::run(&opts)));
+    timed("fig13", &mut || {
+        for t in fig13::run(&opts) {
+            println!("{t}");
+        }
+    });
+    timed("fig14", &mut || {
+        for t in fig14::run(&opts) {
+            println!("{t}");
+        }
+    });
+    timed("ablations", &mut || {
+        println!("{}", ablation::explorer_depth(&opts));
+        println!("{}", ablation::warming_miss_policy(&opts));
+        println!("{}", ablation::pipeline_vs_serial(&opts));
+    });
+}

@@ -1,0 +1,145 @@
+//! Criterion microbenchmarks of the hot substrates: these set the wall
+//! clock of every experiment, so regressions here directly slow the
+//! figure reproduction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use delorean_cache::{Cache, CacheConfig, Hierarchy, MachineConfig, ReplacementPolicy};
+use delorean_cpu::TournamentPredictor;
+use delorean_statmodel::exact::ExactStackProcessor;
+use delorean_statmodel::ReuseProfile;
+use delorean_trace::{mix64, spec_workload, LineAddr, Pc, Scale, WorkloadExt};
+use delorean_virt::WatchSet;
+
+fn workload_generation(c: &mut Criterion) {
+    let w = spec_workload("mcf", Scale::demo(), 42).unwrap();
+    let mut g = c.benchmark_group("workload");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("access_at_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for a in w.iter_range(1_000_000..1_100_000) {
+                acc ^= a.addr.0;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn cache_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.throughput(Throughput::Elements(100_000));
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::PLru,
+        ReplacementPolicy::Random,
+    ] {
+        let mut cache = Cache::new(CacheConfig::new(128 << 10, 8).with_replacement(policy));
+        g.bench_function(format!("access_100k_{policy}"), |b| {
+            b.iter(|| {
+                let mut hits = 0u64;
+                for i in 0..100_000u64 {
+                    if cache.access(LineAddr(mix64(3, i) % 4096)).is_hit() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn hierarchy_access(c: &mut Criterion) {
+    let machine = MachineConfig::for_scale(Scale::demo());
+    let w = spec_workload("leslie3d", Scale::demo(), 42).unwrap();
+    let mut g = c.benchmark_group("hierarchy");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("access_data_100k", |b| {
+        let mut h = Hierarchy::new(&machine);
+        b.iter(|| {
+            for a in w.iter_range(0..100_000) {
+                h.access_data(a.pc, a.line(), a.index);
+            }
+            black_box(h.stats().data_accesses())
+        })
+    });
+    g.finish();
+}
+
+fn statstack(c: &mut Criterion) {
+    let mut profile = ReuseProfile::new();
+    for i in 0..100_000u64 {
+        profile.record(mix64(9, i) % 1_000_000, 1.0);
+    }
+    c.bench_function("statstack_miss_ratio_curve_10_sizes", |b| {
+        let sizes: Vec<u64> = (0..10).map(|i| 256u64 << i).collect();
+        b.iter(|| black_box(profile.miss_ratio_curve(&sizes)))
+    });
+}
+
+fn exact_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_oracle");
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("stack_distance_50k", |b| {
+        b.iter(|| {
+            let mut p = ExactStackProcessor::new();
+            let mut sum = 0u64;
+            for i in 0..50_000u64 {
+                if let Some(sd) = p.access(LineAddr(mix64(5, i) % 8192)) {
+                    sum += sd;
+                }
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+fn predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("tournament_100k", |b| {
+        let mut p = TournamentPredictor::new();
+        b.iter(|| {
+            for i in 0..100_000u64 {
+                p.execute(Pc(0x400 + (i % 64) * 4), mix64(7, i) % 3 != 0);
+            }
+            black_box(p.stats().mispredicts)
+        })
+    });
+    g.finish();
+}
+
+fn watchpoints(c: &mut Criterion) {
+    let mut w = WatchSet::new();
+    for i in 0..200u64 {
+        w.watch_line(LineAddr(i * 300));
+    }
+    let mut g = c.benchmark_group("watchpoints");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("classify_100k", |b| {
+        b.iter(|| {
+            let mut traps = 0u64;
+            for i in 0..100_000u64 {
+                if w.classify_line(LineAddr(mix64(11, i) % 65_536)).traps() {
+                    traps += 1;
+                }
+            }
+            black_box(traps)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    workload_generation,
+    cache_access,
+    hierarchy_access,
+    statstack,
+    exact_stack,
+    predictor,
+    watchpoints
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Prints the five-strategy warm-up trade-off table (SMARTS, checkpointed
+//! warming, MRRL, CoolSim, DeLorean). Flags: --scale demo|tiny|paper,
+//! --seed N, --filter NAME, --regions N.
+
+fn main() {
+    let opts = delorean_bench::ExpOptions::from_env();
+    println!("{}", delorean_bench::experiments::baselines::run(&opts));
+}

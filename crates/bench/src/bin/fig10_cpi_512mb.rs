@@ -1,0 +1,8 @@
+//! Regenerates the paper artifact implemented in
+//! `delorean_bench::experiments::fig10`. Flags: --scale demo|tiny|paper,
+//! --seed N, --filter NAME, --regions N.
+
+fn main() {
+    let opts = delorean_bench::ExpOptions::from_env();
+    println!("{}", delorean_bench::experiments::fig10::run(&opts));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 13 (working-set curves for cactusADM, leslie3d,
+//! lbm). Flags: --scale demo|tiny|paper, --seed N, --filter NAME,
+//! --regions N.
+
+fn main() {
+    let opts = delorean_bench::ExpOptions::from_env();
+    for t in delorean_bench::experiments::fig13::run(&opts) {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 14 (CPI vs LLC size from one shared warm-up) plus
+//! the §6.4.2 cost accounting. Flags: --scale demo|tiny|paper, --seed N,
+//! --filter NAME, --regions N.
+
+fn main() {
+    let opts = delorean_bench::ExpOptions::from_env();
+    for t in delorean_bench::experiments::fig14::run(&opts) {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Runs every experiment and prints the full EXPERIMENTS.md payload.
+//!
+//! Figures 5–9 share one three-strategy sweep at the 8 MiB LLC; Figure 10
+//! adds the 512 MiB sweep; the remaining figures run their own studies.
+//! Flags: --scale demo|tiny|paper, --seed N, --filter NAME, --regions N.
+
+use delorean_bench::experiments::{
+    ablation, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14, table1,
+    LLC_512MB, LLC_8MB,
+};
+use delorean_bench::{compare_all, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    eprintln!("# scale: {} | seed: {}", opts.scale, opts.seed);
+
+    println!("{}", table1::run(&opts));
+
+    eprintln!("[1/6] three-strategy sweep at the 8 MiB LLC ...");
+    let at_8mb = compare_all(&opts, LLC_8MB);
+    println!("{}", fig05::table(&at_8mb));
+    println!("{}", fig06::table(&at_8mb));
+    println!("{}", fig07::table(&at_8mb));
+    println!("{}", fig08::table(&at_8mb));
+    println!("{}", fig09::table(&at_8mb));
+
+    eprintln!("[2/6] three-strategy sweep at the 512 MiB LLC ...");
+    let at_512mb = compare_all(&opts, LLC_512MB);
+    println!("{}", fig10::table(&at_512mb));
+
+    eprintln!("[3/6] vicinity density sweep ...");
+    println!("{}", fig11::run(&opts));
+
+    eprintln!("[4/6] prefetching study ...");
+    println!("{}", fig12::run(&opts));
+
+    eprintln!("[5/6] LLC sweeps (working sets + DSE) ...");
+    for t in fig13::run(&opts) {
+        println!("{t}");
+    }
+    for t in fig14::run(&opts) {
+        println!("{t}");
+    }
+
+    eprintln!("[6/6] ablations ...");
+    println!("{}", ablation::explorer_depth(&opts));
+    println!("{}", ablation::warming_miss_policy(&opts));
+    println!("{}", ablation::pipeline_vs_serial(&opts));
+}

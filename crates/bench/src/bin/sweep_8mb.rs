@@ -1,0 +1,16 @@
+//! One three-strategy sweep at the 8 MiB LLC, printing Figures 5–9 —
+//! the shared-run fast path also used by `run_all`. Flags: --scale
+//! demo|tiny|paper, --seed N, --filter NAME, --regions N.
+
+use delorean_bench::experiments::{fig05, fig06, fig07, fig08, fig09, LLC_8MB};
+use delorean_bench::{compare_all, ExpOptions};
+
+fn main() {
+    let opts = ExpOptions::from_env();
+    let rows = compare_all(&opts, LLC_8MB);
+    println!("{}", fig05::table(&rows));
+    println!("{}", fig06::table(&rows));
+    println!("{}", fig07::table(&rows));
+    println!("{}", fig08::table(&rows));
+    println!("{}", fig09::table(&rows));
+}

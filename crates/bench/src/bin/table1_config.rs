@@ -1,0 +1,7 @@
+//! Prints Table 1 (the simulated processor architecture) from the live
+//! configuration structures.
+
+fn main() {
+    let opts = delorean_bench::ExpOptions::from_env();
+    println!("{}", delorean_bench::experiments::table1::run(&opts));
+}

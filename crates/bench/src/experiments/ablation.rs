@@ -1,0 +1,152 @@
+//! Ablations of DeLorean's design choices (DESIGN.md §5).
+//!
+//! 1. **Explorer depth** — cap the Explorer chain at 1..4 windows: fewer
+//!    windows leave long reuses unresolved (misclassified as cold misses),
+//!    trading accuracy for nothing once windows stop being engaged.
+//! 2. **Warming misses as misses** — disable the paper's core insight:
+//!    every unresolved lukewarm miss counts as a real miss, reproducing
+//!    the severe CPI overestimation that motivates statistical warming.
+//! 3. **Pipelined vs serial TT** — same passes, same results; the
+//!    wall-clock gap is the pipelining win of §3.2.
+
+use crate::experiments::LLC_8MB;
+use crate::options::ExpOptions;
+use crate::runs::plan_for;
+use crate::table::{f1, f2, pct, Table};
+use delorean_cache::MachineConfig;
+use delorean_core::{DeLoreanConfig, DeLoreanRunner};
+use delorean_sampling::metrics::mean;
+use delorean_sampling::SmartsRunner;
+use delorean_trace::{spec2006, Workload};
+
+/// Ablation 1: explorer-chain depth vs accuracy.
+pub fn explorer_depth(opts: &ExpOptions) -> Table {
+    let plan = plan_for(opts);
+    let machine =
+        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let suite: Vec<_> = spec2006(opts.scale, opts.seed)
+        .into_iter()
+        .filter(|w| opts.selected(w.name()))
+        .collect();
+    let refs: Vec<_> = suite
+        .iter()
+        .map(|w| SmartsRunner::new(machine).run(w, &plan))
+        .collect();
+
+    let mut t = Table::new(
+        "Ablation — explorer chain depth (8 MiB LLC)",
+        &["explorers", "avg CPI error", "avg cold keys/run", "speed (MIPS)"],
+    );
+    for depth in 1..=4usize {
+        let config = DeLoreanConfig::for_scale(opts.scale).with_max_explorers(depth);
+        let mut errs = Vec::new();
+        let mut cold = 0u64;
+        let mut mips = Vec::new();
+        for (w, reference) in suite.iter().zip(&refs) {
+            let out = DeLoreanRunner::new(machine, config.clone()).run(w, &plan);
+            errs.push(out.report.cpi_error_vs(reference));
+            cold += out.stats.cold_keys;
+            mips.push(out.report.mips_pipelined());
+        }
+        t.push_row([
+            depth.to_string(),
+            pct(mean(&errs)),
+            f1(cold as f64 / suite.len().max(1) as f64),
+            f1(delorean_sampling::metrics::geomean(&mips)),
+        ]);
+    }
+    t.note("shallower chains leave long reuses unresolved (treated as cold misses)");
+    t
+}
+
+/// Ablation 2: treat warming misses as misses.
+pub fn warming_miss_policy(opts: &ExpOptions) -> Table {
+    let plan = plan_for(opts);
+    let machine =
+        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let mut t = Table::new(
+        "Ablation — warming misses modeled as hits (paper) vs misses",
+        &["benchmark", "error (as hits)", "error (as misses)"],
+    );
+    let (mut hit_errs, mut miss_errs) = (Vec::new(), Vec::new());
+    for w in spec2006(opts.scale, opts.seed)
+        .into_iter()
+        .filter(|w| opts.selected(w.name()))
+    {
+        let reference = SmartsRunner::new(machine).run(&w, &plan);
+        let as_hit = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(opts.scale))
+            .run(&w, &plan);
+        let as_miss = DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(opts.scale).with_warming_miss_as_miss(),
+        )
+        .run(&w, &plan);
+        let he = as_hit.report.cpi_error_vs(&reference);
+        let me = as_miss.report.cpi_error_vs(&reference);
+        hit_errs.push(he);
+        miss_errs.push(me);
+        t.push_row([w.name().to_string(), pct(he), pct(me)]);
+    }
+    t.push_row(["average".into(), pct(mean(&hit_errs)), pct(mean(&miss_errs))]);
+    t.note("counting warming misses as misses reproduces the overestimation DSW removes");
+    t
+}
+
+/// Ablation 3: pipelined vs serial TT wall-clock.
+pub fn pipeline_vs_serial(opts: &ExpOptions) -> Table {
+    let plan = plan_for(opts);
+    let machine =
+        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let mut t = Table::new(
+        "Ablation — pipelined vs serial time traveling",
+        &["benchmark", "serial (s)", "pipelined (s)", "pipelining win"],
+    );
+    for w in spec2006(opts.scale, opts.seed)
+        .into_iter()
+        .filter(|w| opts.selected(w.name()))
+    {
+        let out = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(opts.scale))
+            .run(&w, &plan);
+        let serial = out.report.cost.serial_wallclock();
+        let piped = out.report.cost.pipelined_wallclock();
+        t.push_row([
+            w.name().to_string(),
+            f2(serial),
+            f2(piped),
+            format!("{}×", f1(serial / piped.max(f64::MIN_POSITIVE))),
+        ]);
+    }
+    t.note("identical results either way; pipelining overlaps the passes (§3.2)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> ExpOptions {
+        ExpOptions {
+            filter: Some("hmmer".into()),
+            ..ExpOptions::tiny()
+        }
+    }
+
+    #[test]
+    fn depth_ablation_has_four_rows() {
+        let t = explorer_depth(&opts());
+        assert_eq!(t.rows.len(), 4);
+    }
+
+    #[test]
+    fn warming_policy_as_miss_is_never_better() {
+        let t = warming_miss_policy(&opts());
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn pipelining_wins() {
+        let t = pipeline_vs_serial(&opts());
+        let win: f64 = t.rows[0][3].trim_end_matches('×').parse().unwrap();
+        assert!(win >= 1.0, "pipelining should not lose: {win}");
+    }
+}

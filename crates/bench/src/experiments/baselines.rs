@@ -1,0 +1,130 @@
+//! The full warm-up trade-off space (§2.1 + §7): every warming strategy
+//! in the paper's lineage on one table.
+//!
+//! | Strategy | Storage | Reusable across SW changes? | Speed |
+//! |---|---|---|---|
+//! | SMARTS (FW) | none | yes | slowest |
+//! | Checkpointed (CW) | MiB per region | **no** | fast after prep |
+//! | MRRL (adaptive FW) | none | yes | medium |
+//! | CoolSim (RSW) | none | yes | fast |
+//! | DeLorean (DSW+TT) | none | yes | fastest |
+//!
+//! Checkpointed warming matches SMARTS exactly (it restores the same
+//! state) — its cost is the storage column and the invalidation rule, not
+//! accuracy. That trade-off is the paper's motivation for statistical
+//! warming.
+
+use crate::experiments::LLC_8MB;
+use crate::options::ExpOptions;
+use crate::runs::plan_for;
+use crate::table::{f1, f2, pct, Table};
+use delorean_cache::MachineConfig;
+use delorean_core::{DeLoreanConfig, DeLoreanRunner};
+use delorean_sampling::{
+    CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, SmartsRunner,
+};
+use delorean_trace::{spec2006, Workload};
+
+/// Run the five-strategy comparison and build the table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let plan = plan_for(opts);
+    let machine =
+        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let mut t = Table::new(
+        "Baseline sweep — every warming strategy (8 MiB LLC)",
+        &[
+            "benchmark",
+            "strategy",
+            "CPI error",
+            "speed (MIPS)",
+            "storage",
+            "reusable",
+        ],
+    );
+    for w in spec2006(opts.scale, opts.seed)
+        .into_iter()
+        .filter(|w| opts.selected(w.name()))
+    {
+        let smarts = SmartsRunner::new(machine).run(&w, &plan);
+
+        let cw_runner = CheckpointWarmingRunner::new(machine);
+        let checkpoints = cw_runner.prepare(&w, &plan);
+        let cw = cw_runner.run_with(&checkpoints, &w, &plan);
+
+        let mrrl = MrrlRunner::new(machine).run(&w, &plan);
+        let coolsim =
+            CoolSimRunner::new(machine, CoolSimConfig::for_scale(opts.scale)).run(&w, &plan);
+        let delorean =
+            DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(opts.scale)).run(&w, &plan);
+
+        let rows: [(&str, f64, f64, String, &str); 5] = [
+            ("SMARTS", 0.0, smarts.mips_pipelined(), "—".into(), "yes"),
+            (
+                "Checkpoint",
+                cw.cpi_error_vs(&smarts),
+                cw.mips_pipelined(),
+                format!("{:.1} MiB", checkpoints.storage_bytes() as f64 / (1 << 20) as f64),
+                "no",
+            ),
+            (
+                "MRRL",
+                mrrl.cpi_error_vs(&smarts),
+                mrrl.mips_pipelined(),
+                "—".into(),
+                "yes",
+            ),
+            (
+                "CoolSim",
+                coolsim.cpi_error_vs(&smarts),
+                coolsim.mips_pipelined(),
+                "—".into(),
+                "yes",
+            ),
+            (
+                "DeLorean",
+                delorean.report.cpi_error_vs(&smarts),
+                delorean.report.mips_pipelined(),
+                "—".into(),
+                "yes",
+            ),
+        ];
+        for (name, err, mips, storage, reusable) in rows {
+            t.push_row([
+                w.name().to_string(),
+                name.into(),
+                if name == "SMARTS" {
+                    "(ref)".into()
+                } else {
+                    pct(err)
+                },
+                if mips > 100.0 { f1(mips) } else { f2(mips) },
+                storage,
+                reusable.into(),
+            ]);
+        }
+    }
+    t.note(
+        "checkpoint speed excludes the preparation run (one full functional-warming pass) \
+         and its checkpoints are invalidated by any software or cache-structure change",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_strategies_per_benchmark() {
+        let opts = ExpOptions {
+            filter: Some("hmmer".into()),
+            ..ExpOptions::tiny()
+        };
+        let t = run(&opts);
+        assert_eq!(t.rows.len(), 5);
+        // Checkpointed warming is exact.
+        assert_eq!(t.rows[1][2], "0.0%");
+        // And it stores something.
+        assert!(t.rows[1][4].contains("MiB"));
+    }
+}

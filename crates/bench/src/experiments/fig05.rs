@@ -1,0 +1,87 @@
+//! Figure 5: normalized simulation speed (SMARTS = 1) plus the §6.1
+//! absolute MIPS numbers.
+//!
+//! Paper results: DeLorean 96× over SMARTS and 5.7× over CoolSim on
+//! average; absolute speeds 1.3 / 21.9 / 126 MIPS. Best case bwaves
+//! (49× over CoolSim), worst cases povray (1.05×) and GemsFDTD (1.4×).
+
+use crate::experiments::LLC_8MB;
+use crate::options::ExpOptions;
+use crate::runs::{compare_all, BenchmarkComparison};
+use crate::table::{f1, f2, Table};
+use delorean_sampling::metrics::geomean;
+
+/// Build the Figure 5 table from precomputed comparison data.
+pub fn table(rows: &[BenchmarkComparison]) -> Table {
+    let mut t = Table::new(
+        "Figure 5 — normalized simulation speed (SMARTS = 1)",
+        &[
+            "benchmark",
+            "SMARTS",
+            "CoolSim",
+            "DeLorean",
+            "DeLorean/CoolSim",
+        ],
+    );
+    let mut cool_speed = Vec::new();
+    let mut delo_speed = Vec::new();
+    let mut delo_over_cool = Vec::new();
+    let mut mips = [Vec::new(), Vec::new(), Vec::new()];
+    for b in rows {
+        let o = &b.outputs;
+        let cool = o.coolsim.speedup_vs(&o.smarts);
+        let delo = o.delorean.report.speedup_vs(&o.smarts);
+        let ratio = o.delorean.report.speedup_vs(&o.coolsim);
+        cool_speed.push(cool);
+        delo_speed.push(delo);
+        delo_over_cool.push(ratio);
+        mips[0].push(o.smarts.mips_pipelined());
+        mips[1].push(o.coolsim.mips_pipelined());
+        mips[2].push(o.delorean.report.mips_pipelined());
+        t.push_row([
+            b.name.clone(),
+            "1.00".into(),
+            f1(cool),
+            f1(delo),
+            f1(ratio),
+        ]);
+    }
+    t.push_row([
+        "average (geomean)".into(),
+        "1.00".into(),
+        f1(geomean(&cool_speed)),
+        f1(geomean(&delo_speed)),
+        f1(geomean(&delo_over_cool)),
+    ]);
+    t.note(format!(
+        "absolute speed (geomean MIPS): SMARTS {}, CoolSim {}, DeLorean {} \
+         — paper reports 1.3 / 21.9 / 126",
+        f2(geomean(&mips[0])),
+        f1(geomean(&mips[1])),
+        f1(geomean(&mips[2])),
+    ));
+    t.note("paper averages: DeLorean 96× over SMARTS, 5.7× over CoolSim");
+    t
+}
+
+/// Run the comparison and build the table.
+pub fn run(opts: &ExpOptions) -> Table {
+    table(&compare_all(opts, LLC_8MB))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_has_expected_shape() {
+        let opts = ExpOptions {
+            filter: Some("bwaves".into()),
+            ..ExpOptions::tiny()
+        };
+        let t = run(&opts);
+        assert_eq!(t.headers.len(), 5);
+        assert_eq!(t.rows.len(), 2); // bwaves + average
+        assert!(t.markdown().contains("bwaves"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 6: reuse distances collected during warm-up, CoolSim vs
+//! DeLorean.
+//!
+//! Paper results: DeLorean collects 30× fewer reuse distances on average
+//! (up to 6,800× fewer), ~11,000 vs ~340,000 across the 10 regions.
+
+use crate::experiments::LLC_8MB;
+use crate::options::ExpOptions;
+use crate::runs::{compare_all, BenchmarkComparison};
+use crate::table::{f1, Table};
+use delorean_sampling::metrics::geomean;
+
+/// Build the Figure 6 table from precomputed comparison data.
+pub fn table(rows: &[BenchmarkComparison]) -> Table {
+    let mut t = Table::new(
+        "Figure 6 — collected reuse distances (total across regions)",
+        &["benchmark", "CoolSim", "DeLorean", "reduction"],
+    );
+    let mut ratios = Vec::new();
+    let mut cool_total = 0u64;
+    let mut delo_total = 0u64;
+    for b in rows {
+        let cool = b.outputs.coolsim.collected_reuse_distances;
+        let delo = b.outputs.delorean.report.collected_reuse_distances;
+        cool_total += cool;
+        delo_total += delo;
+        let ratio = if delo == 0 {
+            cool as f64
+        } else {
+            cool as f64 / delo as f64
+        };
+        ratios.push(ratio.max(f64::MIN_POSITIVE));
+        t.push_row([
+            b.name.clone(),
+            cool.to_string(),
+            delo.to_string(),
+            format!("{}×", f1(ratio)),
+        ]);
+    }
+    let n = rows.len().max(1) as u64;
+    t.push_row([
+        "average".into(),
+        (cool_total / n).to_string(),
+        (delo_total / n).to_string(),
+        format!("{}×", f1(geomean(&ratios))),
+    ]);
+    t.note("paper: 340,000 vs 11,000 on average — a 30× reduction (up to 6,800×)");
+    t
+}
+
+/// Run the comparison and build the table.
+pub fn run(opts: &ExpOptions) -> Table {
+    table(&compare_all(opts, LLC_8MB))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delorean_collects_fewer_than_coolsim() {
+        let opts = ExpOptions {
+            filter: Some("hmmer".into()),
+            ..ExpOptions::tiny()
+        };
+        let rows = compare_all(&opts, LLC_8MB);
+        let t = table(&rows);
+        assert_eq!(t.rows.len(), 2);
+        let cool = rows[0].outputs.coolsim.collected_reuse_distances;
+        let delo = rows[0].outputs.delorean.report.collected_reuse_distances;
+        assert!(
+            delo < cool,
+            "directed warming should need fewer samples: {delo} vs {cool}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 7: which Explorer collects each key reuse distance, plus the
+//! §3.2 key-cacheline counts.
+//!
+//! Paper results: most key reuse distances are collected by Explorer-1;
+//! zeusmp/cactusADM/GemsFDTD/lbm engage the deep explorers. Key
+//! cachelines per 10 k-instruction region range from 1 to 2,907 with an
+//! average of 151.
+
+use crate::experiments::LLC_8MB;
+use crate::options::ExpOptions;
+use crate::runs::{compare_all, BenchmarkComparison};
+use crate::table::{f1, pct, Table};
+
+/// Build the Figure 7 table from precomputed comparison data.
+pub fn table(rows: &[BenchmarkComparison]) -> Table {
+    let mut t = Table::new(
+        "Figure 7 — key reuse distances per Explorer (share of resolved keys)",
+        &[
+            "benchmark",
+            "Explorer-1",
+            "Explorer-2",
+            "Explorer-3",
+            "Explorer-4",
+            "cold keys",
+            "keys/region (avg)",
+        ],
+    );
+    let mut all_keys: Vec<u64> = Vec::new();
+    for b in rows {
+        let s = &b.outputs.delorean.stats;
+        all_keys.extend(&s.keys_per_region);
+        t.push_row([
+            b.name.clone(),
+            pct(s.explorer_share(0)),
+            pct(s.explorer_share(1)),
+            pct(s.explorer_share(2)),
+            pct(s.explorer_share(3)),
+            s.cold_keys.to_string(),
+            f1(s.avg_keys_per_region()),
+        ]);
+    }
+    if !all_keys.is_empty() {
+        let min = all_keys.iter().min().unwrap();
+        let max = all_keys.iter().max().unwrap();
+        let avg = all_keys.iter().sum::<u64>() as f64 / all_keys.len() as f64;
+        t.note(format!(
+            "key cachelines per region: min {min}, avg {}, max {max} — \
+             paper reports 1 / 151 / 2,907",
+            f1(avg)
+        ));
+    }
+    t
+}
+
+/// Run the comparison and build the table.
+pub fn run(opts: &ExpOptions) -> Table {
+    table(&compare_all(opts, LLC_8MB))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one_when_keys_resolve() {
+        let opts = ExpOptions {
+            filter: Some("hmmer".into()),
+            ..ExpOptions::tiny()
+        };
+        let rows = compare_all(&opts, LLC_8MB);
+        let s = &rows[0].outputs.delorean.stats;
+        let sum: f64 = (0..4).map(|k| s.explorer_share(k)).sum();
+        if s.resolved_by_explorer.iter().sum::<u64>() > 0 {
+            assert!((sum - 1.0).abs() < 1e-9, "shares sum to {sum}");
+        }
+        let t = table(&rows);
+        assert_eq!(t.rows.len(), 1);
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 8: average number of Explorers engaged per region.
+//!
+//! Paper results: bwaves engages fewer than one Explorer on average
+//! (most regions need none — everything hits the lukewarm cache);
+//! zeusmp, cactusADM, GemsFDTD and lbm approach four.
+
+use crate::experiments::LLC_8MB;
+use crate::options::ExpOptions;
+use crate::runs::{compare_all, BenchmarkComparison};
+use crate::table::{f2, Table};
+
+/// Build the Figure 8 table from precomputed comparison data.
+pub fn table(rows: &[BenchmarkComparison]) -> Table {
+    let mut t = Table::new(
+        "Figure 8 — average number of Explorers engaged per region",
+        &["benchmark", "avg explorers"],
+    );
+    let mut sum = 0.0;
+    for b in rows {
+        let avg = b.outputs.delorean.stats.avg_explorers_engaged();
+        sum += avg;
+        t.push_row([b.name.clone(), f2(avg)]);
+    }
+    if !rows.is_empty() {
+        t.push_row(["average".into(), f2(sum / rows.len() as f64)]);
+    }
+    t.note("paper: bwaves < 1; zeusmp/cactusADM/GemsFDTD/lbm near 4");
+    t
+}
+
+/// Run the comparison and build the table.
+pub fn run(opts: &ExpOptions) -> Table {
+    table(&compare_all(opts, LLC_8MB))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engagement_is_within_bounds() {
+        let opts = ExpOptions {
+            filter: Some("bwaves".into()),
+            ..ExpOptions::tiny()
+        };
+        let rows = compare_all(&opts, LLC_8MB);
+        let avg = rows[0].outputs.delorean.stats.avg_explorers_engaged();
+        assert!((0.0..=4.0).contains(&avg));
+        let t = table(&rows);
+        assert_eq!(t.rows.len(), 2);
+    }
+}

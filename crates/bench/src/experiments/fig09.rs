@@ -1,0 +1,83 @@
+//! Figure 9: CPI at the 8 MiB LLC — SMARTS reference vs CoolSim vs
+//! DeLorean.
+//!
+//! Paper results: DeLorean within 3.5% of SMARTS on average, CoolSim at
+//! 9.1% (CoolSim badly overestimates LLC misses for soplex and GemsFDTD).
+
+use crate::experiments::LLC_8MB;
+use crate::options::ExpOptions;
+use crate::runs::{compare_all, BenchmarkComparison};
+use crate::table::{f2, pct, Table};
+use delorean_sampling::metrics::mean;
+
+/// Build a CPI-accuracy table from comparison data (shared with Fig. 10).
+pub fn table_at(rows: &[BenchmarkComparison], title: &str, paper_note: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "benchmark",
+            "SMARTS CPI",
+            "CoolSim CPI",
+            "DeLorean CPI",
+            "CoolSim err",
+            "DeLorean err",
+        ],
+    );
+    let mut cool_errs = Vec::new();
+    let mut delo_errs = Vec::new();
+    for b in rows {
+        let o = &b.outputs;
+        let cool_err = o.coolsim.cpi_error_vs(&o.smarts);
+        let delo_err = o.delorean.report.cpi_error_vs(&o.smarts);
+        cool_errs.push(cool_err);
+        delo_errs.push(delo_err);
+        t.push_row([
+            b.name.clone(),
+            f2(o.smarts.cpi()),
+            f2(o.coolsim.cpi()),
+            f2(o.delorean.report.cpi()),
+            pct(cool_err),
+            pct(delo_err),
+        ]);
+    }
+    t.push_row([
+        "average".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        pct(mean(&cool_errs)),
+        pct(mean(&delo_errs)),
+    ]);
+    t.note(paper_note.to_string());
+    t
+}
+
+/// Build the Figure 9 table from precomputed comparison data.
+pub fn table(rows: &[BenchmarkComparison]) -> Table {
+    table_at(
+        rows,
+        "Figure 9 — CPI at the 8 MiB LLC (SMARTS is the reference)",
+        "paper averages: CoolSim 9.1% error, DeLorean 3.5%",
+    )
+}
+
+/// Run the comparison and build the table.
+pub fn run(opts: &ExpOptions) -> Table {
+    table(&compare_all(opts, LLC_8MB))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_finite_and_table_complete() {
+        let opts = ExpOptions {
+            filter: Some("namd".into()),
+            ..ExpOptions::tiny()
+        };
+        let t = run(&opts);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows[0].iter().all(|c| !c.contains("NaN")));
+    }
+}

@@ -1,0 +1,48 @@
+//! Figure 10: CPI at the 512 MiB LLC (the large-scale DRAM-cache case).
+//!
+//! Paper results: DeLorean within 2.9% of SMARTS on average, CoolSim at
+//! 9.3%.
+
+use crate::experiments::fig09::table_at;
+use crate::experiments::LLC_512MB;
+use crate::options::ExpOptions;
+use crate::runs::{compare_all, BenchmarkComparison};
+use crate::table::Table;
+
+/// Build the Figure 10 table from precomputed comparison data (which must
+/// have been produced at the 512 MiB LLC).
+pub fn table(rows: &[BenchmarkComparison]) -> Table {
+    table_at(
+        rows,
+        "Figure 10 — CPI at the 512 MiB LLC (SMARTS is the reference)",
+        "paper averages: CoolSim 9.3% error, DeLorean 2.9%",
+    )
+}
+
+/// Run the comparison at the 512 MiB LLC and build the table.
+pub fn run(opts: &ExpOptions) -> Table {
+    table(&compare_all(opts, LLC_512MB))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_llc_reduces_memory_traffic() {
+        let opts = ExpOptions {
+            filter: Some("lbm".into()),
+            ..ExpOptions::tiny()
+        };
+        let small = compare_all(&opts, 1 << 20);
+        let large = compare_all(&opts, 512 << 20);
+        let small_mpki = small[0].outputs.smarts.llc_mpki();
+        let large_mpki = large[0].outputs.smarts.llc_mpki();
+        assert!(
+            large_mpki <= small_mpki + 0.5,
+            "bigger LLC should not miss more: {small_mpki} → {large_mpki}"
+        );
+        let t = table(&large);
+        assert_eq!(t.rows.len(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 11: speed–accuracy trade-off of the vicinity sampling density.
+//!
+//! Paper results at the 8 MiB LLC: density 1/100 k → 126 MIPS at 3.5%
+//! error; 1/10 k → 71.3 MIPS at 2.2%; 1/1 M is faster but less accurate.
+
+use crate::experiments::LLC_8MB;
+use crate::options::ExpOptions;
+use crate::runs::plan_for;
+use crate::table::{f1, pct, Table};
+use delorean_cache::MachineConfig;
+use delorean_core::{DeLoreanConfig, DeLoreanRunner};
+use delorean_sampling::metrics::mean;
+use delorean_sampling::SmartsRunner;
+use delorean_trace::spec2006;
+
+/// The paper's three sampled densities (period in memory instructions).
+pub const DENSITIES: [u64; 3] = [10_000, 100_000, 1_000_000];
+
+/// Run the density sweep and build the table.
+pub fn run(opts: &ExpOptions) -> Table {
+    let plan = plan_for(opts);
+    let machine =
+        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let suite: Vec<_> = spec2006(opts.scale, opts.seed)
+        .into_iter()
+        .filter(|w| opts.selected(delorean_trace::Workload::name(w)))
+        .collect();
+    let references: Vec<_> = suite
+        .iter()
+        .map(|w| SmartsRunner::new(machine).run(w, &plan))
+        .collect();
+
+    let mut t = Table::new(
+        "Figure 11 — vicinity density: speed vs accuracy (8 MiB LLC)",
+        &["density (1 per N mem-instr)", "speed (MIPS)", "avg CPI error"],
+    );
+    for period in DENSITIES {
+        let config = DeLoreanConfig::for_scale(opts.scale).with_vicinity_period(opts.scale, period);
+        let runner = DeLoreanRunner::new(machine, config);
+        let mut errs = Vec::new();
+        let mut mips = Vec::new();
+        for (w, reference) in suite.iter().zip(&references) {
+            let out = runner.run(w, &plan);
+            errs.push(out.report.cpi_error_vs(reference));
+            mips.push(out.report.mips_pipelined());
+        }
+        t.push_row([
+            period.to_string(),
+            f1(delorean_sampling::metrics::geomean(&mips)),
+            pct(mean(&errs)),
+        ]);
+    }
+    t.note("paper: 1/100k → 126 MIPS @ 3.5%; 1/10k → 71.3 MIPS @ 2.2%");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denser_sampling_is_slower() {
+        let opts = ExpOptions {
+            filter: Some("hmmer".into()),
+            ..ExpOptions::tiny()
+        };
+        let t = run(&opts);
+        assert_eq!(t.rows.len(), 3);
+        let speed_dense: f64 = t.rows[0][1].parse().unwrap();
+        let speed_sparse: f64 = t.rows[2][1].parse().unwrap();
+        assert!(
+            speed_sparse >= speed_dense * 0.8,
+            "sparse sampling should not be much slower: {speed_dense} vs {speed_sparse}"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 14: CPI as a function of LLC size, all points from one shared
+//! warm-up, plus the §6.4.2 cost accounting.
+//!
+//! Paper results: DeLorean tracks the SMARTS reference across the sweep;
+//! warming-to-detailed cost ratio ≈ 235×; marginal cost of 10 parallel
+//! analysts ≤ 1.05× (vs 10× for re-running detailed simulation).
+
+use crate::options::ExpOptions;
+use crate::runs::plan_for;
+use crate::table::{f1, f2, Table};
+use delorean_cache::MachineConfig;
+use delorean_core::dse::DesignSpaceExplorer;
+use delorean_core::DeLoreanConfig;
+use delorean_sampling::SmartsRunner;
+use delorean_trace::spec_workload;
+
+/// The three benchmarks the paper plots.
+pub const BENCHMARKS: [&str; 3] = ["cactusADM", "leslie3d", "lbm"];
+
+/// One table per benchmark: CPI per LLC size for reference and DeLorean.
+pub fn run(opts: &ExpOptions) -> Vec<Table> {
+    let plan = plan_for(opts);
+    let sweep = MachineConfig::llc_sweep_paper_bytes();
+    let machines: Vec<MachineConfig> = sweep
+        .iter()
+        .map(|&s| MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, s))
+        .collect();
+
+    BENCHMARKS
+        .iter()
+        .filter(|n| opts.selected(n))
+        .map(|name| {
+            let w = spec_workload(name, opts.scale, opts.seed).expect("known benchmark");
+            let dse = DesignSpaceExplorer::new(
+                MachineConfig::for_scale(opts.scale),
+                DeLoreanConfig::for_scale(opts.scale),
+            );
+            let delorean = dse.run(&w, &plan, &machines);
+            let mut t = Table::new(
+                format!("Figure 14 — CPI vs LLC size for {name} (one shared warm-up)"),
+                &["LLC (paper-scale MB)", "SMARTS CPI", "DeLorean CPI"],
+            );
+            for (i, (&size, machine)) in sweep.iter().zip(&machines).enumerate() {
+                let reference = SmartsRunner::new(*machine).run(&w, &plan);
+                t.push_row([
+                    (size >> 20).to_string(),
+                    f2(reference.cpi()),
+                    f2(delorean.outputs[i].report.cpi()),
+                ]);
+            }
+            t.note(format!(
+                "warming/detailed cost ratio: {}× (paper ≈ 235×); marginal cost of 10 \
+                 parallel analysts: {}× (paper ≤ 1.05×)",
+                f1(delorean.warming_to_detailed_ratio()),
+                f2(delorean.marginal_cost_factor(10)),
+            ));
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpi_declines_with_cache_size() {
+        let opts = ExpOptions {
+            filter: Some("lbm".into()),
+            ..ExpOptions::tiny()
+        };
+        let tables = run(&opts);
+        let t = &tables[0];
+        let first: f64 = t.rows[0][2].parse().unwrap();
+        let last: f64 = t.rows[9][2].parse().unwrap();
+        assert!(
+            last <= first,
+            "DeLorean CPI should not rise with LLC size: {first} → {last}"
+        );
+        assert!(!t.notes.is_empty());
+    }
+}

@@ -1,0 +1,24 @@
+//! One module per paper artifact. Each exposes
+//! `run(&ExpOptions) -> Table` (or several tables) and, where several
+//! figures share the same underlying runs, a `table(..)` function that
+//! works from precomputed [`BenchmarkComparison`](crate::BenchmarkComparison)
+//! data so `run_all` can reuse one sweep.
+
+pub mod ablation;
+pub mod baselines;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod table1;
+
+/// Paper-scale LLC size used by the headline comparison (8 MiB).
+pub const LLC_8MB: u64 = 8 << 20;
+/// Paper-scale LLC size of the large-scale DRAM-cache study (512 MiB).
+pub const LLC_512MB: u64 = 512 << 20;

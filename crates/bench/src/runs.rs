@@ -1,0 +1,106 @@
+//! Shared experiment drivers: run all three strategies over the suite.
+
+use crate::options::ExpOptions;
+use delorean_cache::MachineConfig;
+use delorean_core::{DeLoreanConfig, DeLoreanOutput, DeLoreanRunner};
+use delorean_sampling::{
+    CoolSimConfig, CoolSimRunner, RegionPlan, SamplingConfig, SimulationReport, SmartsRunner,
+};
+use delorean_trace::{spec2006, Workload};
+
+/// Results of all three strategies on one workload.
+#[derive(Clone, Debug)]
+pub struct StrategyOutputs {
+    /// SMARTS (functional warming) — the reference.
+    pub smarts: SimulationReport,
+    /// CoolSim (randomized statistical warming).
+    pub coolsim: SimulationReport,
+    /// DeLorean (directed statistical warming + time traveling).
+    pub delorean: DeLoreanOutput,
+}
+
+/// One benchmark's comparison entry.
+#[derive(Clone, Debug)]
+pub struct BenchmarkComparison {
+    /// Workload name.
+    pub name: String,
+    /// Per-strategy results.
+    pub outputs: StrategyOutputs,
+}
+
+/// The region plan for a set of options.
+pub fn plan_for(opts: &ExpOptions) -> RegionPlan {
+    let mut cfg = SamplingConfig::for_scale(opts.scale);
+    if let Some(r) = opts.regions {
+        cfg = cfg.with_regions(r);
+    }
+    cfg.plan()
+}
+
+/// Run SMARTS, CoolSim and DeLorean on one workload at a given LLC size
+/// (paper-scale bytes).
+pub fn compare_one(
+    opts: &ExpOptions,
+    workload: &dyn Workload,
+    plan: &RegionPlan,
+    llc_paper_bytes: u64,
+) -> StrategyOutputs {
+    let machine =
+        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, llc_paper_bytes);
+    let smarts = SmartsRunner::new(machine).run(workload, plan);
+    let coolsim = CoolSimRunner::new(machine, CoolSimConfig::for_scale(opts.scale))
+        .run(workload, plan);
+    let delorean = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(opts.scale))
+        .run(workload, plan);
+    StrategyOutputs {
+        smarts,
+        coolsim,
+        delorean,
+    }
+}
+
+/// Run the three-strategy comparison over the (filtered) suite.
+pub fn compare_all(opts: &ExpOptions, llc_paper_bytes: u64) -> Vec<BenchmarkComparison> {
+    let plan = plan_for(opts);
+    spec2006(opts.scale, opts.seed)
+        .into_iter()
+        .filter(|w| opts.selected(w.name()))
+        .map(|w| {
+            let outputs = compare_one(opts, &w, &plan, llc_paper_bytes);
+            BenchmarkComparison {
+                name: w.name().to_string(),
+                outputs,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_comparison_produces_all_strategies() {
+        let opts = ExpOptions {
+            filter: Some("bwaves".into()),
+            ..ExpOptions::tiny()
+        };
+        let rows = compare_all(&opts, 8 << 20);
+        assert_eq!(rows.len(), 1);
+        let o = &rows[0].outputs;
+        assert!(o.smarts.cpi() > 0.0);
+        assert!(o.coolsim.cpi() > 0.0);
+        assert!(o.delorean.report.cpi() > 0.0);
+    }
+
+    #[test]
+    fn filter_selects_subset() {
+        let opts = ExpOptions {
+            filter: Some("lbm".into()),
+            ..ExpOptions::tiny()
+        };
+        let rows = compare_all(&opts, 8 << 20);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "lbm");
+    }
+}

@@ -1,0 +1,343 @@
+//! The Table 1 cache hierarchy: split L1s, unified LLC, L1-D MSHRs, and an
+//! optional LLC stride prefetcher.
+
+use crate::cache::Cache;
+use crate::config::MachineConfig;
+use crate::mshr::{MshrFile, MshrOutcome};
+use crate::prefetch::StridePrefetcher;
+use crate::stats::HierarchyStats;
+use delorean_trace::{LineAddr, Pc, LINE_BYTES};
+
+/// The level that served a data access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MemLevel {
+    /// L1-D hit.
+    L1,
+    /// Merged into an outstanding miss (MSHR / delayed hit).
+    Mshr,
+    /// LLC hit.
+    Llc,
+    /// Served by main memory.
+    Memory,
+}
+
+impl MemLevel {
+    /// Hits that the DSW classifier treats as cache hits outright
+    /// (§3.1.2: lukewarm cache hits and MSHR hits).
+    pub fn is_l1_or_mshr_hit(&self) -> bool {
+        matches!(self, MemLevel::L1 | MemLevel::Mshr)
+    }
+
+    /// `true` if the access left the L1 (LLC hit or memory).
+    pub fn missed_l1(&self) -> bool {
+        matches!(self, MemLevel::Llc | MemLevel::Memory)
+    }
+}
+
+/// A two-level cache hierarchy with MSHR-mediated L1 fills.
+///
+/// L1-D fills are deferred behind the MSHR file: a miss allocates an MSHR
+/// entry, the LLC (and memory) are accessed immediately, and the L1 line
+/// becomes visible once the entry retires. Accesses to in-flight lines are
+/// reported as [`MemLevel::Mshr`] — the delayed hits of the paper.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    llc: Cache,
+    mshr_d: MshrFile,
+    prefetcher: Option<StridePrefetcher>,
+    stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy for a machine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        cfg.hierarchy.validate().expect("invalid hierarchy config");
+        Hierarchy {
+            l1i: Cache::new(cfg.hierarchy.l1i),
+            l1d: Cache::new(cfg.hierarchy.l1d),
+            llc: Cache::new(cfg.hierarchy.llc),
+            mshr_d: MshrFile::new(
+                cfg.hierarchy.l1d_mshrs,
+                cfg.hierarchy.mshr_latency_accesses,
+            ),
+            prefetcher: cfg.prefetch.then(StridePrefetcher::paper_default),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Issue a data access at access-time `now`; returns the serving level.
+    pub fn access_data(&mut self, pc: Pc, line: LineAddr, now: u64) -> MemLevel {
+        // Complete any fills whose latency has elapsed.
+        for done in self.mshr_d.take_retired(now) {
+            self.l1d.fill(done);
+        }
+        if self.l1d.lookup(line) {
+            self.stats.l1d_hits += 1;
+            return MemLevel::L1;
+        }
+        match self.mshr_d.on_miss(line, now) {
+            MshrOutcome::DelayedHit => {
+                self.stats.mshr_hits += 1;
+                MemLevel::Mshr
+            }
+            MshrOutcome::Allocated | MshrOutcome::Full => {
+                if self.llc.access(line).is_hit() {
+                    self.stats.llc_hits += 1;
+                    MemLevel::Llc
+                } else {
+                    self.stats.memory += 1;
+                    self.train_prefetcher(pc, line);
+                    MemLevel::Memory
+                }
+            }
+        }
+    }
+
+    /// Feed the prefetcher a (real or predicted) LLC miss and apply the
+    /// resulting fills. Public so that DeLorean's analyst can drive it from
+    /// *predicted* misses (§6.3.2).
+    pub fn train_prefetcher(&mut self, pc: Pc, line: LineAddr) {
+        let Some(pf) = self.prefetcher.as_mut() else {
+            return;
+        };
+        for l in pf.on_trigger(pc, line) {
+            self.stats.prefetches_issued += 1;
+            if self.llc.probe(l) {
+                // Already resident: nullified to save bandwidth (§6.3.2).
+                self.stats.prefetches_nullified += 1;
+            } else {
+                self.llc.fill(l);
+            }
+        }
+    }
+
+    /// Fetch the instruction at `pc` (modeled as touching the line that
+    /// contains the PC).
+    pub fn access_instr(&mut self, pc: Pc) {
+        let line = LineAddr(pc.0 / LINE_BYTES);
+        if !self.l1i.access(line).is_hit() {
+            self.stats.l1i_misses += 1;
+            self.llc.access(line);
+        }
+    }
+
+    /// Fill a line into L1-D and the LLC without counting an access
+    /// (state transplant during warming).
+    pub fn fill_data(&mut self, line: LineAddr) {
+        self.llc.fill(line);
+        self.l1d.fill(line);
+    }
+
+    /// The L1 data cache.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// Mutable access to the L1 data cache (used by the DSW classifier's
+    /// lukewarm bookkeeping).
+    pub fn l1d_mut(&mut self) -> &mut Cache {
+        &mut self.l1d
+    }
+
+    /// The unified last-level cache.
+    pub fn llc(&self) -> &Cache {
+        &self.llc
+    }
+
+    /// Mutable access to the LLC.
+    pub fn llc_mut(&mut self) -> &mut Cache {
+        &mut self.llc
+    }
+
+    /// The L1 instruction cache.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// Mutable access to the L1-D MSHR file.
+    pub fn mshr_d_mut(&mut self) -> &mut MshrFile {
+        &mut self.mshr_d
+    }
+
+    /// Hierarchy-level statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Zero the statistics, keeping all cache state.
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.llc.reset_stats();
+    }
+
+    /// Capture the full hierarchy state (all three caches) for
+    /// checkpointed warming. Outstanding MSHRs are completed first — a
+    /// checkpoint is taken at a quiesced boundary.
+    pub fn snapshot(&mut self) -> HierarchySnapshot {
+        self.drain_mshrs();
+        HierarchySnapshot {
+            l1i: self.l1i.snapshot(),
+            l1d: self.l1d.snapshot(),
+            llc: self.llc.snapshot(),
+        }
+    }
+
+    /// Restore a previously captured hierarchy state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level's geometry does not match.
+    pub fn restore(&mut self, snapshot: &HierarchySnapshot) {
+        self.l1i.restore(&snapshot.l1i);
+        self.l1d.restore(&snapshot.l1d);
+        self.llc.restore(&snapshot.llc);
+        self.mshr_d.clear();
+    }
+
+    /// Drop outstanding MSHR state (e.g. at region boundaries).
+    pub fn drain_mshrs(&mut self) {
+        // Complete the fills the entries stood for, then clear.
+        for done in self.mshr_d.take_retired(u64::MAX) {
+            self.l1d.fill(done);
+        }
+        self.mshr_d.clear();
+    }
+}
+
+/// A full-hierarchy checkpoint (the paper's Flex-point / Live-point /
+/// memory-hierarchy-state family, §7).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct HierarchySnapshot {
+    l1i: crate::cache::CacheSnapshot,
+    l1d: crate::cache::CacheSnapshot,
+    llc: crate::cache::CacheSnapshot,
+}
+
+impl HierarchySnapshot {
+    /// Live-points-style storage footprint of the checkpoint.
+    pub fn storage_bytes(&self) -> u64 {
+        self.l1i.storage_bytes() + self.l1d.storage_bytes() + self.llc.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_trace::Scale;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::for_scale(Scale::tiny())
+    }
+
+    #[test]
+    fn cold_access_goes_to_memory_then_llc_then_l1() {
+        let mut h = Hierarchy::new(&machine());
+        let pc = Pc(0x400);
+        assert_eq!(h.access_data(pc, LineAddr(5), 0), MemLevel::Memory);
+        // In-flight: delayed hit.
+        assert_eq!(h.access_data(pc, LineAddr(5), 1), MemLevel::Mshr);
+        // After the MSHR latency the L1 fill completed.
+        let lat = machine().hierarchy.mshr_latency_accesses;
+        assert_eq!(h.access_data(pc, LineAddr(5), lat + 1), MemLevel::L1);
+    }
+
+    #[test]
+    fn llc_hit_after_l1_eviction() {
+        // Explicit geometry: 4 KiB L1s, 64 KiB LLC (16× larger).
+        let cfg = MachineConfig {
+            hierarchy: crate::config::HierarchyConfig {
+                l1i: crate::CacheConfig::new(4 << 10, 2),
+                l1d: crate::CacheConfig::new(4 << 10, 2),
+                llc: crate::CacheConfig::new(64 << 10, 8),
+                l1d_mshrs: 8,
+                mshr_latency_accesses: 4,
+            },
+            prefetch: false,
+        };
+        let mut h = Hierarchy::new(&cfg);
+        let pc = Pc(0x400);
+        let l1_lines = h.l1d().config().lines(); // 64
+        h.access_data(pc, LineAddr(7), 0);
+        h.drain_mshrs();
+        // Thrash the L1 with 4× its capacity in distinct lines (all within
+        // the LLC), spaced far apart in time so every fill completes.
+        for i in 0..l1_lines * 4 {
+            h.access_data(pc, LineAddr(1_000 + i), 10 + i * 10);
+        }
+        h.drain_mshrs();
+        let now = 10 + l1_lines * 40 + 1;
+        let level = h.access_data(pc, LineAddr(7), now);
+        assert_eq!(level, MemLevel::Llc, "line 7 should have fallen to LLC");
+    }
+
+    #[test]
+    fn stats_accumulate_per_level() {
+        let mut h = Hierarchy::new(&machine());
+        let pc = Pc(0x400);
+        h.access_data(pc, LineAddr(1), 0); // memory
+        h.access_data(pc, LineAddr(1), 1); // mshr
+        h.drain_mshrs();
+        h.access_data(pc, LineAddr(1), 200); // l1
+        let s = h.stats();
+        assert_eq!(s.memory, 1);
+        assert_eq!(s.mshr_hits, 1);
+        assert_eq!(s.l1d_hits, 1);
+        assert_eq!(s.data_accesses(), 3);
+    }
+
+    #[test]
+    fn instruction_side_warms_quickly() {
+        let mut h = Hierarchy::new(&machine());
+        for _ in 0..3 {
+            for pc in 0..64u64 {
+                h.access_instr(Pc(0x1000 + pc * 4));
+            }
+        }
+        // 64 PCs × 4 B = 4 lines; only the first round misses.
+        assert_eq!(h.stats().l1i_misses, 4);
+    }
+
+    #[test]
+    fn prefetcher_fills_ahead_of_streams() {
+        let cfg = machine().with_prefetch(true);
+        let mut h = Hierarchy::new(&cfg);
+        let pc = Pc(0x777);
+        // A long unit-stride miss stream in line space.
+        let mut mem_misses = 0;
+        for i in 0..64u64 {
+            let line = LineAddr(10_000 + i);
+            if h.access_data(pc, line, i * 100) == MemLevel::Memory {
+                mem_misses += 1;
+            }
+        }
+        assert!(h.stats().prefetches_issued > 0);
+        // With degree-2 prefetch, far fewer than 64 memory misses remain.
+        assert!(
+            mem_misses < 40,
+            "prefetcher ineffective: {mem_misses} memory misses"
+        );
+    }
+
+    #[test]
+    fn fill_data_transplants_state() {
+        let mut h = Hierarchy::new(&machine());
+        h.fill_data(LineAddr(42));
+        assert_eq!(h.access_data(Pc(1), LineAddr(42), 0), MemLevel::L1);
+    }
+
+    #[test]
+    fn drain_mshrs_completes_fills() {
+        let mut h = Hierarchy::new(&machine());
+        h.access_data(Pc(1), LineAddr(9), 0);
+        h.drain_mshrs();
+        assert_eq!(h.access_data(Pc(1), LineAddr(9), 1), MemLevel::L1);
+    }
+}

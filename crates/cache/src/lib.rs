@@ -1,0 +1,37 @@
+//! Set-associative multi-level cache simulation.
+//!
+//! This crate is the cache substrate the DeLorean reproduction builds on —
+//! the role gem5's "classic" memory system plays in the paper. It provides:
+//!
+//! * [`Cache`] — a set-associative cache with LRU, FIFO, random, tree-PLRU
+//!   and NMRU replacement (the policy spread §4.1 argues statistical models
+//!   cover).
+//! * [`MshrFile`] — miss status holding registers; accesses to lines with
+//!   an outstanding miss become *MSHR hits* (delayed hits), which the DSW
+//!   classifier models as hits (§3.1.2).
+//! * [`Hierarchy`] — the Table 1 machine: split 2-way 64 KiB L1s and a
+//!   unified 8-way LLC from 1 MiB to 512 MiB, with per-level statistics.
+//! * [`StridePrefetcher`] — the 8-stream LLC stride prefetcher of §6.3.2,
+//!   trainable from either simulated or *predicted* misses.
+//!
+//! Modeling notes (documented substitutions): caches are read-allocate and
+//! write-allocate with no dirty-eviction traffic (the methodology
+//! classifies hits/misses; writeback bandwidth is out of scope), and the
+//! instruction side is modeled by fetching the line containing each PC.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod config;
+mod hierarchy;
+mod mshr;
+mod prefetch;
+mod stats;
+
+pub use cache::{AccessResult, Cache, CacheSnapshot};
+pub use config::{CacheConfig, HierarchyConfig, MachineConfig, ReplacementPolicy};
+pub use hierarchy::{Hierarchy, HierarchySnapshot, MemLevel};
+pub use mshr::{MshrFile, MshrOutcome};
+pub use prefetch::StridePrefetcher;
+pub use stats::{CacheStats, HierarchyStats};

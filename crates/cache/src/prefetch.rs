@@ -1,0 +1,202 @@
+//! LLC stride prefetcher (§6.3.2).
+//!
+//! An 8-stream per-PC stride prefetcher: each stream tracks the last line
+//! and stride of one load PC; two consecutive confirmations of the same
+//! stride arm the stream, after which every trigger prefetches the next
+//! `degree` lines along the stride.
+//!
+//! The DeLorean extension feeds this table with *predicted* misses (from
+//! the statistical model) instead of simulated misses — the prefetcher does
+//! not care where the trigger verdicts come from, which is exactly the
+//! paper's point.
+
+use delorean_trace::{LineAddr, Pc};
+use serde::{Deserialize, Serialize};
+
+/// Confidence threshold to arm a stream.
+const ARM_THRESHOLD: u8 = 2;
+
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+struct Stream {
+    pc: Pc,
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+    last_used: u64,
+}
+
+/// A fixed-size table of stride-detecting prefetch streams.
+///
+/// ```
+/// use delorean_cache::StridePrefetcher;
+/// use delorean_trace::{LineAddr, Pc};
+///
+/// let mut p = StridePrefetcher::new(8, 2);
+/// let pc = Pc(0x400);
+/// assert!(p.on_trigger(pc, LineAddr(100)).is_empty()); // first sighting
+/// assert!(p.on_trigger(pc, LineAddr(104)).is_empty()); // stride learned
+/// let req = p.on_trigger(pc, LineAddr(108));           // armed
+/// assert_eq!(req, vec![LineAddr(112), LineAddr(116)]);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StridePrefetcher {
+    streams: Vec<Stream>,
+    max_streams: usize,
+    degree: u32,
+    tick: u64,
+    issued: u64,
+}
+
+impl StridePrefetcher {
+    /// A prefetcher with `max_streams` streams issuing `degree` prefetches
+    /// per armed trigger. The paper uses 8 streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_streams` or `degree` is zero.
+    pub fn new(max_streams: u32, degree: u32) -> Self {
+        assert!(max_streams > 0 && degree > 0, "degenerate prefetcher");
+        StridePrefetcher {
+            streams: Vec::with_capacity(max_streams as usize),
+            max_streams: max_streams as usize,
+            degree,
+            tick: 0,
+            issued: 0,
+        }
+    }
+
+    /// The paper's configuration: 8 streams, degree 2.
+    pub fn paper_default() -> Self {
+        Self::new(8, 2)
+    }
+
+    /// Number of prefetch requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Feed a trigger (a miss — simulated or predicted) from `pc` touching
+    /// `line`; returns the lines to prefetch.
+    pub fn on_trigger(&mut self, pc: Pc, line: LineAddr) -> Vec<LineAddr> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(s) = self.streams.iter_mut().find(|s| s.pc == pc) {
+            s.last_used = tick;
+            let new_stride = line.0 as i64 - s.last_line as i64;
+            if new_stride == s.stride && new_stride != 0 {
+                s.confidence = s.confidence.saturating_add(1);
+            } else {
+                s.stride = new_stride;
+                s.confidence = 1;
+            }
+            s.last_line = line.0;
+            if s.confidence >= ARM_THRESHOLD && s.stride != 0 {
+                let stride = s.stride;
+                let base = line.0 as i64;
+                let out: Vec<LineAddr> = (1..=self.degree as i64)
+                    .map(|k| base + k * stride)
+                    .filter(|&l| l >= 0)
+                    .map(|l| LineAddr(l as u64))
+                    .collect();
+                self.issued += out.len() as u64;
+                return out;
+            }
+            return Vec::new();
+        }
+        // Allocate a stream, replacing the least recently used if full.
+        let stream = Stream {
+            pc,
+            last_line: line.0,
+            stride: 0,
+            confidence: 0,
+            last_used: tick,
+        };
+        if self.streams.len() < self.max_streams {
+            self.streams.push(stream);
+        } else if let Some(lru) = self.streams.iter_mut().min_by_key(|s| s.last_used) {
+            *lru = stream;
+        }
+        Vec::new()
+    }
+
+    /// Forget all streams (used at region boundaries).
+    pub fn reset(&mut self) {
+        self.streams.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_stride_and_prefetches_ahead() {
+        let mut p = StridePrefetcher::new(8, 2);
+        let pc = Pc(1);
+        assert!(p.on_trigger(pc, LineAddr(10)).is_empty());
+        assert!(p.on_trigger(pc, LineAddr(20)).is_empty());
+        assert_eq!(
+            p.on_trigger(pc, LineAddr(30)),
+            vec![LineAddr(40), LineAddr(50)]
+        );
+        assert_eq!(p.issued(), 2);
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = StridePrefetcher::new(8, 1);
+        let pc = Pc(1);
+        p.on_trigger(pc, LineAddr(10));
+        p.on_trigger(pc, LineAddr(20));
+        p.on_trigger(pc, LineAddr(30)); // armed
+        assert!(p.on_trigger(pc, LineAddr(100)).is_empty()); // break
+        assert!(p.on_trigger(pc, LineAddr(107)).is_empty()); // new stride seen once
+        assert_eq!(p.on_trigger(pc, LineAddr(114)), vec![LineAddr(121)]);
+    }
+
+    #[test]
+    fn negative_strides_work_and_clip_at_zero() {
+        let mut p = StridePrefetcher::new(8, 2);
+        let pc = Pc(1);
+        p.on_trigger(pc, LineAddr(10));
+        p.on_trigger(pc, LineAddr(7));
+        assert_eq!(p.on_trigger(pc, LineAddr(4)), vec![LineAddr(1)]);
+        // The second prefetch (line -2) was clipped.
+    }
+
+    #[test]
+    fn streams_are_capped_with_lru_replacement() {
+        let mut p = StridePrefetcher::new(2, 1);
+        p.on_trigger(Pc(1), LineAddr(0));
+        p.on_trigger(Pc(2), LineAddr(0));
+        p.on_trigger(Pc(3), LineAddr(0)); // evicts PC 1
+        // PC 1 must re-learn from scratch.
+        p.on_trigger(Pc(1), LineAddr(8)); // evicts PC 2, fresh stream
+        p.on_trigger(Pc(1), LineAddr(16));
+        assert!(p.on_trigger(Pc(1), LineAddr(24)) == vec![LineAddr(32)]);
+    }
+
+    #[test]
+    fn zero_stride_never_arms() {
+        let mut p = StridePrefetcher::new(2, 1);
+        for _ in 0..10 {
+            assert!(p.on_trigger(Pc(1), LineAddr(5)).is_empty());
+        }
+    }
+
+    #[test]
+    fn reset_forgets_streams() {
+        let mut p = StridePrefetcher::new(2, 1);
+        p.on_trigger(Pc(1), LineAddr(0));
+        p.on_trigger(Pc(1), LineAddr(8));
+        p.reset();
+        assert!(p.on_trigger(Pc(1), LineAddr(16)).is_empty());
+        assert!(p.on_trigger(Pc(1), LineAddr(24)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate prefetcher")]
+    fn zero_streams_panics() {
+        let _ = StridePrefetcher::new(0, 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests: the set-associative cache against the exact
+//! stack-distance oracle, and policy invariants under random traffic.
+
+use delorean_cache::{Cache, CacheConfig, ReplacementPolicy};
+use delorean_statmodel::exact::ExactStackProcessor;
+use delorean_trace::LineAddr;
+use proptest::prelude::*;
+
+/// A fully-associative LRU cache (1 set) must agree exactly with Mattson
+/// stack distances: hit iff stack distance < capacity.
+fn fully_assoc_lru(lines: u64) -> Cache {
+    Cache::new(CacheConfig {
+        size_bytes: 64 * lines,
+        ways: lines as u32,
+        line_bytes: 64,
+        replacement: ReplacementPolicy::Lru,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lru_matches_stack_distance_oracle(
+        stream in prop::collection::vec(0u64..48, 1..400),
+        capacity in prop::sample::select(vec![2u64, 4, 8, 16, 32]),
+    ) {
+        let mut cache = fully_assoc_lru(capacity);
+        let mut oracle = ExactStackProcessor::new();
+        for &l in &stream {
+            let line = LineAddr(l);
+            let cache_hit = cache.access(line).is_hit();
+            let oracle_hit = matches!(oracle.access(line), Some(sd) if sd < capacity);
+            prop_assert_eq!(cache_hit, oracle_hit, "line {} capacity {}", l, capacity);
+        }
+    }
+
+    #[test]
+    fn any_policy_hits_after_immediate_refill(
+        stream in prop::collection::vec(0u64..1000, 1..200),
+        policy in prop::sample::select(vec![
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+            ReplacementPolicy::PLru,
+            ReplacementPolicy::Nmru,
+        ]),
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 64 * 64,
+            ways: 4,
+            line_bytes: 64,
+            replacement: policy,
+        });
+        for &l in &stream {
+            cache.access(LineAddr(l));
+            // Back-to-back re-access must always hit, under every policy.
+            prop_assert!(cache.access(LineAddr(l)).is_hit());
+        }
+    }
+
+    #[test]
+    fn probe_never_mutates(
+        stream in prop::collection::vec(0u64..256, 1..200),
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 64 * 32,
+            ways: 2,
+            line_bytes: 64,
+            replacement: ReplacementPolicy::Lru,
+        });
+        for &l in &stream {
+            cache.access(LineAddr(l));
+        }
+        let before: Vec<bool> = (0..256).map(|l| cache.probe(LineAddr(l))).collect();
+        // Many probes later, residency is unchanged.
+        for _ in 0..3 {
+            for l in 0..256u64 {
+                cache.probe(LineAddr(l));
+            }
+        }
+        let after: Vec<bool> = (0..256).map(|l| cache.probe(LineAddr(l))).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn valid_lines_never_exceed_capacity(
+        stream in prop::collection::vec(0u64..100_000, 1..500),
+        ways in prop::sample::select(vec![1u32, 2, 4, 8]),
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 64 * 16 * ways as u64,
+            ways,
+            line_bytes: 64,
+            replacement: ReplacementPolicy::Lru,
+        });
+        for &l in &stream {
+            cache.access(LineAddr(l));
+            prop_assert!(cache.warm_fraction() <= 1.0);
+        }
+        // Residency check: everything probed as present must map to
+        // distinct (set, way) slots — at most sets × ways lines.
+        let resident = stream
+            .iter()
+            .filter(|&&l| cache.probe(LineAddr(l)))
+            .collect::<std::collections::HashSet<_>>();
+        prop_assert!(resident.len() as u64 <= 16 * ways as u64);
+    }
+}
+
+/// Deterministic regression: a working set exactly matching capacity stays
+/// resident under LRU regardless of associativity, when aligned.
+#[test]
+fn aligned_working_set_fits() {
+    for ways in [1u32, 2, 4] {
+        let sets = 16u64;
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 64 * sets * ways as u64,
+            ways,
+            line_bytes: 64,
+            replacement: ReplacementPolicy::Lru,
+        });
+        let lines: Vec<LineAddr> = (0..sets * ways as u64).map(LineAddr).collect();
+        for &l in &lines {
+            cache.access(l);
+        }
+        for round in 0..5 {
+            for &l in &lines {
+                assert!(
+                    cache.access(l).is_hit(),
+                    "ways={ways} round={round} line={l:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The pipelined time-traveling implementation.
+//!
+//! The paper runs each pass (Scout, Explorer-1..N, Analyst) as a separate
+//! gem5 process synchronized over OS pipes, pipelined across detailed
+//! regions: as soon as the Scout finishes region *m* it moves to *m+1*
+//! while Explorer-1 processes *m* (§3.2, Figure 4). This module mirrors
+//! that design with one thread per pass connected by bounded crossbeam
+//! channels — the bound models the finite pipe buffer, providing natural
+//! backpressure.
+//!
+//! Every stage is a deterministic function of its input, so the pipelined
+//! run produces bit-identical results to
+//! [`DeLoreanRunner::run_serial`](crate::DeLoreanRunner::run_serial); the
+//! test suite asserts this.
+
+use crate::analyst::run_analyst;
+use crate::config::DeLoreanConfig;
+use crate::dsw::DswCounts;
+use crate::explorer::{pending_from_keyset, run_explorer, PendingKey};
+use crate::runner::{accumulate, DeLoreanOutput, RegionArtifacts};
+use crate::scout::scout_region;
+use crate::stats::TtStats;
+use crate::MAX_EXPLORERS;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use delorean_cache::MachineConfig;
+use delorean_cpu::TimingConfig;
+use delorean_sampling::{RegionPlan, RegionReport, SimulationReport};
+use delorean_trace::Workload;
+use delorean_virt::{CostModel, HostClock, RunCost, WorkKind};
+
+/// Pipe buffer depth between passes (regions in flight per stage).
+const PIPE_DEPTH: usize = 2;
+
+/// In-flight state of one region as it moves down the pipeline.
+struct PipeMsg {
+    artifacts: RegionArtifacts,
+    pending: Vec<PendingKey>,
+    prev_end_instr: u64,
+}
+
+/// Run the full pipelined TT evaluation.
+pub fn run_pipelined(
+    workload: &dyn Workload,
+    machine: &MachineConfig,
+    timing: &TimingConfig,
+    cost: &CostModel,
+    config: &DeLoreanConfig,
+    plan: &RegionPlan,
+) -> DeLoreanOutput {
+    config.validate().expect("invalid DeLorean config");
+    let n_explorers = config.explorer_windows_instrs.len();
+    let mult = plan.config.work_multiplier();
+
+    std::thread::scope(|scope| {
+        // Scout → E1 → ... → EN → Analyst channels.
+        let (scout_tx, mut stage_rx) = bounded::<PipeMsg>(PIPE_DEPTH);
+
+        // Scout thread.
+        let scout_handle = scope.spawn({
+            let regions = plan.regions.clone();
+            move || {
+                let mut clock = HostClock::new();
+                let mut prev_end = 0u64;
+                let deepest_window = *config
+                    .explorer_windows_instrs
+                    .last()
+                    .expect("validated config has windows")
+                    / workload.mem_period().max(1);
+                for region in &regions {
+                    let scout =
+                        scout_region(workload, machine, cost, &mut clock, region, prev_end, mult);
+                    clock.charge(cost.transfer_seconds);
+                    let pending = pending_from_keyset(&scout.keyset);
+                    let artifacts = RegionArtifacts {
+                        region: region.clone(),
+                        input: crate::analyst::AnalystInput {
+                            assoc: scout.assoc,
+                            warming_miss_as_hit: config.warming_miss_as_hit,
+                            censoring_horizon_accesses: deepest_window,
+                            ..Default::default()
+                        },
+                        keys: scout.keyset.len() as u64,
+                        engaged: 0,
+                        resolved_by: [0; MAX_EXPLORERS],
+                        cold_keys: 0,
+                        vicinity_samples: 0,
+                        false_positive_traps: 0,
+                        true_hit_traps: 0,
+                    };
+                    let msg = PipeMsg {
+                        artifacts,
+                        pending,
+                        prev_end_instr: prev_end,
+                    };
+                    prev_end = region.detailed.end;
+                    if scout_tx.send(msg).is_err() {
+                        return clock; // downstream closed
+                    }
+                }
+                drop(scout_tx);
+                clock
+            }
+        });
+
+        // Explorer threads.
+        let mut explorer_handles = Vec::with_capacity(n_explorers);
+        for k in 0..n_explorers {
+            let window = config.explorer_windows_instrs[k];
+            let prev_window = if k == 0 {
+                0
+            } else {
+                config.explorer_windows_instrs[k - 1]
+            };
+            let (tx, rx_next) = bounded::<PipeMsg>(PIPE_DEPTH);
+            let rx = std::mem::replace(&mut stage_rx, rx_next);
+            explorer_handles.push(scope.spawn(move || {
+                explorer_stage(
+                    workload,
+                    cost,
+                    config,
+                    k,
+                    window,
+                    prev_window,
+                    mult,
+                    rx,
+                    tx,
+                )
+            }));
+        }
+
+        // Analyst thread.
+        let analyst_rx = stage_rx;
+        let analyst_handle = scope.spawn(move || {
+            let mut clock = HostClock::new();
+            let mut reports = Vec::new();
+            let mut stats = TtStats::default();
+            let mut counts = DswCounts::default();
+            for mut msg in analyst_rx.iter() {
+                msg.artifacts.cold_keys = msg.pending.len() as u64;
+                let analyst = run_analyst(
+                    workload,
+                    machine,
+                    timing,
+                    cost,
+                    &mut clock,
+                    &msg.artifacts.region,
+                    &msg.artifacts.input,
+                    mult,
+                );
+                accumulate(&mut stats, &msg.artifacts);
+                counts.merge(&analyst.counts);
+                reports.push(RegionReport {
+                    region: msg.artifacts.region.index,
+                    detailed: analyst.detailed,
+                });
+            }
+            (clock, reports, stats, counts)
+        });
+
+        let scout_clock = scout_handle.join().expect("scout thread panicked");
+        let explorer_clocks: Vec<HostClock> = explorer_handles
+            .into_iter()
+            .map(|h| h.join().expect("explorer thread panicked"))
+            .collect();
+        let (analyst_clock, mut reports, stats, dsw_counts) =
+            analyst_handle.join().expect("analyst thread panicked");
+        reports.sort_by_key(|r| r.region);
+
+        let mut run_cost = RunCost::new(plan.regions.len() as u64);
+        run_cost.push("scout", scout_clock);
+        for (k, c) in explorer_clocks.into_iter().enumerate() {
+            run_cost.push(format!("explorer-{}", k + 1), c);
+        }
+        run_cost.push("analyst", analyst_clock);
+
+        let report = SimulationReport {
+            workload: workload.name().to_string(),
+            strategy: "delorean".into(),
+            regions: reports,
+            collected_reuse_distances: stats.collected_reuse_distances(),
+            cost: run_cost,
+            covered_instrs: plan.represented_instrs(),
+        };
+        DeLoreanOutput {
+            report,
+            stats,
+            dsw_counts,
+        }
+    })
+}
+
+/// One explorer pass: receive regions, profile the unresolved keys, send
+/// the enriched message downstream. Returns the pass clock.
+#[allow(clippy::too_many_arguments)]
+fn explorer_stage(
+    workload: &dyn Workload,
+    cost: &CostModel,
+    config: &DeLoreanConfig,
+    k: usize,
+    window: u64,
+    prev_window: u64,
+    mult: u64,
+    rx: Receiver<PipeMsg>,
+    tx: Sender<PipeMsg>,
+) -> HostClock {
+    let mut clock = HostClock::new();
+    for mut msg in rx.iter() {
+        let region = &msg.artifacts.region;
+        let interval = region.warming.start.saturating_sub(msg.prev_end_instr);
+        if msg.pending.is_empty() {
+            clock.charge(cost.instr_seconds(WorkKind::Vff, interval * mult));
+        } else {
+            msg.artifacts.engaged += 1;
+            let vff_part = interval.saturating_sub(window - prev_window);
+            clock.charge(cost.instr_seconds(WorkKind::Vff, vff_part * mult));
+            let out = run_explorer(
+                workload,
+                cost,
+                &mut clock,
+                k,
+                window,
+                prev_window,
+                region,
+                &msg.pending,
+                config.vicinity_period_accesses,
+                config.seed,
+                mult,
+            );
+            clock.charge(cost.transfer_seconds);
+            msg.artifacts.resolved_by[k] += out.resolved.len() as u64;
+            for (line, rd) in out.resolved {
+                msg.artifacts.input.key_rds.insert(line, rd);
+            }
+            msg.artifacts.input.vicinity.merge(&out.vicinity);
+            msg.artifacts.vicinity_samples += out.vicinity_count;
+            msg.artifacts.false_positive_traps += out.scan.false_positives;
+            msg.artifacts.true_hit_traps += out.scan.true_hits;
+            msg.pending = out.remaining;
+        }
+        if tx.send(msg).is_err() {
+            break;
+        }
+    }
+    clock
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeLoreanRunner;
+    use delorean_sampling::SamplingConfig;
+    use delorean_trace::{spec_workload, Scale};
+
+    fn runner() -> DeLoreanRunner {
+        DeLoreanRunner::new(
+            MachineConfig::for_scale(Scale::tiny()),
+            DeLoreanConfig::for_scale(Scale::tiny()),
+        )
+    }
+
+    #[test]
+    fn pipelined_matches_serial_exactly() {
+        let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
+        let plan = SamplingConfig::for_scale(Scale::tiny()).with_regions(4).plan();
+        let r = runner();
+        let serial = r.run_serial(&w, &plan);
+        let piped = r.run(&w, &plan);
+        assert_eq!(serial.report.cpi(), piped.report.cpi());
+        assert_eq!(serial.report.total(), piped.report.total());
+        assert_eq!(serial.stats, piped.stats);
+        assert_eq!(serial.dsw_counts, piped.dsw_counts);
+        // Cost accounting is identical too, pass by pass.
+        for (a, b) in serial
+            .report
+            .cost
+            .passes()
+            .iter()
+            .zip(piped.report.cost.passes())
+        {
+            assert_eq!(a.name, b.name);
+            assert!(
+                (a.seconds - b.seconds).abs() < 1e-9,
+                "pass {} cost differs: {} vs {}",
+                a.name,
+                a.seconds,
+                b.seconds
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_works_across_workloads() {
+        let plan = SamplingConfig::for_scale(Scale::tiny()).with_regions(2).plan();
+        for name in ["bwaves", "mcf", "povray"] {
+            let w = spec_workload(name, Scale::tiny(), 1).unwrap();
+            let out = runner().run(&w, &plan);
+            assert_eq!(out.report.regions.len(), 2, "{name}");
+            assert!(out.report.cpi() > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn regions_come_back_in_order() {
+        let w = spec_workload("namd", Scale::tiny(), 1).unwrap();
+        let plan = SamplingConfig::for_scale(Scale::tiny()).with_regions(5).plan();
+        let out = runner().run(&w, &plan);
+        let order: Vec<u32> = out.report.regions.iter().map(|r| r.region).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+}

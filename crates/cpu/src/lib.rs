@@ -1,0 +1,29 @@
+//! CPU timing substrate: branch prediction and an out-of-order interval
+//! timing model.
+//!
+//! The paper's detailed regions run on gem5's default 8-wide out-of-order
+//! x86 CPU (Table 1). Reimplementing a cycle-accurate O3 pipeline is out of
+//! scope for a methodology reproduction — what the methodology needs is a
+//! deterministic model that maps per-access cache outcomes to CPI with
+//! realistic first-order effects:
+//!
+//! * base throughput limited by issue width,
+//! * branch misprediction penalties fed by a real (warmable!) tournament
+//!   predictor,
+//! * latency costs per serving level, with ROB-bounded memory-level
+//!   parallelism: independent LLC misses within a reorder-buffer window
+//!   overlap rather than serialize.
+//!
+//! That is the interval-analysis family of models (Carlson & Eeckhout's
+//! Sniper lineage), which this crate implements in [`IntervalCore`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod detailed;
+mod predictor;
+mod timing;
+
+pub use detailed::{simulate_detailed, DetailedResult, OutcomeSource};
+pub use predictor::{BranchStats, TournamentPredictor};
+pub use timing::{CpiBreakdown, IntervalCore, TimingConfig};

@@ -1,0 +1,225 @@
+//! Checkpointed warming (CW): the TurboSMARTS / Live-points family.
+//!
+//! The paper's §7 contrasts DeLorean with checkpoint-based warming:
+//! snapshot the microarchitectural state before each detailed region once,
+//! then reuse the snapshots for later evaluation runs. CW is fast after
+//! the (expensive, functional-warming) preparation run and exactly as
+//! accurate as SMARTS — but it pays storage per region and the
+//! checkpoints are invalidated by *any* software change and by hardware
+//! changes to the structures they capture, which is precisely why the
+//! paper pursues statistical warming instead.
+//!
+//! This module reproduces the trade-off quantitatively: preparation cost,
+//! per-region storage (Live-points-style valid-lines serialization — the
+//! paper cites 142 KiB per Live point vs 20–100 MiB per Flex point), and
+//! evaluation-run speed including checkpoint load time.
+
+use crate::config::RegionPlan;
+use crate::report::{RegionReport, SimulationReport};
+use crate::run_region_detailed;
+use delorean_cache::{Hierarchy, HierarchySnapshot, MachineConfig};
+use delorean_cpu::TimingConfig;
+use delorean_trace::{MemAccess, Workload, WorkloadExt};
+use delorean_virt::{CostModel, HostClock, RunCost, WorkKind};
+
+/// The checkpoints of one (workload, plan, machine) combination.
+#[derive(Clone, Debug)]
+pub struct CheckpointSet {
+    snapshots: Vec<HierarchySnapshot>,
+    /// Host seconds spent producing the checkpoints (one functional-
+    /// warming pass over the whole program).
+    pub preparation_seconds: f64,
+}
+
+impl CheckpointSet {
+    /// Number of checkpoints (= regions).
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` if no checkpoints were captured.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Total storage across all regions, bytes.
+    pub fn storage_bytes(&self) -> u64 {
+        self.snapshots.iter().map(|s| s.storage_bytes()).sum()
+    }
+}
+
+/// Checkpointed-warming runner: prepare once, evaluate cheaply.
+#[derive(Clone, Debug)]
+pub struct CheckpointWarmingRunner {
+    machine: MachineConfig,
+    timing: TimingConfig,
+    cost: CostModel,
+    /// Modeled checkpoint-load bandwidth (2009-era disk, bytes/second).
+    pub load_bytes_per_second: f64,
+}
+
+impl CheckpointWarmingRunner {
+    /// A runner with Table 1 timing and paper-host costs.
+    pub fn new(machine: MachineConfig) -> Self {
+        CheckpointWarmingRunner {
+            machine,
+            timing: TimingConfig::table1(),
+            cost: CostModel::paper_host(),
+            load_bytes_per_second: 100.0e6,
+        }
+    }
+
+    /// Override the host cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The preparation run: functional warming across the whole program,
+    /// snapshotting the hierarchy at each region's warming start.
+    ///
+    /// This costs as much as one SMARTS run minus the detailed regions —
+    /// checkpointing only pays off when the snapshots are reused.
+    pub fn prepare(&self, workload: &dyn Workload, plan: &RegionPlan) -> CheckpointSet {
+        let mut hierarchy = Hierarchy::new(&self.machine);
+        let mut clock = HostClock::new();
+        let p = workload.mem_period();
+        let mult = plan.config.work_multiplier();
+        let mut pos_access = 0u64;
+        let mut snapshots = Vec::with_capacity(plan.regions.len());
+        for region in &plan.regions {
+            let warm_end_access = region.warming.start / p;
+            let span = warm_end_access.saturating_sub(pos_access);
+            clock.charge(
+                self.cost
+                    .instr_seconds(WorkKind::Functional, span * p * mult),
+            );
+            for a in workload.iter_range(pos_access..warm_end_access) {
+                hierarchy.access_data(a.pc, a.line(), a.index);
+            }
+            snapshots.push(hierarchy.snapshot());
+            pos_access = warm_end_access;
+        }
+        CheckpointSet {
+            snapshots,
+            preparation_seconds: clock.seconds(),
+        }
+    }
+
+    /// An evaluation run from existing checkpoints: load, detailed-warm,
+    /// simulate. Accuracy is identical to SMARTS by construction (the
+    /// state is the real functional-warming state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint count does not match the plan.
+    pub fn run_with(
+        &self,
+        checkpoints: &CheckpointSet,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+    ) -> SimulationReport {
+        assert_eq!(
+            checkpoints.len(),
+            plan.regions.len(),
+            "checkpoint/plan mismatch"
+        );
+        let mut clock = HostClock::new();
+        let mut regions = Vec::with_capacity(plan.regions.len());
+        let mut hierarchy = Hierarchy::new(&self.machine);
+        for (region, snap) in plan.regions.iter().zip(&checkpoints.snapshots) {
+            // Load the checkpoint from storage.
+            clock.charge(snap.storage_bytes() as f64 / self.load_bytes_per_second);
+            hierarchy.restore(snap);
+            // Detailed warming + region on the restored state.
+            let span = region.detailed.end - region.warming.start;
+            clock.charge(self.cost.instr_seconds(WorkKind::Detailed, span));
+            let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
+            let result = run_region_detailed(workload, region, &self.timing, &mut source);
+            regions.push(RegionReport {
+                region: region.index,
+                detailed: result,
+            });
+        }
+        let mut cost = RunCost::new(plan.regions.len() as u64);
+        cost.push("checkpoint-eval", clock);
+        SimulationReport {
+            workload: workload.name().to_string(),
+            strategy: "checkpoint".into(),
+            regions,
+            collected_reuse_distances: 0,
+            cost,
+            covered_instrs: plan.represented_instrs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SamplingConfig, SmartsRunner};
+    use delorean_trace::{spec_workload, Scale};
+
+    fn setup() -> (impl Workload, MachineConfig, RegionPlan) {
+        let scale = Scale::tiny();
+        (
+            spec_workload("hmmer", scale, 1).unwrap(),
+            MachineConfig::for_scale(scale),
+            SamplingConfig::for_scale(scale).with_regions(3).plan(),
+        )
+    }
+
+    #[test]
+    fn checkpoint_accuracy_matches_smarts_exactly() {
+        let (w, machine, plan) = setup();
+        let runner = CheckpointWarmingRunner::new(machine);
+        let checkpoints = runner.prepare(&w, &plan);
+        let cw = runner.run_with(&checkpoints, &w, &plan);
+        let smarts = SmartsRunner::new(machine).run(&w, &plan);
+        // CW restores the exact functional-warming state, so region
+        // results are identical, not merely close.
+        assert_eq!(cw.total(), smarts.total());
+    }
+
+    #[test]
+    fn checkpoints_cost_storage() {
+        let (w, machine, plan) = setup();
+        let runner = CheckpointWarmingRunner::new(machine);
+        let checkpoints = runner.prepare(&w, &plan);
+        assert_eq!(checkpoints.len(), 3);
+        assert!(!checkpoints.is_empty());
+        // Later regions have warmer caches, so storage is non-trivial.
+        assert!(
+            checkpoints.storage_bytes() > 1_000,
+            "storage {}",
+            checkpoints.storage_bytes()
+        );
+        assert!(checkpoints.preparation_seconds > 0.0);
+    }
+
+    #[test]
+    fn evaluation_runs_are_fast_after_preparation() {
+        let (w, machine, plan) = setup();
+        let runner = CheckpointWarmingRunner::new(machine);
+        let checkpoints = runner.prepare(&w, &plan);
+        let cw = runner.run_with(&checkpoints, &w, &plan);
+        // The evaluation run avoids all functional warming: orders of
+        // magnitude cheaper than preparation.
+        assert!(
+            cw.cost.serial_wallclock() * 10.0 < checkpoints.preparation_seconds,
+            "eval {} vs prep {}",
+            cw.cost.serial_wallclock(),
+            checkpoints.preparation_seconds
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint/plan mismatch")]
+    fn mismatched_plan_is_rejected() {
+        let (w, machine, plan) = setup();
+        let runner = CheckpointWarmingRunner::new(machine);
+        let checkpoints = runner.prepare(&w, &plan);
+        let other = SamplingConfig::for_scale(Scale::tiny()).with_regions(5).plan();
+        let _ = runner.run_with(&checkpoints, &w, &other);
+    }
+}

@@ -1,0 +1,72 @@
+//! Sampled-simulation framework and the paper's two baselines.
+//!
+//! * [`SamplingConfig`] / [`RegionPlan`] — where the detailed regions sit
+//!   (§5: 10 regions spread 1 B instructions apart, 10 k-instruction
+//!   regions, 30 k instructions of detailed warming before each).
+//! * [`SmartsRunner`] — SMARTS: functional warming of *every* memory
+//!   access between regions. Slow, but the accuracy **reference** for
+//!   every figure.
+//! * [`CoolSimRunner`] — CoolSim: randomized statistical warming with the
+//!   paper's best adaptive schedule (sample 1/40 k memory instructions for
+//!   the first 75% of the interval, 1/20 k for the next 20%, 1/10 k for
+//!   the last 5%), per-PC reuse profiles, and statistical hit/miss
+//!   prediction in the detailed region.
+//! * [`CheckpointWarmingRunner`] — checkpointed warming (TurboSMARTS /
+//!   Live points, §7): exact SMARTS state restored from per-region
+//!   snapshots; fast after preparation but storage-bound and invalidated
+//!   by software changes.
+//! * [`MrrlRunner`] — adaptive functional warming (MRRL, §7): shortens
+//!   the warming window to a reuse-latency percentile.
+//! * [`SimulationReport`] — per-region and aggregate CPI/MPKI plus cost
+//!   accounting, shared with DeLorean so every strategy is compared with
+//!   identical metrics.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod checkpoint;
+mod config;
+mod coolsim;
+pub mod metrics;
+mod mrrl;
+mod report;
+mod smarts;
+
+pub use checkpoint::{CheckpointSet, CheckpointWarmingRunner};
+pub use config::{Region, RegionPlan, SamplingConfig};
+pub use coolsim::{CoolSimConfig, CoolSimRunner};
+pub use mrrl::MrrlRunner;
+pub use report::{RegionReport, SimulationReport};
+pub use smarts::SmartsRunner;
+
+use delorean_cpu::{simulate_detailed, DetailedResult, OutcomeSource, TimingConfig, TournamentPredictor};
+use delorean_trace::Workload;
+
+/// Run one region's detailed warming + detailed simulation with a fresh
+/// pipeline (predictor) and an arbitrary outcome source.
+///
+/// This is the shared tail of every strategy: 30 k instructions of
+/// detailed warm-up (which builds the *lukewarm* cache state inside
+/// `source`) followed by the measured detailed region.
+pub fn run_region_detailed(
+    workload: &dyn Workload,
+    region: &Region,
+    timing: &TimingConfig,
+    source: &mut dyn OutcomeSource,
+) -> DetailedResult {
+    let mut predictor = TournamentPredictor::new();
+    let _warm = simulate_detailed(
+        workload,
+        region.warming.clone(),
+        timing,
+        &mut predictor,
+        source,
+    );
+    simulate_detailed(
+        workload,
+        region.detailed.clone(),
+        timing,
+        &mut predictor,
+        source,
+    )
+}

@@ -1,0 +1,68 @@
+//! Shared evaluation metrics.
+
+/// `|value − reference| / reference`; 0 when the reference is 0 and the
+/// value is too, 1 when only the reference is 0.
+pub fn relative_error(value: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if value == 0.0 {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        (value - reference).abs() / reference.abs()
+    }
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean; 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is negative.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|&v| v >= 0.0),
+        "geomean of negative value"
+    );
+    let log_sum: f64 = values.iter().map(|&v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((relative_error(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(0.9, 1.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn mean_and_geomean() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of negative")]
+    fn geomean_rejects_negative() {
+        let _ = geomean(&[-1.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! MRRL: adaptive functional warming (Haskins & Skadron, §7 related
+//! work).
+//!
+//! Memory Reference Reuse Latency warming shortens functional warming
+//! instead of replacing it: profile the distribution of *reuse latencies*
+//! (instructions between consecutive references to the same line), pick
+//! the warming window that covers a target percentile, and only
+//! functionally warm that window before each region — fast-forwarding the
+//! rest.
+//!
+//! It sits between SMARTS and the statistical strategies: cheaper than
+//! full functional warming, but it still simulates *every* access inside
+//! the chosen window — the inherent limitation the paper's §7 calls out
+//! ("even though the interval is shortened, these techniques still need
+//! to simulate all of them").
+
+use crate::config::RegionPlan;
+use crate::report::{RegionReport, SimulationReport};
+use crate::run_region_detailed;
+use delorean_cache::{Hierarchy, MachineConfig};
+use delorean_cpu::TimingConfig;
+use delorean_statmodel::LogHistogram;
+use delorean_trace::{MemAccess, Workload, WorkloadExt};
+use delorean_virt::{CostModel, HostClock, RunCost, WorkKind};
+use std::collections::HashMap;
+
+/// The MRRL adaptive-functional-warming runner.
+#[derive(Clone, Debug)]
+pub struct MrrlRunner {
+    machine: MachineConfig,
+    timing: TimingConfig,
+    cost: CostModel,
+    /// Reuse-latency coverage target (the original work uses ~99.9%).
+    pub percentile: f64,
+    /// Accesses profiled per region to estimate the latency distribution.
+    pub profile_accesses: u64,
+}
+
+impl MrrlRunner {
+    /// A runner with Table 1 timing, paper-host costs and 99.9% coverage.
+    pub fn new(machine: MachineConfig) -> Self {
+        MrrlRunner {
+            machine,
+            timing: TimingConfig::table1(),
+            cost: CostModel::paper_host(),
+            percentile: 0.999,
+            profile_accesses: 50_000,
+        }
+    }
+
+    /// Override the coverage percentile.
+    pub fn with_percentile(mut self, percentile: f64) -> Self {
+        self.percentile = percentile.clamp(0.5, 1.0);
+        self
+    }
+
+    /// Override the host cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Estimate the warming window (in instructions) covering the target
+    /// percentile of reuse latencies near `around_access`.
+    fn warming_window(&self, workload: &dyn Workload, around_access: u64) -> u64 {
+        let p = workload.mem_period();
+        let start = around_access.saturating_sub(self.profile_accesses);
+        let mut hist = LogHistogram::new();
+        let mut last: HashMap<_, u64> = HashMap::new();
+        for a in workload.iter_range(start..around_access) {
+            if let Some(prev) = last.insert(a.line(), a.index) {
+                hist.add((a.index - prev) * p, 1.0);
+            }
+        }
+        if hist.is_empty() {
+            return self.profile_accesses * p;
+        }
+        hist.quantile(self.percentile)
+    }
+
+    /// Run the full sampled simulation.
+    pub fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> SimulationReport {
+        let mut clock = HostClock::new();
+        let p = workload.mem_period();
+        let mult = plan.config.work_multiplier();
+        let mut regions = Vec::with_capacity(plan.regions.len());
+        let mut prev_end = 0u64;
+
+        for region in &plan.regions {
+            // Pick this region's warming window from local reuse latencies
+            // (profiling cost: functional over the profile slice).
+            let region_first = workload.access_index_at_instr(region.detailed.start);
+            clock.charge(
+                self.cost
+                    .instr_seconds(WorkKind::Functional, self.profile_accesses * p),
+            );
+            let window = self
+                .warming_window(workload, region_first)
+                .clamp(p, region.warming.start);
+
+            // Fast-forward to the window, then functionally warm a FRESH
+            // hierarchy (state before the window is assumed covered by the
+            // percentile choice).
+            let warm_start = region.warming.start.saturating_sub(window);
+            let skip = warm_start.saturating_sub(prev_end);
+            clock.charge(self.cost.instr_seconds(WorkKind::Vff, skip * mult));
+            clock.charge(self.cost.instr_seconds(WorkKind::Functional, window * mult));
+            let mut hierarchy = Hierarchy::new(&self.machine);
+            let from = workload.access_index_at_instr(warm_start);
+            let to = workload.access_index_at_instr(region.warming.start);
+            for a in workload.iter_range(from..to) {
+                hierarchy.access_data(a.pc, a.line(), a.index);
+            }
+
+            let span = region.detailed.end - region.warming.start;
+            clock.charge(self.cost.instr_seconds(WorkKind::Detailed, span));
+            let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
+            let result = run_region_detailed(workload, region, &self.timing, &mut source);
+            regions.push(RegionReport {
+                region: region.index,
+                detailed: result,
+            });
+            prev_end = region.detailed.end;
+        }
+
+        let mut cost = RunCost::new(plan.regions.len() as u64);
+        cost.push("mrrl", clock);
+        SimulationReport {
+            workload: workload.name().to_string(),
+            strategy: "mrrl".into(),
+            regions,
+            collected_reuse_distances: 0,
+            cost,
+            covered_instrs: plan.represented_instrs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SamplingConfig, SmartsRunner};
+    use delorean_trace::{spec_workload, Scale};
+
+    fn setup() -> (impl Workload, MachineConfig, RegionPlan) {
+        let scale = Scale::tiny();
+        (
+            spec_workload("hmmer", scale, 1).unwrap(),
+            MachineConfig::for_scale(scale),
+            SamplingConfig::for_scale(scale).with_regions(3).plan(),
+        )
+    }
+
+    #[test]
+    fn mrrl_is_faster_than_smarts_and_roughly_accurate() {
+        let (w, machine, plan) = setup();
+        let smarts = SmartsRunner::new(machine).run(&w, &plan);
+        let mrrl = MrrlRunner::new(machine).run(&w, &plan);
+        assert!(
+            mrrl.speedup_vs(&smarts) > 1.0,
+            "speedup {}",
+            mrrl.speedup_vs(&smarts)
+        );
+        let err = mrrl.cpi_error_vs(&smarts);
+        assert!(err < 0.25, "MRRL error {err}");
+    }
+
+    #[test]
+    fn lower_percentile_means_shorter_warming() {
+        let (w, machine, plan) = setup();
+        let strict = MrrlRunner::new(machine).with_percentile(0.999);
+        let loose = MrrlRunner::new(machine).with_percentile(0.5);
+        let region_first = w.access_index_at_instr(plan.regions[0].detailed.start);
+        let ws = strict.warming_window(&w, region_first);
+        let wl = loose.warming_window(&w, region_first);
+        assert!(wl <= ws, "loose {wl} > strict {ws}");
+    }
+
+    #[test]
+    fn percentile_is_clamped() {
+        let (_, machine, _) = setup();
+        let r = MrrlRunner::new(machine).with_percentile(7.0);
+        assert_eq!(r.percentile, 1.0);
+        let r = MrrlRunner::new(machine).with_percentile(0.0);
+        assert_eq!(r.percentile, 0.5);
+    }
+}

@@ -1,0 +1,111 @@
+//! Statistical cache modeling: the machinery beneath both randomized
+//! (CoolSim) and directed (DeLorean) statistical warming.
+//!
+//! The chain the paper relies on (§2.2):
+//!
+//! 1. **Reuse distance** — number of memory accesses (not necessarily
+//!    unique) strictly between two accesses to the same cacheline. Cheap to
+//!    sample with watchpoints at near-native speed.
+//! 2. **Stack distance** — number of *unique* cachelines accessed strictly
+//!    between the two accesses. Expensive to measure directly, but
+//!    StatStack (Eklov & Hagersten) estimates it from a sampled
+//!    reuse-distance distribution: `E[sd | rd = D] ≈ Σ_{j=1..D} P(rd ≥ j)
+//!    = E[min(rd, D)]`.
+//! 3. **Miss prediction** — a fully-associative LRU cache of `C` lines
+//!    misses exactly when the stack distance is ≥ `C` (Mattson). The
+//!    limited-associativity model ([`assoc`]) corrects for set conflicts
+//!    caused by dominant large strides, and [`StatCacheModel`] covers
+//!    random replacement.
+//!
+//! [`exact`] provides a brute-force-checked exact stack-distance oracle
+//! used by the test suite to validate the statistical estimates.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod assoc;
+pub mod exact;
+mod histogram;
+pub mod per_pc;
+mod reuse;
+mod statcache;
+pub mod statcc;
+pub mod wss;
+
+pub use histogram::LogHistogram;
+pub use reuse::ReuseProfile;
+pub use statcache::StatCacheModel;
+
+#[cfg(test)]
+mod model_validation {
+    //! Cross-module validation: StatStack estimates vs the exact oracle.
+
+    use crate::exact::ExactStackProcessor;
+    use crate::ReuseProfile;
+    use delorean_trace::{mix64, LineAddr};
+
+    /// Generate a synthetic line stream, feed *every* reuse into StatStack,
+    /// and compare the predicted miss ratio against exact LRU simulation.
+    fn validate_stream(lines: &[LineAddr], cache_lines: u64, tolerance: f64) {
+        // Exact: count accesses with stack distance >= cache_lines (or cold).
+        let mut exact = ExactStackProcessor::new();
+        let mut misses = 0u64;
+        for &l in lines {
+            match exact.access(l) {
+                Some(sd) if sd < cache_lines => {}
+                _ => misses += 1,
+            }
+        }
+        let exact_ratio = misses as f64 / lines.len() as f64;
+
+        // Statistical: build a reuse profile from the same stream.
+        let mut profile = ReuseProfile::new();
+        let mut last = std::collections::HashMap::new();
+        for (t, &l) in lines.iter().enumerate() {
+            if let Some(p) = last.insert(l, t) {
+                profile.record((t - p - 1) as u64, 1.0);
+            } else {
+                profile.record_cold(1.0);
+            }
+        }
+        let est = profile.miss_ratio(cache_lines);
+        assert!(
+            (est - exact_ratio).abs() <= tolerance,
+            "cache {cache_lines}: exact {exact_ratio:.4} vs statstack {est:.4}"
+        );
+    }
+
+    #[test]
+    fn statstack_matches_exact_on_random_traffic() {
+        let lines: Vec<LineAddr> = (0..40_000u64)
+            .map(|i| LineAddr(mix64(7, i) % 512))
+            .collect();
+        for c in [64, 128, 256, 512, 1024] {
+            validate_stream(&lines, c, 0.08);
+        }
+    }
+
+    #[test]
+    fn statstack_matches_exact_on_cyclic_sweep() {
+        let lines: Vec<LineAddr> = (0..30_000u64).map(|i| LineAddr(i % 300)).collect();
+        // Sweep of 300 lines: all-miss below 300 lines, all-hit above.
+        validate_stream(&lines, 200, 0.05);
+        validate_stream(&lines, 400, 0.05);
+    }
+
+    #[test]
+    fn statstack_matches_exact_on_hot_cold_mix() {
+        let lines: Vec<LineAddr> = (0..60_000u64)
+            .map(|i| {
+                if mix64(3, i) % 10 < 8 {
+                    LineAddr(mix64(5, i) % 32)
+                } else {
+                    LineAddr(64 + mix64(9, i) % 4096)
+                }
+            })
+            .collect();
+        for c in [16, 64, 512, 4096] {
+            validate_stream(&lines, c, 0.08);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Iteration over a range of workload accesses.
+
+use crate::types::MemAccess;
+use crate::Workload;
+use std::fmt;
+use std::ops::Range;
+
+/// Iterator over the accesses of a [`Workload`] with indices in a range.
+///
+/// Produced by [`WorkloadExt::iter_range`](crate::WorkloadExt::iter_range);
+/// works with both concrete workloads and `dyn Workload`.
+pub struct AccessIter<'w, W: Workload + ?Sized> {
+    workload: &'w W,
+    next: u64,
+    end: u64,
+}
+
+impl<'w, W: Workload + ?Sized> AccessIter<'w, W> {
+    /// Iterate over `workload` accesses with `index ∈ range`.
+    pub fn new(workload: &'w W, range: Range<u64>) -> Self {
+        AccessIter {
+            workload,
+            next: range.start,
+            end: range.end.max(range.start),
+        }
+    }
+}
+
+impl<W: Workload + ?Sized> fmt::Debug for AccessIter<'_, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AccessIter")
+            .field("workload", &self.workload.name())
+            .field("next", &self.next)
+            .field("end", &self.end)
+            .finish()
+    }
+}
+
+impl<W: Workload + ?Sized> Iterator for AccessIter<'_, W> {
+    type Item = MemAccess;
+
+    #[inline]
+    fn next(&mut self) -> Option<MemAccess> {
+        if self.next >= self.end {
+            return None;
+        }
+        let a = self.workload.access_at(self.next);
+        self.next += 1;
+        Some(a)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.end - self.next) as usize;
+        (n, Some(n))
+    }
+}
+
+impl<W: Workload + ?Sized> ExactSizeIterator for AccessIter<'_, W> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::{spec_workload, Scale, Workload, WorkloadExt};
+
+    #[test]
+    fn iterates_exactly_the_range() {
+        let w = spec_workload("namd", Scale::tiny(), 3).unwrap();
+        let v: Vec<_> = w.iter_range(10..20).collect();
+        assert_eq!(v.len(), 10);
+        assert_eq!(v[0].index, 10);
+        assert_eq!(v[9].index, 19);
+    }
+
+    #[test]
+    fn works_through_a_trait_object() {
+        let w = spec_workload("namd", Scale::tiny(), 3).unwrap();
+        let dynw: &dyn Workload = &w;
+        assert_eq!(dynw.iter_range(0..7).count(), 7);
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges_yield_nothing() {
+        let w = spec_workload("namd", Scale::tiny(), 3).unwrap();
+        assert_eq!(w.iter_range(5..5).count(), 0);
+        #[allow(clippy::reversed_empty_ranges)]
+        let n = w.iter_range(9..3).count();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let w = spec_workload("namd", Scale::tiny(), 3).unwrap();
+        let it = w.iter_range(0..17);
+        assert_eq!(it.size_hint(), (17, Some(17)));
+        assert_eq!(it.len(), 17);
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic, position-addressable synthetic memory-access workloads.
+//!
+//! This crate is the trace substrate of the DeLorean reproduction. The paper
+//! ("Directed Statistical Warming through Time Traveling", MICRO-52 2019)
+//! runs real SPEC CPU2006 binaries inside gem5/KVM; neither is available
+//! here, so this crate provides the closest synthetic equivalent: a suite of
+//! 24 workload generators whose *reuse-distance structure* spans the same
+//! qualitative space the paper reports per benchmark (tiny hot working sets
+//! with short reuses, giant footprints with very long reuses, strided
+//! outliers that cause conflict misses, single-phase anomalies, ...).
+//!
+//! The one property everything else in the repository depends on is
+//! **position addressability**: a [`Workload`] can produce the `k`-th memory
+//! access in `O(1)` without generating the `k-1` accesses before it. That is
+//! what lets the time-traveling passes of DeLorean jump forward (the Scout
+//! fast-forwards to a detailed region) and backward (the Explorers profile
+//! windows *before* the region) over the same, perfectly reproducible
+//! execution — playing the role that hardware virtualization (KVM) plays in
+//! the paper.
+//!
+//! # Quick example
+//!
+//! ```
+//! use delorean_trace::{spec2006, Scale, Workload};
+//!
+//! let suite = spec2006(Scale::tiny(), 42);
+//! let lbm = suite.iter().find(|w| w.name() == "lbm").unwrap();
+//! let a = lbm.access_at(1_000);
+//! let b = lbm.access_at(1_000);
+//! assert_eq!(a, b); // deterministic: same index, same access
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod branch;
+mod iter;
+mod pattern;
+mod phased;
+mod recorded;
+mod rng;
+mod scale;
+mod spec;
+mod types;
+
+pub use branch::{BranchEvent, BranchModel};
+pub use iter::AccessIter;
+pub use pattern::Pattern;
+pub use phased::{PhaseSpec, PhasedWorkload, PhasedWorkloadBuilder, StreamSpec};
+pub use recorded::{RecordedAccess, RecordedTrace, RecordedTraceBuilder};
+pub use rng::{mix64, CounterRng};
+pub use scale::Scale;
+pub use spec::{spec2006, spec_workload, SPEC2006_NAMES};
+pub use types::{AccessKind, Addr, LineAddr, MemAccess, PageAddr, Pc, LINE_BYTES, PAGE_BYTES};
+
+use std::fmt;
+use std::ops::Range;
+
+/// A deterministic, position-addressable stream of memory accesses.
+///
+/// Implementations must be pure functions of the access index: calling
+/// [`Workload::access_at`] twice with the same index must return identical
+/// [`MemAccess`] records. This is the contract that makes the DeLorean
+/// passes (Scout, Explorers, Analyst) observe a single consistent execution
+/// even though they visit it out of order.
+///
+/// Instructions and memory accesses are related by a fixed
+/// [`mem_period`](Workload::mem_period): one access is issued every
+/// `mem_period` instructions, so the access with index `k` retires at
+/// instruction `k * mem_period`.
+pub trait Workload: Send + Sync {
+    /// Human-readable workload name (e.g. `"lbm"`).
+    fn name(&self) -> &str;
+
+    /// Instructions per memory access (≥ 1). A value of 3 means one out of
+    /// every three instructions is a load or store, roughly the SPEC mix.
+    fn mem_period(&self) -> u64;
+
+    /// The `k`-th memory access of the execution.
+    fn access_at(&self, k: u64) -> MemAccess;
+
+    /// The branch behaviour of this workload, consumed by the CPU timing
+    /// model and branch predictor.
+    fn branch_model(&self) -> BranchModel;
+
+    /// Number of memory accesses contained in `instrs` instructions.
+    fn accesses_in_instrs(&self, instrs: u64) -> u64 {
+        instrs / self.mem_period().max(1)
+    }
+
+    /// Index of the first access retiring at or after instruction `instr`.
+    fn access_index_at_instr(&self, instr: u64) -> u64 {
+        instr.div_ceil(self.mem_period().max(1))
+    }
+
+    /// Instruction count at which access `k` retires.
+    fn instr_of_access(&self, k: u64) -> u64 {
+        k * self.mem_period()
+    }
+}
+
+impl fmt::Debug for dyn Workload + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name())
+            .field("mem_period", &self.mem_period())
+            .finish()
+    }
+}
+
+/// Extension helpers available on every [`Workload`], including trait
+/// objects.
+pub trait WorkloadExt: Workload {
+    /// Iterate over the accesses with indices in `range`.
+    ///
+    /// ```
+    /// use delorean_trace::{spec_workload, Scale, WorkloadExt};
+    ///
+    /// let w = spec_workload("bwaves", Scale::tiny(), 1).unwrap();
+    /// let n = w.iter_range(0..100).count();
+    /// assert_eq!(n, 100);
+    /// ```
+    fn iter_range(&self, range: Range<u64>) -> AccessIter<'_, Self> {
+        AccessIter::new(self, range)
+    }
+}
+
+impl<W: Workload + ?Sized> WorkloadExt for W {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let w = spec_workload("mcf", Scale::tiny(), 7).unwrap();
+        let dynw: &dyn Workload = &w;
+        assert_eq!(dynw.name(), "mcf");
+        assert!(dynw.mem_period() >= 1);
+        let _ = dynw.iter_range(0..4).count();
+    }
+
+    #[test]
+    fn instr_access_round_trip() {
+        let w = spec_workload("hmmer", Scale::tiny(), 7).unwrap();
+        let p = w.mem_period();
+        assert_eq!(w.access_index_at_instr(0), 0);
+        assert_eq!(w.access_index_at_instr(p), 1);
+        assert_eq!(w.access_index_at_instr(p + 1), 2);
+        assert_eq!(w.instr_of_access(5), 5 * p);
+        assert_eq!(w.accesses_in_instrs(10 * p), 10);
+    }
+}

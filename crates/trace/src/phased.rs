@@ -1,0 +1,579 @@
+//! Composition of pattern primitives into whole workloads.
+//!
+//! A [`PhasedWorkload`] interleaves several [`StreamSpec`]s (each a
+//! [`Pattern`] with a weight, PC pool and store fraction) according to a
+//! deterministic proportional schedule, optionally switching stream sets
+//! between *phases*. Everything remains position addressable: the stream,
+//! stream-local index, PC and address of global access `k` are all `O(1)`
+//! functions of `k`.
+//!
+//! The deterministic interleave matters more than it may appear: the same
+//! access must be produced whether it is visited by the Scout (forward),
+//! an Explorer (backward window), the Analyst, or a functional warming
+//! baseline — that is the paper's "same execution across passes" invariant
+//! that KVM checkpointing provides on real hardware.
+
+use crate::branch::BranchModel;
+use crate::pattern::Pattern;
+use crate::rng::{mix64, CounterRng};
+use crate::types::{AccessKind, Addr, MemAccess, Pc, LINE_BYTES, PAGE_BYTES};
+use crate::Workload;
+use serde::{Deserialize, Serialize};
+
+/// One weighted access stream within a phase.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// The access pattern.
+    pub pattern: Pattern,
+    /// Relative share of the phase's accesses (weights are normalized over
+    /// the phase's weight sum).
+    pub weight: u32,
+    /// Number of static PCs issuing this stream's accesses.
+    pub pcs: u32,
+    /// Store fraction in per mille.
+    pub write_permille: u32,
+}
+
+impl StreamSpec {
+    /// A stream with the given pattern and weight, 4 PCs, 30% stores.
+    pub fn new(pattern: Pattern, weight: u32) -> Self {
+        StreamSpec {
+            pattern,
+            weight,
+            pcs: 4,
+            write_permille: 300,
+        }
+    }
+
+    /// Override the PC pool size.
+    pub fn with_pcs(mut self, pcs: u32) -> Self {
+        self.pcs = pcs;
+        self
+    }
+
+    /// Override the store fraction (per mille).
+    pub fn with_write_permille(mut self, permille: u32) -> Self {
+        self.write_permille = permille;
+        self
+    }
+}
+
+/// One phase: a stream mix active for a span of accesses.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Phase length in accesses (rounded up to a multiple of the phase's
+    /// weight sum at build time).
+    pub len_accesses: u64,
+    /// The streams active during this phase.
+    pub streams: Vec<StreamSpec>,
+}
+
+/// Builder for [`PhasedWorkload`].
+///
+/// ```
+/// use delorean_trace::{Pattern, PhasedWorkloadBuilder, StreamSpec, Workload};
+///
+/// let w = PhasedWorkloadBuilder::new("toy", 42)
+///     .mem_period(3)
+///     .phase(1_000, vec![
+///         StreamSpec::new(Pattern::Stream { lines: 64, stride_lines: 1 }, 9),
+///         StreamSpec::new(Pattern::RandomUniform { lines: 4096 }, 1),
+///     ])
+///     .build()
+///     .expect("valid spec");
+/// assert_eq!(w.name(), "toy");
+/// ```
+#[derive(Clone, Debug)]
+pub struct PhasedWorkloadBuilder {
+    name: String,
+    seed: u64,
+    mem_period: u64,
+    branch: Option<BranchModel>,
+    phases: Vec<PhaseSpec>,
+}
+
+impl PhasedWorkloadBuilder {
+    /// Start building a workload with a name and master seed.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        PhasedWorkloadBuilder {
+            name: name.into(),
+            seed,
+            mem_period: 3,
+            branch: None,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Instructions per memory access (default 3).
+    pub fn mem_period(mut self, period: u64) -> Self {
+        self.mem_period = period;
+        self
+    }
+
+    /// Branch behaviour (default: [`BranchModel::new`] with the workload
+    /// seed).
+    pub fn branch_model(mut self, model: BranchModel) -> Self {
+        self.branch = Some(model);
+        self
+    }
+
+    /// Append a phase of `len_accesses` accesses with the given streams.
+    pub fn phase(mut self, len_accesses: u64, streams: Vec<StreamSpec>) -> Self {
+        self.phases.push(PhaseSpec {
+            len_accesses,
+            streams,
+        });
+        self
+    }
+
+    /// Validate and compile the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid parameter: empty phase
+    /// list, zero-weight phases, degenerate patterns, or a zero
+    /// `mem_period`.
+    pub fn build(self) -> Result<PhasedWorkload, String> {
+        if self.mem_period == 0 {
+            return Err("mem_period must be ≥ 1".into());
+        }
+        if self.phases.is_empty() {
+            return Err("workload needs at least one phase".into());
+        }
+        let mut compiled_phases = Vec::with_capacity(self.phases.len());
+        let mut phase_starts = Vec::with_capacity(self.phases.len());
+        // Data footprints live well above the PC ranges; leave a guard page
+        // between streams so footprints never share a page (watchpoint
+        // false positives should come from line-vs-page granularity, not
+        // accidental overlap).
+        let mut next_base_line: u64 = 0x1_0000_0000 / LINE_BYTES;
+        let mut cycle = 0u64;
+        let rng = CounterRng::new(self.seed);
+        for (pi, phase) in self.phases.iter().enumerate() {
+            if phase.streams.is_empty() {
+                return Err(format!("phase {pi} has no streams"));
+            }
+            let mut weight_sum = 0u64;
+            for (si, s) in phase.streams.iter().enumerate() {
+                s.pattern
+                    .validate()
+                    .map_err(|e| format!("phase {pi} stream {si}: {e}"))?;
+                if s.weight == 0 {
+                    return Err(format!("phase {pi} stream {si}: weight must be > 0"));
+                }
+                if s.pcs == 0 {
+                    return Err(format!("phase {pi} stream {si}: pcs must be > 0"));
+                }
+                if s.write_permille > 1000 {
+                    return Err(format!(
+                        "phase {pi} stream {si}: write_permille must be ≤ 1000"
+                    ));
+                }
+                weight_sum += s.weight as u64;
+            }
+            if phase.len_accesses == 0 {
+                return Err(format!("phase {pi}: len_accesses must be > 0"));
+            }
+            let len = phase.len_accesses.div_ceil(weight_sum) * weight_sum;
+            let slots = build_slot_table(&phase.streams, weight_sum);
+            let mut streams = Vec::with_capacity(phase.streams.len());
+            for (si, s) in phase.streams.iter().enumerate() {
+                let footprint = s.pattern.footprint_lines();
+                let lines_per_page = PAGE_BYTES / LINE_BYTES;
+                let base_line = next_base_line;
+                // Advance past the footprint plus a guard page, page aligned.
+                next_base_line += (footprint + lines_per_page).div_ceil(lines_per_page)
+                    * lines_per_page
+                    + lines_per_page;
+                streams.push(CompiledStream {
+                    pattern: s.pattern,
+                    base_line,
+                    pc_base: 0x0010_0000 + ((pi as u64) << 16) + ((si as u64) << 10),
+                    pcs: s.pcs,
+                    write_permille: s.write_permille,
+                    weight: s.weight as u64,
+                    seed: rng.derive(((pi as u64) << 32) | si as u64).at(0),
+                });
+            }
+            phase_starts.push(cycle);
+            cycle += len;
+            compiled_phases.push(CompiledPhase {
+                weight_sum,
+                periods_per_rep: len / weight_sum,
+                slots,
+                streams,
+            });
+        }
+        let branch = self
+            .branch
+            .unwrap_or_else(|| BranchModel::new(mix64(self.seed, 0xb7a9)));
+        Ok(PhasedWorkload {
+            name: self.name,
+            seed: self.seed,
+            mem_period: self.mem_period,
+            branch,
+            phases: compiled_phases,
+            phase_starts,
+            cycle_len: cycle,
+        })
+    }
+}
+
+/// Bresenham-style proportional interleave: slot `s` of a period of
+/// `weight_sum` slots is assigned to the stream with the largest
+/// accumulated credit, spreading each stream's occurrences evenly.
+fn build_slot_table(streams: &[StreamSpec], weight_sum: u64) -> Vec<SlotEntry> {
+    let mut credits: Vec<i64> = vec![0; streams.len()];
+    let mut occ: Vec<u32> = vec![0; streams.len()];
+    let mut slots = Vec::with_capacity(weight_sum as usize);
+    for _ in 0..weight_sum {
+        for (c, s) in credits.iter_mut().zip(streams) {
+            *c += s.weight as i64;
+        }
+        let (best, _) = credits
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            .expect("non-empty streams");
+        credits[best] -= weight_sum as i64;
+        slots.push(SlotEntry {
+            stream: best as u16,
+            occ: occ[best],
+        });
+        occ[best] += 1;
+    }
+    slots
+}
+
+#[derive(Clone, Debug)]
+struct SlotEntry {
+    stream: u16,
+    occ: u32,
+}
+
+#[derive(Clone, Debug)]
+struct CompiledStream {
+    pattern: Pattern,
+    base_line: u64,
+    pc_base: u64,
+    pcs: u32,
+    write_permille: u32,
+    weight: u64,
+    seed: u64,
+}
+
+#[derive(Clone, Debug)]
+struct CompiledPhase {
+    weight_sum: u64,
+    periods_per_rep: u64,
+    slots: Vec<SlotEntry>,
+    streams: Vec<CompiledStream>,
+}
+
+/// A compiled multi-phase workload; see the module documentation.
+#[derive(Clone, Debug)]
+pub struct PhasedWorkload {
+    name: String,
+    seed: u64,
+    mem_period: u64,
+    branch: BranchModel,
+    phases: Vec<CompiledPhase>,
+    phase_starts: Vec<u64>,
+    cycle_len: u64,
+}
+
+impl PhasedWorkload {
+    /// Length of one full phase cycle, in accesses.
+    pub fn cycle_len_accesses(&self) -> u64 {
+        self.cycle_len
+    }
+
+    /// Total footprint across all phases and streams, in cachelines.
+    pub fn footprint_lines(&self) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|p| p.streams.iter())
+            .map(|s| s.pattern.footprint_lines())
+            .sum()
+    }
+
+    /// The master seed the workload was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Index of the phase active at access `k` (for diagnostics).
+    pub fn phase_at(&self, k: u64) -> usize {
+        let pos = k % self.cycle_len;
+        match self.phase_starts.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+}
+
+impl Workload for PhasedWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mem_period(&self) -> u64 {
+        self.mem_period
+    }
+
+    fn branch_model(&self) -> BranchModel {
+        self.branch
+    }
+
+    #[inline]
+    fn access_at(&self, k: u64) -> MemAccess {
+        let pos = k % self.cycle_len;
+        let rep = k / self.cycle_len;
+        let pi = match self.phase_starts.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let phase = &self.phases[pi];
+        let local = pos - self.phase_starts[pi];
+        let slot = &phase.slots[(local % phase.weight_sum) as usize];
+        let period_idx = local / phase.weight_sum;
+        let s = &phase.streams[slot.stream as usize];
+        // Stream-local index: this stream sees `weight` accesses per period,
+        // `periods_per_rep` periods per cycle repetition.
+        let j = (rep * phase.periods_per_rep + period_idx) * s.weight + slot.occ as u64;
+        let line = s.base_line + s.pattern.line_at(s.seed, j);
+        let pc_idx = if s.pcs == 1 {
+            0
+        } else {
+            mix64(s.seed ^ 0x9c, j) % s.pcs as u64
+        };
+        let kind = if mix64(s.seed ^ 0x3f, j) % 1000 < s.write_permille as u64 {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        MemAccess {
+            index: k,
+            icount: k * self.mem_period,
+            pc: Pc(s.pc_base + pc_idx * 4),
+            addr: Addr(line * LINE_BYTES),
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadExt;
+    use std::collections::HashMap;
+
+    fn two_stream() -> PhasedWorkload {
+        PhasedWorkloadBuilder::new("t", 7)
+            .phase(
+                10_000,
+                vec![
+                    StreamSpec::new(
+                        Pattern::Stream {
+                            lines: 32,
+                            stride_lines: 1,
+                        },
+                        3,
+                    ),
+                    StreamSpec::new(Pattern::RandomUniform { lines: 1024 }, 1),
+                ],
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn determinism() {
+        let w = two_stream();
+        for k in [0u64, 1, 999, 123_456, 10_000_000] {
+            assert_eq!(w.access_at(k), w.access_at(k));
+        }
+    }
+
+    #[test]
+    fn weights_are_respected() {
+        let w = two_stream();
+        // Stream 0 gets 3/4 of accesses; its footprint is 32 lines from its
+        // base, stream 1's is 1024 lines from a disjoint base.
+        let mut by_base: HashMap<u64, u64> = HashMap::new();
+        for a in w.iter_range(0..40_000) {
+            let line = a.addr.0 / LINE_BYTES;
+            let base = if line < w.phases[0].streams[1].base_line {
+                0
+            } else {
+                1
+            };
+            *by_base.entry(base).or_default() += 1;
+        }
+        assert_eq!(by_base[&0], 30_000);
+        assert_eq!(by_base[&1], 10_000);
+    }
+
+    #[test]
+    fn footprints_do_not_overlap() {
+        let w = PhasedWorkloadBuilder::new("t", 3)
+            .phase(
+                1_000,
+                vec![
+                    StreamSpec::new(Pattern::RandomUniform { lines: 100 }, 1),
+                    StreamSpec::new(Pattern::RandomUniform { lines: 200 }, 1),
+                    StreamSpec::new(Pattern::PermutationWalk { lines: 300 }, 1),
+                ],
+            )
+            .build()
+            .unwrap();
+        let s = &w.phases[0].streams;
+        for i in 0..s.len() {
+            for l in (i + 1)..s.len() {
+                let (a, b) = (&s[i], &s[l]);
+                let a_end = a.base_line + a.pattern.footprint_lines();
+                let b_end = b.base_line + b.pattern.footprint_lines();
+                assert!(
+                    a_end <= b.base_line || b_end <= a.base_line,
+                    "streams {i} and {l} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_local_indices_are_contiguous() {
+        // With a single stream of weight 1, stream-local index == global
+        // index, so a PermutationWalk must produce each line exactly once
+        // per footprint period.
+        let w = PhasedWorkloadBuilder::new("t", 11)
+            .phase(
+                1_000,
+                vec![StreamSpec::new(Pattern::PermutationWalk { lines: 50 }, 1)],
+            )
+            .build()
+            .unwrap();
+        let lines: Vec<u64> = w.iter_range(0..50).map(|a| a.addr.0 / 64).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50, "first 50 accesses must cover all lines");
+        // And the next period repeats the same sequence.
+        let again: Vec<u64> = w.iter_range(50..100).map(|a| a.addr.0 / 64).collect();
+        assert_eq!(lines, again);
+    }
+
+    #[test]
+    fn phases_switch_at_boundaries() {
+        let w = PhasedWorkloadBuilder::new("t", 5)
+            .phase(100, vec![StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 1)])
+            .phase(300, vec![StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 1)])
+            .build()
+            .unwrap();
+        assert_eq!(w.cycle_len_accesses(), 400);
+        assert_eq!(w.phase_at(0), 0);
+        assert_eq!(w.phase_at(99), 0);
+        assert_eq!(w.phase_at(100), 1);
+        assert_eq!(w.phase_at(399), 1);
+        assert_eq!(w.phase_at(400), 0); // wraps
+        let a = w.access_at(50);
+        let b = w.access_at(150);
+        // Different phases → different stream bases.
+        assert_ne!(a.addr.0 & !0xfff, b.addr.0 & !0xfff);
+    }
+
+    #[test]
+    fn phase_length_rounds_up_to_weight_sum() {
+        let w = PhasedWorkloadBuilder::new("t", 5)
+            .phase(
+                10,
+                vec![
+                    StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 7),
+                    StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 6),
+                ],
+            )
+            .build()
+            .unwrap();
+        assert_eq!(w.cycle_len_accesses(), 13);
+    }
+
+    #[test]
+    fn builder_rejects_bad_specs() {
+        assert!(PhasedWorkloadBuilder::new("t", 0).build().is_err());
+        assert!(PhasedWorkloadBuilder::new("t", 0)
+            .phase(10, vec![])
+            .build()
+            .is_err());
+        assert!(PhasedWorkloadBuilder::new("t", 0)
+            .phase(
+                10,
+                vec![StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 0)]
+            )
+            .build()
+            .is_err());
+        assert!(PhasedWorkloadBuilder::new("t", 0)
+            .mem_period(0)
+            .phase(
+                10,
+                vec![StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 1)]
+            )
+            .build()
+            .is_err());
+        assert!(PhasedWorkloadBuilder::new("t", 0)
+            .phase(
+                10,
+                vec![StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 1)
+                    .with_write_permille(1001)]
+            )
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn slot_table_spreads_occurrences() {
+        let streams = vec![
+            StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 9),
+            StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 1),
+        ];
+        let slots = build_slot_table(&streams, 10);
+        assert_eq!(slots.len(), 10);
+        let ones = slots.iter().filter(|s| s.stream == 1).count();
+        assert_eq!(ones, 1);
+        // Occurrence counters are per-stream and sequential.
+        let occs: Vec<u32> = slots
+            .iter()
+            .filter(|s| s.stream == 0)
+            .map(|s| s.occ)
+            .collect();
+        assert_eq!(occs, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pcs_come_from_stream_pool() {
+        let w = PhasedWorkloadBuilder::new("t", 7)
+            .phase(
+                1_000,
+                vec![StreamSpec::new(Pattern::RandomUniform { lines: 64 }, 1).with_pcs(8)],
+            )
+            .build()
+            .unwrap();
+        let pcs: std::collections::HashSet<u64> =
+            w.iter_range(0..1_000).map(|a| a.pc.0).collect();
+        assert!(pcs.len() <= 8);
+        assert!(pcs.len() >= 6, "expected most PCs used, got {}", pcs.len());
+    }
+
+    #[test]
+    fn store_fraction_matches_spec() {
+        let w = PhasedWorkloadBuilder::new("t", 7)
+            .phase(
+                1_000,
+                vec![StreamSpec::new(Pattern::RandomUniform { lines: 64 }, 1)
+                    .with_write_permille(250)],
+            )
+            .build()
+            .unwrap();
+        let stores = w.iter_range(0..100_000).filter(|a| a.is_store()).count();
+        assert!((23_000..27_000).contains(&stores), "stores = {stores}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Host-time accounting: per-pass clocks and pipelined run costs.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated host seconds of one execution pass.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HostClock {
+    seconds: f64,
+}
+
+impl HostClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `seconds` of host time.
+    #[inline]
+    pub fn charge(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative charge");
+        self.seconds += seconds;
+    }
+
+    /// Total host seconds so far.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+}
+
+/// Named cost of one pipeline pass (Scout, Explorer-k, Analyst, ...).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PassCost {
+    /// Pass name for reports.
+    pub name: String,
+    /// Total host seconds over the whole run.
+    pub seconds: f64,
+}
+
+/// Cost of a complete sampled-simulation run, split by pass.
+///
+/// The TT passes run as concurrent processes, pipelined across detailed
+/// regions (§3.2): while the Analyst evaluates region *m*, the Scout
+/// already works on *m+1*. With enough cores the steady-state wall-clock
+/// is set by the slowest pass; the remaining passes only contribute the
+/// pipeline fill of roughly one region each.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunCost {
+    passes: Vec<PassCost>,
+    regions: u64,
+}
+
+impl RunCost {
+    /// A run cost over `regions` detailed regions.
+    pub fn new(regions: u64) -> Self {
+        RunCost {
+            passes: Vec::new(),
+            regions: regions.max(1),
+        }
+    }
+
+    /// Append a pass.
+    pub fn push(&mut self, name: impl Into<String>, clock: HostClock) {
+        self.passes.push(PassCost {
+            name: name.into(),
+            seconds: clock.seconds(),
+        });
+    }
+
+    /// The recorded passes.
+    pub fn passes(&self) -> &[PassCost] {
+        &self.passes
+    }
+
+    /// Total host resources consumed (CPU-seconds across all passes) —
+    /// what parallel design-space exploration amortizes.
+    pub fn total_resources(&self) -> f64 {
+        self.passes.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Estimated wall-clock of the pipelined run: the slowest pass plus a
+    /// one-region pipeline-fill share of every other pass.
+    pub fn pipelined_wallclock(&self) -> f64 {
+        let max = self
+            .passes
+            .iter()
+            .map(|p| p.seconds)
+            .fold(0.0f64, f64::max);
+        let rest: f64 = self.total_resources() - max;
+        max + rest / self.regions as f64
+    }
+
+    /// Wall-clock of a serial (non-pipelined) run: the sum of all passes.
+    pub fn serial_wallclock(&self) -> f64 {
+        self.total_resources()
+    }
+
+    /// Merge another run cost (e.g. from a second pipeline stage set).
+    pub fn merge(&mut self, other: &RunCost) {
+        self.passes.extend(other.passes.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_accumulates() {
+        let mut c = HostClock::new();
+        c.charge(1.5);
+        c.charge(0.25);
+        assert!((c.seconds() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_wallclock_tracks_slowest_pass() {
+        let mut r = RunCost::new(10);
+        let mut fast = HostClock::new();
+        fast.charge(1.0);
+        let mut slow = HostClock::new();
+        slow.charge(30.0);
+        r.push("scout", fast);
+        r.push("explorer-1", slow);
+        r.push("analyst", fast);
+        // 30 + (1 + 1)/10
+        assert!((r.pipelined_wallclock() - 30.2).abs() < 1e-9);
+        assert!((r.serial_wallclock() - 32.0).abs() < 1e-9);
+        assert!((r.total_resources() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_cost_is_zero() {
+        let r = RunCost::new(5);
+        assert_eq!(r.pipelined_wallclock(), 0.0);
+        assert_eq!(r.total_resources(), 0.0);
+    }
+
+    #[test]
+    fn merge_appends_passes() {
+        let mut a = RunCost::new(4);
+        let mut c = HostClock::new();
+        c.charge(2.0);
+        a.push("x", c);
+        let mut b = RunCost::new(4);
+        b.push("y", c);
+        a.merge(&b);
+        assert_eq!(a.passes().len(), 2);
+        assert!((a.total_resources() - 4.0).abs() < 1e-12);
+    }
+}

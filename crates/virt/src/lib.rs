@@ -1,0 +1,40 @@
+//! Virtualized execution substrate and host cost accounting.
+//!
+//! In the paper, DeLorean runs on real hardware: KVM fast-forwards between
+//! detailed regions at near-native speed, and reuse distances are sampled
+//! with watchpoints built on the OS page-protection mechanism. Neither is
+//! available to a trace-driven reproduction, so this crate provides the
+//! closest synthetic equivalents:
+//!
+//! * [`fast_forward`] — an O(1) skip over the position-addressable trace
+//!   (the workload needs no warm state besides its position), charged at
+//!   near-native MIPS in the [`CostModel`];
+//! * [`functional_scan`] — access-by-access functional simulation at
+//!   gem5-atomic-like speed (used for functional warming and Explorer-1's
+//!   directed profiling);
+//! * [`WatchSet`] + [`watchpoint_scan`] — virtualized directed profiling:
+//!   watchpoints are registered per *line* but trap per *page*, so false
+//!   positives (a trap on a watched page whose line is not watched) are an
+//!   emergent property of workload layout, exactly the effect that makes
+//!   povray expensive in the paper;
+//! * [`HostClock`] / [`RunCost`] — seconds-based cost accounting, with
+//!   pipelined wall-clock estimation for the multi-pass TT pipeline.
+//!
+//! The absolute constants in [`CostModel::paper_host`] are calibrated to
+//! the paper's platform-level observations (functional warming ≈ 1.4 MIPS,
+//! VFF near-native on a 2.26 GHz Xeon, microsecond-scale trap handling).
+//! All speed *ratios* in the experiments emerge from mechanism work, not
+//! from per-benchmark tuning.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod clock;
+mod cost;
+mod engines;
+mod watch;
+
+pub use clock::{HostClock, PassCost, RunCost};
+pub use cost::{mips, CostModel, WorkKind};
+pub use engines::{fast_forward, functional_scan, watchpoint_scan, WatchScanStats};
+pub use watch::{Trap, WatchSet};

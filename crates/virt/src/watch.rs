@@ -1,0 +1,163 @@
+//! Page-granularity watchpoints.
+//!
+//! The paper's watchpoints are built on the OS page-protection mechanism
+//! (§2.3): a whole 4 KiB page is protected to watch one cacheline, so any
+//! access to the page traps. Traps to the page that do not touch a watched
+//! line are *false positives* — pure overhead that the trap handler must
+//! absorb. This module reproduces that granularity mismatch: watches are
+//! registered per line, lookups happen per page, and the distinction
+//! between a true hit and a false positive is reported per access.
+
+use delorean_trace::{LineAddr, MemAccess, PageAddr};
+use std::collections::{HashMap, HashSet};
+
+/// Classification of one access against a [`WatchSet`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// Unwatched page: execution continues at native/VFF speed.
+    None,
+    /// Watched page, unwatched line: trap overhead with no information.
+    FalsePositive,
+    /// Watched page and watched line.
+    Hit(LineAddr),
+}
+
+impl Trap {
+    /// `true` unless [`Trap::None`].
+    pub fn traps(&self) -> bool {
+        !matches!(self, Trap::None)
+    }
+}
+
+/// A set of line-granularity watchpoints with page-granularity triggering.
+///
+/// ```
+/// use delorean_virt::{Trap, WatchSet};
+/// use delorean_trace::LineAddr;
+///
+/// let mut w = WatchSet::new();
+/// w.watch_line(LineAddr(64)); // page 1 (64 lines/page)
+/// assert_eq!(w.classify_line(LineAddr(64)), Trap::Hit(LineAddr(64)));
+/// assert_eq!(w.classify_line(LineAddr(65)), Trap::FalsePositive);
+/// assert_eq!(w.classify_line(LineAddr(0)), Trap::None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WatchSet {
+    pages: HashMap<PageAddr, HashSet<LineAddr>>,
+}
+
+impl WatchSet {
+    /// An empty watch set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Watch `line` (protects its whole page).
+    pub fn watch_line(&mut self, line: LineAddr) {
+        self.pages.entry(line.page()).or_default().insert(line);
+    }
+
+    /// Stop watching `line`; the page unprotects once its last watched
+    /// line is removed. Returns whether the line was watched.
+    pub fn unwatch_line(&mut self, line: LineAddr) -> bool {
+        let page = line.page();
+        let Some(lines) = self.pages.get_mut(&page) else {
+            return false;
+        };
+        let removed = lines.remove(&line);
+        if lines.is_empty() {
+            self.pages.remove(&page);
+        }
+        removed
+    }
+
+    /// Number of watched lines.
+    pub fn watched_lines(&self) -> usize {
+        self.pages.values().map(|s| s.len()).sum()
+    }
+
+    /// Number of protected pages.
+    pub fn watched_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// `true` if nothing is watched.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Classify an access by its line address.
+    #[inline]
+    pub fn classify_line(&self, line: LineAddr) -> Trap {
+        match self.pages.get(&line.page()) {
+            None => Trap::None,
+            Some(lines) => {
+                if lines.contains(&line) {
+                    Trap::Hit(line)
+                } else {
+                    Trap::FalsePositive
+                }
+            }
+        }
+    }
+
+    /// Classify a full access record.
+    #[inline]
+    pub fn classify(&self, access: &MemAccess) -> Trap {
+        self.classify_line(access.line())
+    }
+
+    /// Remove every watchpoint.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_granularity_causes_false_positives() {
+        let mut w = WatchSet::new();
+        w.watch_line(LineAddr(128)); // page 2
+        assert_eq!(w.classify_line(LineAddr(129)), Trap::FalsePositive);
+        assert_eq!(w.classify_line(LineAddr(191)), Trap::FalsePositive);
+        assert_eq!(w.classify_line(LineAddr(192)), Trap::None); // page 3
+        assert_eq!(w.classify_line(LineAddr(128)), Trap::Hit(LineAddr(128)));
+    }
+
+    #[test]
+    fn unwatch_releases_page_when_empty() {
+        let mut w = WatchSet::new();
+        w.watch_line(LineAddr(0));
+        w.watch_line(LineAddr(1)); // same page
+        assert_eq!(w.watched_pages(), 1);
+        assert_eq!(w.watched_lines(), 2);
+        assert!(w.unwatch_line(LineAddr(0)));
+        assert_eq!(w.classify_line(LineAddr(5)), Trap::FalsePositive);
+        assert!(w.unwatch_line(LineAddr(1)));
+        assert_eq!(w.classify_line(LineAddr(5)), Trap::None);
+        assert!(w.is_empty());
+        assert!(!w.unwatch_line(LineAddr(1)), "double unwatch");
+    }
+
+    #[test]
+    fn traps_helper() {
+        assert!(!Trap::None.traps());
+        assert!(Trap::FalsePositive.traps());
+        assert!(Trap::Hit(LineAddr(0)).traps());
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut w = WatchSet::new();
+        for i in 0..100 {
+            w.watch_line(LineAddr(i * 100));
+        }
+        assert!(w.watched_lines() == 100);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.watched_pages(), 0);
+    }
+}

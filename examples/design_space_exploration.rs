@@ -1,0 +1,52 @@
+//! Design-space exploration (the paper's §6.4.2 use case).
+//!
+//! Question a computer architect actually asks: "how much LLC does this
+//! workload need before returns diminish?" DeLorean answers with CPI
+//! across the whole cache sweep from one warm-up; this example also prints
+//! the cost accounting that makes parallel exploration nearly free.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use delorean::prelude::*;
+
+fn main() {
+    let scale = Scale::tiny();
+    let plan = SamplingConfig::for_scale(scale).with_regions(5).plan();
+    let sizes = MachineConfig::llc_sweep_paper_bytes();
+    let machines: Vec<MachineConfig> = sizes
+        .iter()
+        .map(|&s| MachineConfig::for_scale(scale).with_llc_paper_bytes(scale, s))
+        .collect();
+
+    for name in ["cactusADM", "leslie3d", "lbm"] {
+        let workload = spec_workload(name, scale, 42).expect("known benchmark");
+        let dse = DesignSpaceExplorer::new(
+            MachineConfig::for_scale(scale),
+            DeLoreanConfig::for_scale(scale),
+        );
+        let result = dse.run(&workload, &plan, &machines);
+
+        println!("\n=== {name} ===");
+        println!("{:>12} {:>10} {:>12}", "LLC (MB)", "CPI", "LLC MPKI");
+        let mut best = (0u64, f64::INFINITY);
+        for (i, &size) in sizes.iter().enumerate() {
+            let cpi = result.outputs[i].report.cpi();
+            let mpki = result.outputs[i].report.llc_mpki();
+            println!("{:>12} {:>10.3} {:>12.2}", size >> 20, cpi, mpki);
+            if cpi < best.1 * 0.98 {
+                best = (size >> 20, cpi);
+            }
+        }
+        println!(
+            "smallest LLC within 2% of best CPI: {} MB (paper scale)",
+            best.0
+        );
+        println!(
+            "cost: warming {:.2} s (shared) + {:.3} s per analyst; \
+             10 configurations cost {:.2}× one",
+            result.warming_seconds,
+            result.analyst_seconds[0],
+            result.marginal_cost_factor(10)
+        );
+    }
+}

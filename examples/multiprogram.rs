@@ -1,0 +1,80 @@
+//! Multiprogrammed cache contention with StatCC (§4.2).
+//!
+//! The paper argues DeLorean generalizes to multiprogrammed workloads via
+//! StatCC: solo reuse profiles (exactly what the Explorers collect) feed a
+//! small CPI/contention fixpoint that predicts how applications interact
+//! in a shared LLC. This example characterizes three suite workloads solo,
+//! then predicts every pairing's contention.
+//!
+//! Run with: `cargo run --release --example multiprogram`
+
+use delorean::prelude::*;
+use delorean::statmodel::statcc::{StatCc, StatCcApp};
+use delorean::statmodel::ReuseProfile;
+
+/// Build a solo reuse profile by full profiling of a workload slice (in a
+/// DeLorean deployment this comes from the Explorers' vicinity sampling).
+fn solo_profile(w: &dyn Workload, accesses: u64) -> ReuseProfile {
+    let mut profile = ReuseProfile::new();
+    let mut last = std::collections::HashMap::new();
+    for a in w.iter_range(0..accesses) {
+        if let Some(p) = last.insert(a.line(), a.index) {
+            profile.record(a.index - p - 1, 1.0);
+        } else {
+            profile.record_cold(1.0);
+        }
+    }
+    profile
+}
+
+fn main() {
+    let scale = Scale::tiny();
+    let shared_lines = 1_024u64; // a 64 KiB shared LLC (tiny scale)
+    let names = ["hmmer", "omnetpp", "libquantum"];
+
+    let apps: Vec<StatCcApp> = names
+        .iter()
+        .map(|name| {
+            let w = spec_workload(name, scale, 42).expect("known benchmark");
+            let profile = solo_profile(&w, 60_000);
+            let apki = 1000.0 / w.mem_period() as f64;
+            StatCcApp {
+                name: name.to_string(),
+                profile,
+                apki,
+                base_cpi: 0.4,
+                miss_penalty_cycles: 60.0,
+            }
+        })
+        .collect();
+
+    println!("solo miss ratios in a {shared_lines}-line LLC:");
+    for a in &apps {
+        println!("  {:<12} {:.1}%", a.name, 100.0 * a.profile.miss_ratio(shared_lines));
+    }
+
+    println!("\npairwise contention (StatCC fixpoint):");
+    println!(
+        "{:<26} {:>10} {:>10} {:>9} {:>9}",
+        "pairing", "CPI A", "CPI B", "missA", "missB"
+    );
+    for i in 0..apps.len() {
+        for j in (i + 1)..apps.len() {
+            let pair = [apps[i].clone(), apps[j].clone()];
+            let sol = StatCc::new().solve(&pair, shared_lines);
+            println!(
+                "{:<26} {:>10.3} {:>10.3} {:>8.1}% {:>8.1}%",
+                format!("{} + {}", pair[0].name, pair[1].name),
+                sol.cpi[0],
+                sol.cpi[1],
+                100.0 * sol.miss_ratio[0],
+                100.0 * sol.miss_ratio[1],
+            );
+        }
+    }
+    println!(
+        "\nReuse profiles are microarchitecture-independent, so the same \
+         Explorer output drives solo analysis, cache sweeps AND contention \
+         prediction."
+    );
+}

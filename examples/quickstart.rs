@@ -1,0 +1,66 @@
+//! Quickstart: evaluate one workload with all three sampling strategies.
+//!
+//! Builds the synthetic `mcf` workload, runs SMARTS (the functional-warming
+//! reference), CoolSim (randomized statistical warming) and DeLorean
+//! (directed statistical warming + time traveling), and reports accuracy
+//! and speed — a miniature of the paper's Figures 5 and 9.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use delorean::prelude::*;
+
+fn main() {
+    // `tiny` keeps this example instant; try `Scale::demo()` for the
+    // configuration the experiments use.
+    let scale = Scale::tiny();
+    let workload = spec_workload("mcf", scale, 42).expect("known benchmark");
+    let plan = SamplingConfig::for_scale(scale).plan();
+    let machine = MachineConfig::for_scale(scale);
+
+    println!("workload : mcf");
+    println!("scale    : {scale}");
+    println!(
+        "plan     : {} regions of {} instructions, {} apart\n",
+        plan.regions.len(),
+        plan.config.detailed_instrs,
+        plan.config.spacing_instrs
+    );
+
+    let reference = SmartsRunner::new(machine).run(&workload, &plan);
+    let coolsim = CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale))
+        .run(&workload, &plan);
+    let delorean = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale))
+        .run(&workload, &plan);
+
+    println!("{:<10} {:>8} {:>12} {:>12}", "strategy", "CPI", "CPI error", "speedup");
+    println!(
+        "{:<10} {:>8.3} {:>12} {:>12}",
+        "SMARTS",
+        reference.cpi(),
+        "—",
+        "1.0× (ref)"
+    );
+    println!(
+        "{:<10} {:>8.3} {:>11.1}% {:>11.1}×",
+        "CoolSim",
+        coolsim.cpi(),
+        100.0 * coolsim.cpi_error_vs(&reference),
+        coolsim.speedup_vs(&reference)
+    );
+    println!(
+        "{:<10} {:>8.3} {:>11.1}% {:>11.1}×",
+        "DeLorean",
+        delorean.report.cpi(),
+        100.0 * delorean.report.cpi_error_vs(&reference),
+        delorean.report.speedup_vs(&reference)
+    );
+
+    let stats = &delorean.stats;
+    println!("\ntime traveling:");
+    println!("  key cachelines/region (avg): {:.1}", stats.avg_keys_per_region());
+    println!("  explorers engaged (avg)    : {:.2}", stats.avg_explorers_engaged());
+    println!(
+        "  reuse distances collected  : {} (CoolSim: {})",
+        delorean.report.collected_reuse_distances, coolsim.collected_reuse_distances
+    );
+}

@@ -1,0 +1,59 @@
+//! Working-set characterization (the paper's §6.4.1 use case).
+//!
+//! Sweeps the LLC from 1 MiB to 512 MiB (paper scale) for lbm and plots
+//! its MPKI curve as ASCII art: DeLorean evaluates *all ten points from a
+//! single warm-up* because reuse distances are
+//! microarchitecture-independent, while the SMARTS reference must re-run
+//! functional warming per size.
+//!
+//! Run with: `cargo run --release --example working_set_curves`
+
+use delorean::prelude::*;
+
+fn main() {
+    let scale = Scale::tiny();
+    let workload = spec_workload("lbm", scale, 42).expect("known benchmark");
+    let plan = SamplingConfig::for_scale(scale).with_regions(5).plan();
+
+    let sizes = MachineConfig::llc_sweep_paper_bytes();
+    let machines: Vec<MachineConfig> = sizes
+        .iter()
+        .map(|&s| MachineConfig::for_scale(scale).with_llc_paper_bytes(scale, s))
+        .collect();
+
+    // One warm-up, ten analysts.
+    let dse = DesignSpaceExplorer::new(
+        MachineConfig::for_scale(scale),
+        DeLoreanConfig::for_scale(scale),
+    );
+    let delorean = dse.run(&workload, &plan, &machines);
+
+    println!("lbm working-set curve ({scale}):\n");
+    println!("{:>12} {:>14} {:>14}", "LLC (MB)", "SMARTS MPKI", "DeLorean MPKI");
+    let mut rows = Vec::new();
+    for (i, (&size, machine)) in sizes.iter().zip(&machines).enumerate() {
+        let reference = SmartsRunner::new(*machine).run(&workload, &plan);
+        let d = delorean.outputs[i].report.llc_mpki();
+        println!(
+            "{:>12} {:>14.2} {:>14.2}",
+            size >> 20,
+            reference.llc_mpki(),
+            d
+        );
+        rows.push((size >> 20, d));
+    }
+
+    // ASCII sketch of the DeLorean curve.
+    let max = rows.iter().map(|r| r.1).fold(f64::MIN_POSITIVE, f64::max);
+    println!("\nDeLorean curve (each ▪ ≈ {:.2} MPKI):", max / 40.0);
+    for (mb, mpki) in rows {
+        let bars = ((mpki / max) * 40.0).round() as usize;
+        println!("{mb:>6} MB | {}", "▪".repeat(bars));
+    }
+    println!(
+        "\nwarm-up cost paid once: {:.1}× the cost of one analyst \
+         (10 analysts cost {:.2}× one run)",
+        delorean.warming_to_detailed_ratio(),
+        delorean.marginal_cost_factor(10)
+    );
+}

@@ -1,0 +1,78 @@
+//! Determinism guarantees: the whole system is a pure function of
+//! (workload seed, configuration) — the property that lets the
+//! time-traveling passes observe one consistent execution.
+
+use delorean::prelude::*;
+
+#[test]
+fn workloads_are_position_addressable() {
+    // Visiting accesses in any order yields identical records.
+    let w = spec_workload("xalancbmk", Scale::tiny(), 42).unwrap();
+    let forward: Vec<_> = w.iter_range(10_000..10_100).collect();
+    let mut backward: Vec<_> = (10_000..10_100)
+        .rev()
+        .map(|k| w.access_at(k))
+        .collect();
+    backward.reverse();
+    let random_order: Vec<_> = [50u64, 3, 99, 0, 77]
+        .iter()
+        .map(|&o| w.access_at(10_000 + o))
+        .collect();
+    assert_eq!(forward, backward);
+    assert_eq!(random_order[0], forward[50]);
+    assert_eq!(random_order[3], forward[0]);
+}
+
+#[test]
+fn every_strategy_is_run_to_run_deterministic() {
+    let scale = Scale::tiny();
+    let machine = MachineConfig::for_scale(scale);
+    let plan = SamplingConfig::for_scale(scale).with_regions(2).plan();
+    let w = spec_workload("astar", scale, 42).unwrap();
+
+    let s1 = SmartsRunner::new(machine).run(&w, &plan);
+    let s2 = SmartsRunner::new(machine).run(&w, &plan);
+    assert_eq!(s1.total(), s2.total());
+
+    let c1 = CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale)).run(&w, &plan);
+    let c2 = CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale)).run(&w, &plan);
+    assert_eq!(c1.total(), c2.total());
+    assert_eq!(c1.collected_reuse_distances, c2.collected_reuse_distances);
+
+    let d1 = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
+    let d2 = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
+    assert_eq!(d1.report.total(), d2.report.total());
+    assert_eq!(d1.stats, d2.stats);
+}
+
+#[test]
+fn pipelined_and_serial_delorean_agree_across_workloads() {
+    let scale = Scale::tiny();
+    let machine = MachineConfig::for_scale(scale);
+    let plan = SamplingConfig::for_scale(scale).with_regions(3).plan();
+    for name in ["bwaves", "mcf", "povray", "GemsFDTD", "calculix"] {
+        let w = spec_workload(name, scale, 42).unwrap();
+        let runner = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale));
+        let serial = runner.run_serial(&w, &plan);
+        let piped = runner.run(&w, &plan);
+        assert_eq!(serial.report.total(), piped.report.total(), "{name}");
+        assert_eq!(serial.stats, piped.stats, "{name}");
+        assert_eq!(serial.dsw_counts, piped.dsw_counts, "{name}");
+    }
+}
+
+#[test]
+fn different_seeds_give_different_executions_same_structure() {
+    let scale = Scale::tiny();
+    let machine = MachineConfig::for_scale(scale);
+    let plan = SamplingConfig::for_scale(scale).with_regions(2).plan();
+    let w1 = spec_workload("gromacs", scale, 1).unwrap();
+    let w2 = spec_workload("gromacs", scale, 2).unwrap();
+    let r1 = SmartsRunner::new(machine).run(&w1, &plan);
+    let r2 = SmartsRunner::new(machine).run(&w2, &plan);
+    // Different executions...
+    assert_ne!(r1.total(), r2.total());
+    // ...but statistically similar behaviour (same generative model).
+    let rel = (r1.cpi() - r2.cpi()).abs() / r1.cpi();
+    assert!(rel < 0.35, "seed changed CPI by {:.0}%", rel * 100.0);
+}

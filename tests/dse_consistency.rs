@@ -1,0 +1,81 @@
+//! Design-space exploration must agree with standalone DeLorean runs:
+//! the shared warm-up may not change any analyst's answer.
+
+use delorean::prelude::*;
+
+#[test]
+fn dse_analyst_matches_standalone_runner() {
+    let scale = Scale::tiny();
+    let plan = SamplingConfig::for_scale(scale).with_regions(3).plan();
+    let w = spec_workload("zeusmp", scale, 42).unwrap();
+    let base = MachineConfig::for_scale(scale);
+    let config = DeLoreanConfig::for_scale(scale);
+
+    // Standalone run at the default machine.
+    let standalone = DeLoreanRunner::new(base, config.clone()).run(&w, &plan);
+
+    // DSE with the same machine among the analysts.
+    let machines = vec![
+        base,
+        base.with_llc_paper_bytes(scale, 64 << 20),
+        base.with_llc_paper_bytes(scale, 512 << 20),
+    ];
+    let dse = DesignSpaceExplorer::new(base, config).run(&w, &plan, &machines);
+
+    let via_dse = &dse.outputs[0];
+    assert_eq!(
+        standalone.report.cpi(),
+        via_dse.report.cpi(),
+        "shared warm-up changed the default machine's CPI"
+    );
+    assert_eq!(standalone.report.total(), via_dse.report.total());
+    assert_eq!(standalone.dsw_counts, via_dse.dsw_counts);
+}
+
+#[test]
+fn dse_mpki_is_monotone_in_llc_size() {
+    let scale = Scale::tiny();
+    let plan = SamplingConfig::for_scale(scale).with_regions(3).plan();
+    let base = MachineConfig::for_scale(scale);
+    let sizes = MachineConfig::llc_sweep_paper_bytes();
+    let machines: Vec<MachineConfig> = sizes
+        .iter()
+        .map(|&s| base.with_llc_paper_bytes(scale, s))
+        .collect();
+    for name in ["lbm", "libquantum", "omnetpp"] {
+        let w = spec_workload(name, scale, 42).unwrap();
+        let dse = DesignSpaceExplorer::new(base, DeLoreanConfig::for_scale(scale))
+            .run(&w, &plan, &machines);
+        let mpki: Vec<f64> = dse.outputs.iter().map(|o| o.report.llc_mpki()).collect();
+        for pair in mpki.windows(2) {
+            assert!(
+                pair[1] <= pair[0] + 1.0,
+                "{name}: MPKI rose with LLC size: {mpki:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dse_shares_warming_cost() {
+    let scale = Scale::tiny();
+    let plan = SamplingConfig::for_scale(scale).with_regions(2).plan();
+    let base = MachineConfig::for_scale(scale);
+    let sizes = MachineConfig::llc_sweep_paper_bytes();
+    let machines: Vec<MachineConfig> = sizes
+        .iter()
+        .map(|&s| base.with_llc_paper_bytes(scale, s))
+        .collect();
+    let w = spec_workload("leslie3d", scale, 42).unwrap();
+    let dse =
+        DesignSpaceExplorer::new(base, DeLoreanConfig::for_scale(scale)).run(&w, &plan, &machines);
+    // 10 analysts must cost far less than 10 runs.
+    let marginal = dse.marginal_cost_factor(10);
+    assert!(marginal < 3.0, "marginal cost {marginal}");
+    // Warming dominates a single analyst (paper: ~235×).
+    assert!(
+        dse.warming_to_detailed_ratio() > 2.0,
+        "warming/detailed {}",
+        dse.warming_to_detailed_ratio()
+    );
+}

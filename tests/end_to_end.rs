@@ -1,0 +1,102 @@
+//! End-to-end integration: every suite workload through every strategy.
+
+use delorean::prelude::*;
+
+fn plan() -> RegionPlan {
+    SamplingConfig::for_scale(Scale::tiny()).with_regions(3).plan()
+}
+
+#[test]
+fn all_24_workloads_run_through_delorean() {
+    let scale = Scale::tiny();
+    let machine = MachineConfig::for_scale(scale);
+    let plan = plan();
+    for w in spec2006(scale, 42) {
+        let out = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
+        assert_eq!(out.report.regions.len(), 3, "{}", w.name());
+        assert!(out.report.cpi() > 0.05, "{} CPI {}", w.name(), out.report.cpi());
+        assert!(out.report.cpi() < 30.0, "{} CPI {}", w.name(), out.report.cpi());
+        assert_eq!(out.stats.regions, 3, "{}", w.name());
+        // The level counts add up to the access count in every region.
+        for r in &out.report.regions {
+            let total: u64 = r.detailed.level_counts.iter().sum();
+            assert_eq!(total, r.detailed.mem_accesses, "{}", w.name());
+        }
+    }
+}
+
+#[test]
+fn delorean_tracks_smarts_within_tolerance_on_stable_workloads() {
+    // Tiny scale is aggressive; these workloads have structure that holds
+    // up at any scale. The demo-scale experiments assert far tighter
+    // bounds (see EXPERIMENTS.md).
+    let scale = Scale::tiny();
+    let machine = MachineConfig::for_scale(scale);
+    let plan = plan();
+    for name in ["bwaves", "hmmer", "gamess", "namd", "libquantum", "lbm"] {
+        let w = spec_workload(name, scale, 42).unwrap();
+        let reference = SmartsRunner::new(machine).run(&w, &plan);
+        let out = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
+        let err = out.report.cpi_error_vs(&reference);
+        assert!(
+            err < 0.15,
+            "{name}: DeLorean {} vs SMARTS {} ({}%)",
+            out.report.cpi(),
+            reference.cpi(),
+            (err * 100.0) as u32
+        );
+    }
+}
+
+#[test]
+fn statistical_warming_beats_functional_warming() {
+    // Both statistical strategies must decisively outrun SMARTS. (The
+    // CoolSim-vs-DeLorean ordering is a property of the demo-scale
+    // trap volume and is asserted by the recorded experiments, not at
+    // tiny scale where warm-up intervals are 4000× compressed.)
+    let scale = Scale::tiny();
+    let machine = MachineConfig::for_scale(scale);
+    let plan = plan();
+    let w = spec_workload("perlbench", scale, 42).unwrap();
+    let smarts = SmartsRunner::new(machine).run(&w, &plan);
+    let coolsim = CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale)).run(&w, &plan);
+    let delorean = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
+    let s = smarts.mips_pipelined();
+    assert!(s * 10.0 < coolsim.mips_pipelined(), "SMARTS {s} vs CoolSim");
+    assert!(
+        s * 10.0 < delorean.report.mips_pipelined(),
+        "SMARTS {s} vs DeLorean"
+    );
+}
+
+#[test]
+fn collected_reuse_distances_are_directed() {
+    let scale = Scale::tiny();
+    let machine = MachineConfig::for_scale(scale);
+    let plan = plan();
+    for name in ["perlbench", "mcf", "omnetpp"] {
+        let w = spec_workload(name, scale, 42).unwrap();
+        let coolsim = CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale)).run(&w, &plan);
+        let delorean =
+            DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
+        assert!(
+            delorean.report.collected_reuse_distances * 2
+                < coolsim.collected_reuse_distances,
+            "{name}: DSW {} vs RSW {}",
+            delorean.report.collected_reuse_distances,
+            coolsim.collected_reuse_distances
+        );
+    }
+}
+
+#[test]
+fn reports_have_usable_debug_output() {
+    let scale = Scale::tiny();
+    let machine = MachineConfig::for_scale(scale);
+    let plan = plan();
+    let w = spec_workload("hmmer", scale, 42).unwrap();
+    let report = SmartsRunner::new(machine).run(&w, &plan);
+    let dbg = format!("{report:?}");
+    assert!(dbg.contains("hmmer"));
+    assert!(dbg.contains("smarts"));
+}

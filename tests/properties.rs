@@ -1,0 +1,122 @@
+//! Property-based integration tests: invariants over randomized workload
+//! compositions and configurations.
+
+use delorean::prelude::*;
+use delorean::statmodel::exact::ExactStackProcessor;
+use delorean::trace::{Pattern, PhasedWorkloadBuilder, StreamSpec};
+use proptest::prelude::*;
+
+/// Strategy generating a small but structurally diverse workload.
+fn arb_workload() -> impl Strategy<Value = (u64, Vec<(u8, u32, u64)>)> {
+    // (seed, streams of (kind, weight, size_param))
+    (
+        any::<u64>(),
+        prop::collection::vec((0u8..4, 1u32..8, 16u64..512), 1..4),
+    )
+}
+
+fn build(seed: u64, streams: &[(u8, u32, u64)]) -> delorean::trace::PhasedWorkload {
+    let specs: Vec<StreamSpec> = streams
+        .iter()
+        .map(|&(kind, weight, size)| {
+            let pattern = match kind {
+                0 => Pattern::Stream {
+                    lines: size,
+                    stride_lines: 1,
+                },
+                1 => Pattern::RandomUniform { lines: size },
+                2 => Pattern::PermutationWalk { lines: size },
+                _ => Pattern::HotCold {
+                    hot_lines: (size / 4).max(1),
+                    cold_lines: size,
+                    hot_permille: 800,
+                },
+            };
+            StreamSpec::new(pattern, weight)
+        })
+        .collect();
+    PhasedWorkloadBuilder::new("prop", seed)
+        .mem_period(3)
+        .phase(100_000, specs)
+        .build()
+        .expect("generated spec is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn position_addressability_holds_for_arbitrary_compositions(
+        (seed, streams) in arb_workload(),
+        probes in prop::collection::vec(0u64..5_000_000, 8),
+    ) {
+        let w = build(seed, &streams);
+        for &k in &probes {
+            prop_assert_eq!(w.access_at(k), w.access_at(k));
+        }
+        // Sequential and random access orders agree.
+        let seq: Vec<_> = w.iter_range(100..120).collect();
+        for (i, a) in seq.iter().enumerate() {
+            prop_assert_eq!(*a, w.access_at(100 + i as u64));
+        }
+    }
+
+    #[test]
+    fn statstack_tracks_exact_lru_for_arbitrary_compositions(
+        (seed, streams) in arb_workload(),
+    ) {
+        let w = build(seed, &streams);
+        let n = 20_000u64;
+        // Full-information profile.
+        let mut profile = delorean::statmodel::ReuseProfile::new();
+        let mut last = std::collections::HashMap::new();
+        let mut exact = ExactStackProcessor::new();
+        let mut misses_64 = 0u64;
+        let mut misses_1024 = 0u64;
+        for a in w.iter_range(0..n) {
+            match exact.access(a.line()) {
+                Some(sd) => {
+                    if sd >= 64 { misses_64 += 1; }
+                    if sd >= 1024 { misses_1024 += 1; }
+                }
+                None => {
+                    misses_64 += 1;
+                    misses_1024 += 1;
+                }
+            }
+            if let Some(p) = last.insert(a.line(), a.index) {
+                profile.record(a.index - p - 1, 1.0);
+            } else {
+                profile.record_cold(1.0);
+            }
+        }
+        // StatStack assumes stationary, well-mixed reuse behaviour; fully
+        // deterministic interleaves of cyclic sweeps are its worst case
+        // (correlated reuses violate the independence assumption), so the
+        // bound here is looser than for the suite workloads (see
+        // tests/statistical_model_validation.rs for the 10% bound there).
+        let err64 = (profile.miss_ratio(64) - misses_64 as f64 / n as f64).abs();
+        let err1024 = (profile.miss_ratio(1024) - misses_1024 as f64 / n as f64).abs();
+        prop_assert!(err64 < 0.25, "64-line error {err64}");
+        prop_assert!(err1024 < 0.25, "1024-line error {err1024}");
+    }
+
+    #[test]
+    fn delorean_pipeline_equals_serial_for_arbitrary_compositions(
+        (seed, streams) in arb_workload(),
+    ) {
+        let scale = Scale::tiny();
+        let machine = MachineConfig::for_scale(scale);
+        let plan = SamplingConfig::for_scale(scale).with_regions(2).plan();
+        let w = build(seed, &streams);
+        let runner = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale));
+        let serial = runner.run_serial(&w, &plan);
+        let piped = runner.run(&w, &plan);
+        prop_assert_eq!(serial.report.total(), piped.report.total());
+        prop_assert_eq!(serial.stats, piped.stats);
+    }
+}

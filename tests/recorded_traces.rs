@@ -1,0 +1,40 @@
+//! Recorded (captured) traces through the full methodology: what a user
+//! with real Pin/DynamoRIO logs would do.
+
+use delorean::prelude::*;
+use delorean::trace::RecordedTrace;
+
+#[test]
+fn recorded_trace_runs_all_strategies() {
+    let scale = Scale::tiny();
+    let source = spec_workload("tonto", scale, 42).unwrap();
+    let plan = SamplingConfig::for_scale(scale).with_regions(2).plan();
+    // Capture enough of the source execution to cover the plan.
+    let needed = source.access_index_at_instr(plan.total_instrs()) + 1;
+    let trace = RecordedTrace::capture(&source, 0..needed);
+    let machine = MachineConfig::for_scale(scale);
+
+    let smarts = SmartsRunner::new(machine).run(&trace, &plan);
+    let delorean = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale))
+        .run(&trace, &plan);
+    assert!(smarts.cpi() > 0.0);
+    assert!(delorean.report.cpi() > 0.0);
+    let err = delorean.report.cpi_error_vs(&smarts);
+    assert!(err < 0.25, "recorded-trace error {err}");
+}
+
+#[test]
+fn recorded_capture_is_equivalent_to_the_source() {
+    // Same plan over the source workload and its captured copy must give
+    // identical SMARTS results (the capture covers the whole plan).
+    let scale = Scale::tiny();
+    let source = spec_workload("gamess", scale, 42).unwrap();
+    let plan = SamplingConfig::for_scale(scale).with_regions(2).plan();
+    let needed = source.access_index_at_instr(plan.total_instrs()) + 1;
+    let trace = RecordedTrace::capture(&source, 0..needed);
+    let machine = MachineConfig::for_scale(scale);
+
+    let on_source = SmartsRunner::new(machine).run(&source, &plan);
+    let on_trace = SmartsRunner::new(machine).run(&trace, &plan);
+    assert_eq!(on_source.total(), on_trace.total());
+}

@@ -1,0 +1,120 @@
+//! Cross-crate validation: statistical predictions vs exact simulation on
+//! real suite workloads (not synthetic unit-test streams).
+
+use delorean::statmodel::exact::lru_misses;
+use delorean::statmodel::ReuseProfile;
+use delorean::prelude::*;
+use delorean::trace::LineAddr;
+
+/// Build a full (unsampled) reuse profile of a workload slice.
+fn full_profile(w: &dyn Workload, range: std::ops::Range<u64>) -> ReuseProfile {
+    let mut profile = ReuseProfile::new();
+    let mut last = std::collections::HashMap::new();
+    for a in w.iter_range(range) {
+        if let Some(p) = last.insert(a.line(), a.index) {
+            profile.record(a.index - p - 1, 1.0);
+        } else {
+            profile.record_cold(1.0);
+        }
+    }
+    profile
+}
+
+#[test]
+fn statstack_predicts_fully_associative_lru_on_suite_workloads() {
+    let scale = Scale::tiny();
+    for name in ["hmmer", "libquantum", "omnetpp", "lbm"] {
+        let w = spec_workload(name, scale, 42).unwrap();
+        let n = 60_000u64;
+        let profile = full_profile(&w, 0..n);
+        for cache_lines in [64u64, 256, 1024, 4096] {
+            let predicted = profile.miss_ratio(cache_lines);
+            let lines: Vec<LineAddr> = w.iter_range(0..n).map(|a| a.line()).collect();
+            let actual = lru_misses(lines, cache_lines) as f64 / n as f64;
+            assert!(
+                (predicted - actual).abs() < 0.10,
+                "{name} @{cache_lines}: statstack {predicted:.3} vs exact {actual:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_profiles_converge_to_full_profiles() {
+    // A 1-in-50 sampled profile must predict miss ratios close to the
+    // full profile — the property statistical warming relies on.
+    let scale = Scale::tiny();
+    let w = spec_workload("omnetpp", scale, 42).unwrap();
+    let n = 80_000u64;
+    let full = full_profile(&w, 0..n);
+
+    let mut sampled = ReuseProfile::new();
+    let mut pending = std::collections::HashMap::new();
+    let rng = delorean::trace::CounterRng::new(7);
+    for a in w.iter_range(0..n) {
+        if let Some(p) = pending.remove(&a.line()) {
+            sampled.record(a.index - p - 1, 1.0);
+        }
+        if rng.chance_one_in(a.index, 50) {
+            pending.entry(a.line()).or_insert(a.index);
+        }
+    }
+    for cache_lines in [128u64, 1024, 8192] {
+        let f = full.miss_ratio(cache_lines);
+        let s = sampled.miss_ratio(cache_lines);
+        assert!(
+            (f - s).abs() < 0.12,
+            "@{cache_lines}: full {f:.3} vs sampled {s:.3}"
+        );
+    }
+}
+
+#[test]
+fn explorer_key_distances_match_ground_truth() {
+    // The heart of DSW: key reuse distances collected by the explorer
+    // chain equal brute-force backward scans of the trace.
+    use delorean::core::explorer::{run_explorer, PendingKey};
+    use delorean::virt::{CostModel, HostClock};
+
+    let scale = Scale::tiny();
+    let w = spec_workload("tonto", scale, 42).unwrap();
+    let plan = SamplingConfig::for_scale(scale).with_regions(2).plan();
+    let region = plan.regions[1].clone();
+    let region_first = w.access_index_at_instr(region.detailed.start);
+
+    let pending: Vec<PendingKey> = (0..60)
+        .map(|i| w.access_at(region_first + i))
+        .map(|a| PendingKey {
+            line: a.line(),
+            first_access_index: a.index,
+        })
+        .collect();
+    let cost = CostModel::paper_host();
+    let mut clock = HostClock::new();
+    let out = run_explorer(
+        &w,
+        &cost,
+        &mut clock,
+        0,
+        region.start_instr, // deepest possible window
+        0,
+        &region,
+        &pending,
+        10_000,
+        9,
+        1,
+    );
+    for &(line, rd) in &out.resolved {
+        let first_idx = pending
+            .iter()
+            .find(|k| k.line == line)
+            .unwrap()
+            .first_access_index;
+        let truth = (0..first_idx)
+            .rev()
+            .find(|&k| w.access_at(k).line() == line)
+            .map(|k| first_idx - k - 1)
+            .expect("resolved key must exist in trace");
+        assert_eq!(rd, truth, "line {line:?}");
+    }
+}
