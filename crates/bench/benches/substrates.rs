@@ -103,7 +103,7 @@ fn predictor(c: &mut Criterion) {
         let mut p = TournamentPredictor::new();
         b.iter(|| {
             for i in 0..100_000u64 {
-                p.execute(Pc(0x400 + (i % 64) * 4), mix64(7, i) % 3 != 0);
+                p.execute(Pc(0x400 + (i % 64) * 4), !mix64(7, i).is_multiple_of(3));
             }
             black_box(p.stats().mispredicts)
         })

@@ -2,7 +2,16 @@
 
 fn main() {
     let opts = delorean_bench::ExpOptions::from_env();
-    println!("{}", delorean_bench::experiments::ablation::explorer_depth(&opts));
-    println!("{}", delorean_bench::experiments::ablation::warming_miss_policy(&opts));
-    println!("{}", delorean_bench::experiments::ablation::pipeline_vs_serial(&opts));
+    println!(
+        "{}",
+        delorean_bench::experiments::ablation::explorer_depth(&opts)
+    );
+    println!(
+        "{}",
+        delorean_bench::experiments::ablation::warming_miss_policy(&opts)
+    );
+    println!(
+        "{}",
+        delorean_bench::experiments::ablation::pipeline_vs_serial(&opts)
+    );
 }

@@ -11,42 +11,54 @@
 
 use crate::experiments::LLC_8MB;
 use crate::options::ExpOptions;
-use crate::runs::plan_for;
+use crate::runs::{plan_for, BatchExecutor};
 use crate::table::{f1, f2, pct, Table};
 use delorean_cache::MachineConfig;
-use delorean_core::{DeLoreanConfig, DeLoreanRunner};
+use delorean_core::{DeLoreanConfig, DeLoreanExtras, DeLoreanRunner};
 use delorean_sampling::metrics::mean;
-use delorean_sampling::SmartsRunner;
+use delorean_sampling::{SamplingStrategy, SmartsRunner};
 use delorean_trace::{spec2006, Workload};
 
 /// Ablation 1: explorer-chain depth vs accuracy.
 pub fn explorer_depth(opts: &ExpOptions) -> Table {
     let plan = plan_for(opts);
-    let machine =
-        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let machine = MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
     let suite: Vec<_> = spec2006(opts.scale, opts.seed)
         .into_iter()
         .filter(|w| opts.selected(w.name()))
         .collect();
-    let refs: Vec<_> = suite
-        .iter()
-        .map(|w| SmartsRunner::new(machine).run(w, &plan))
-        .collect();
+    // Reference + all four depths as one strategy set: the whole
+    // 5 × suite sweep fans out in a single executor call.
+    let mut strategies: Vec<Box<dyn SamplingStrategy>> = vec![Box::new(SmartsRunner::new(machine))];
+    for depth in 1..=4usize {
+        strategies.push(Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(opts.scale).with_max_explorers(depth),
+        )));
+    }
+    let matrix = BatchExecutor::new().run_matrix(&strategies, &suite, &plan);
 
     let mut t = Table::new(
         "Ablation — explorer chain depth (8 MiB LLC)",
-        &["explorers", "avg CPI error", "avg cold keys/run", "speed (MIPS)"],
+        &[
+            "explorers",
+            "avg CPI error",
+            "avg cold keys/run",
+            "speed (MIPS)",
+        ],
     );
     for depth in 1..=4usize {
-        let config = DeLoreanConfig::for_scale(opts.scale).with_max_explorers(depth);
         let mut errs = Vec::new();
         let mut cold = 0u64;
         let mut mips = Vec::new();
-        for (w, reference) in suite.iter().zip(&refs) {
-            let out = DeLoreanRunner::new(machine, config.clone()).run(w, &plan);
-            errs.push(out.report.cpi_error_vs(reference));
-            cold += out.stats.cold_keys;
-            mips.push(out.report.mips_pipelined());
+        for (out, reference) in matrix.iter().map(|row| (&row[depth], &row[0])) {
+            errs.push(out.cpi_error_vs(reference));
+            cold += out
+                .extras::<DeLoreanExtras>()
+                .expect("extras")
+                .stats
+                .cold_keys;
+            mips.push(out.mips_pipelined());
         }
         t.push_row([
             depth.to_string(),
@@ -62,32 +74,45 @@ pub fn explorer_depth(opts: &ExpOptions) -> Table {
 /// Ablation 2: treat warming misses as misses.
 pub fn warming_miss_policy(opts: &ExpOptions) -> Table {
     let plan = plan_for(opts);
-    let machine =
-        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let machine = MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
     let mut t = Table::new(
         "Ablation — warming misses modeled as hits (paper) vs misses",
         &["benchmark", "error (as hits)", "error (as misses)"],
     );
-    let (mut hit_errs, mut miss_errs) = (Vec::new(), Vec::new());
-    for w in spec2006(opts.scale, opts.seed)
+    let suite: Vec<_> = spec2006(opts.scale, opts.seed)
         .into_iter()
         .filter(|w| opts.selected(w.name()))
-    {
-        let reference = SmartsRunner::new(machine).run(&w, &plan);
-        let as_hit = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(opts.scale))
-            .run(&w, &plan);
-        let as_miss = DeLoreanRunner::new(
+        .collect();
+    // Reference + both policies as one strategy set; the executor fans
+    // the whole matrix out at once.
+    let strategies: Vec<Box<dyn SamplingStrategy>> = vec![
+        Box::new(SmartsRunner::new(machine)),
+        Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(opts.scale),
+        )),
+        Box::new(DeLoreanRunner::new(
             machine,
             DeLoreanConfig::for_scale(opts.scale).with_warming_miss_as_miss(),
-        )
-        .run(&w, &plan);
-        let he = as_hit.report.cpi_error_vs(&reference);
-        let me = as_miss.report.cpi_error_vs(&reference);
+        )),
+    ];
+    let matrix = BatchExecutor::new().run_matrix(&strategies, &suite, &plan);
+    let (mut hit_errs, mut miss_errs) = (Vec::new(), Vec::new());
+    for (w, row) in suite.iter().zip(&matrix) {
+        let [reference, as_hit, as_miss] = &row[..] else {
+            unreachable!("three strategies per workload");
+        };
+        let he = as_hit.cpi_error_vs(reference);
+        let me = as_miss.cpi_error_vs(reference);
         hit_errs.push(he);
         miss_errs.push(me);
         t.push_row([w.name().to_string(), pct(he), pct(me)]);
     }
-    t.push_row(["average".into(), pct(mean(&hit_errs)), pct(mean(&miss_errs))]);
+    t.push_row([
+        "average".into(),
+        pct(mean(&hit_errs)),
+        pct(mean(&miss_errs)),
+    ]);
     t.note("counting warming misses as misses reproduces the overestimation DSW removes");
     t
 }
@@ -95,20 +120,20 @@ pub fn warming_miss_policy(opts: &ExpOptions) -> Table {
 /// Ablation 3: pipelined vs serial TT wall-clock.
 pub fn pipeline_vs_serial(opts: &ExpOptions) -> Table {
     let plan = plan_for(opts);
-    let machine =
-        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let machine = MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
     let mut t = Table::new(
         "Ablation — pipelined vs serial time traveling",
         &["benchmark", "serial (s)", "pipelined (s)", "pipelining win"],
     );
-    for w in spec2006(opts.scale, opts.seed)
+    let suite: Vec<_> = spec2006(opts.scale, opts.seed)
         .into_iter()
         .filter(|w| opts.selected(w.name()))
-    {
-        let out = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(opts.scale))
-            .run(&w, &plan);
-        let serial = out.report.cost.serial_wallclock();
-        let piped = out.report.cost.pipelined_wallclock();
+        .collect();
+    let runner = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(opts.scale));
+    let outs = BatchExecutor::new().run_strategy_over(&runner, &suite, &plan);
+    for (w, out) in suite.iter().zip(&outs) {
+        let serial = out.cost.serial_wallclock();
+        let piped = out.cost.pipelined_wallclock();
         t.push_row([
             w.name().to_string(),
             f2(serial),

@@ -13,23 +13,46 @@
 //! state) — its cost is the storage column and the invalidation rule, not
 //! accuracy. That trade-off is the paper's motivation for statistical
 //! warming.
+//!
+//! This is also the showcase of the strategy-execution layer: all five
+//! strategies go through `Box<dyn SamplingStrategy>` and the batch
+//! executor fans the 5 × suite matrix out in one call.
 
 use crate::experiments::LLC_8MB;
 use crate::options::ExpOptions;
-use crate::runs::plan_for;
+use crate::runs::{plan_for, BatchExecutor};
 use crate::table::{f1, f2, pct, Table};
 use delorean_cache::MachineConfig;
 use delorean_core::{DeLoreanConfig, DeLoreanRunner};
 use delorean_sampling::{
-    CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, SmartsRunner,
+    CheckpointExtras, CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner,
+    SamplingStrategy, SmartsRunner,
 };
 use delorean_trace::{spec2006, Workload};
 
 /// Run the five-strategy comparison and build the table.
 pub fn run(opts: &ExpOptions) -> Table {
     let plan = plan_for(opts);
-    let machine =
-        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let machine = MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let strategies: Vec<Box<dyn SamplingStrategy>> = vec![
+        Box::new(SmartsRunner::new(machine)),
+        Box::new(CheckpointWarmingRunner::new(machine)),
+        Box::new(MrrlRunner::new(machine)),
+        Box::new(CoolSimRunner::new(
+            machine,
+            CoolSimConfig::for_scale(opts.scale),
+        )),
+        Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(opts.scale),
+        )),
+    ];
+    let suite: Vec<_> = spec2006(opts.scale, opts.seed)
+        .into_iter()
+        .filter(|w| opts.selected(w.name()))
+        .collect();
+    let matrix = BatchExecutor::new().run_matrix(&strategies, &suite, &plan);
+
     let mut t = Table::new(
         "Baseline sweep — every warming strategy (8 MiB LLC)",
         &[
@@ -41,49 +64,41 @@ pub fn run(opts: &ExpOptions) -> Table {
             "reusable",
         ],
     );
-    for w in spec2006(opts.scale, opts.seed)
-        .into_iter()
-        .filter(|w| opts.selected(w.name()))
-    {
-        let smarts = SmartsRunner::new(machine).run(&w, &plan);
-
-        let cw_runner = CheckpointWarmingRunner::new(machine);
-        let checkpoints = cw_runner.prepare(&w, &plan);
-        let cw = cw_runner.run_with(&checkpoints, &w, &plan);
-
-        let mrrl = MrrlRunner::new(machine).run(&w, &plan);
-        let coolsim =
-            CoolSimRunner::new(machine, CoolSimConfig::for_scale(opts.scale)).run(&w, &plan);
-        let delorean =
-            DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(opts.scale)).run(&w, &plan);
-
+    for (w, row) in suite.iter().zip(&matrix) {
+        let [smarts, cw, mrrl, coolsim, delorean] = &row[..] else {
+            unreachable!("five strategies per workload");
+        };
+        let storage = cw
+            .extras::<CheckpointExtras>()
+            .map(|e| format!("{:.1} MiB", e.storage_bytes as f64 / (1 << 20) as f64))
+            .unwrap_or_else(|| "—".into());
         let rows: [(&str, f64, f64, String, &str); 5] = [
             ("SMARTS", 0.0, smarts.mips_pipelined(), "—".into(), "yes"),
             (
                 "Checkpoint",
-                cw.cpi_error_vs(&smarts),
+                cw.cpi_error_vs(smarts),
                 cw.mips_pipelined(),
-                format!("{:.1} MiB", checkpoints.storage_bytes() as f64 / (1 << 20) as f64),
+                storage,
                 "no",
             ),
             (
                 "MRRL",
-                mrrl.cpi_error_vs(&smarts),
+                mrrl.cpi_error_vs(smarts),
                 mrrl.mips_pipelined(),
                 "—".into(),
                 "yes",
             ),
             (
                 "CoolSim",
-                coolsim.cpi_error_vs(&smarts),
+                coolsim.cpi_error_vs(smarts),
                 coolsim.mips_pipelined(),
                 "—".into(),
                 "yes",
             ),
             (
                 "DeLorean",
-                delorean.report.cpi_error_vs(&smarts),
-                delorean.report.mips_pipelined(),
+                delorean.cpi_error_vs(smarts),
+                delorean.mips_pipelined(),
                 "—".into(),
                 "yes",
             ),

@@ -38,13 +38,7 @@ pub fn table(rows: &[BenchmarkComparison]) -> Table {
         mips[0].push(o.smarts.mips_pipelined());
         mips[1].push(o.coolsim.mips_pipelined());
         mips[2].push(o.delorean.report.mips_pipelined());
-        t.push_row([
-            b.name.clone(),
-            "1.00".into(),
-            f1(cool),
-            f1(delo),
-            f1(ratio),
-        ]);
+        t.push_row([b.name.clone(), "1.00".into(), f1(cool), f1(delo), f1(ratio)]);
     }
     t.push_row([
         "average (geomean)".into(),

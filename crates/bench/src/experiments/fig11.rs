@@ -5,13 +5,13 @@
 
 use crate::experiments::LLC_8MB;
 use crate::options::ExpOptions;
-use crate::runs::plan_for;
+use crate::runs::{plan_for, BatchExecutor};
 use crate::table::{f1, pct, Table};
 use delorean_cache::MachineConfig;
 use delorean_core::{DeLoreanConfig, DeLoreanRunner};
 use delorean_sampling::metrics::mean;
-use delorean_sampling::SmartsRunner;
-use delorean_trace::spec2006;
+use delorean_sampling::{SamplingStrategy, SmartsRunner};
+use delorean_trace::{spec2006, Workload};
 
 /// The paper's three sampled densities (period in memory instructions).
 pub const DENSITIES: [u64; 3] = [10_000, 100_000, 1_000_000];
@@ -19,30 +19,36 @@ pub const DENSITIES: [u64; 3] = [10_000, 100_000, 1_000_000];
 /// Run the density sweep and build the table.
 pub fn run(opts: &ExpOptions) -> Table {
     let plan = plan_for(opts);
-    let machine =
-        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let machine = MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
     let suite: Vec<_> = spec2006(opts.scale, opts.seed)
         .into_iter()
-        .filter(|w| opts.selected(delorean_trace::Workload::name(w)))
+        .filter(|w| opts.selected(w.name()))
         .collect();
-    let references: Vec<_> = suite
-        .iter()
-        .map(|w| SmartsRunner::new(machine).run(w, &plan))
-        .collect();
+    // Reference + all three densities as one strategy set: the whole
+    // 4 × suite sweep fans out in a single executor call.
+    let mut strategies: Vec<Box<dyn SamplingStrategy>> = vec![Box::new(SmartsRunner::new(machine))];
+    for period in DENSITIES {
+        strategies.push(Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(opts.scale).with_vicinity_period(opts.scale, period),
+        )));
+    }
+    let matrix = BatchExecutor::new().run_matrix(&strategies, &suite, &plan);
 
     let mut t = Table::new(
         "Figure 11 — vicinity density: speed vs accuracy (8 MiB LLC)",
-        &["density (1 per N mem-instr)", "speed (MIPS)", "avg CPI error"],
+        &[
+            "density (1 per N mem-instr)",
+            "speed (MIPS)",
+            "avg CPI error",
+        ],
     );
-    for period in DENSITIES {
-        let config = DeLoreanConfig::for_scale(opts.scale).with_vicinity_period(opts.scale, period);
-        let runner = DeLoreanRunner::new(machine, config);
+    for (i, period) in DENSITIES.into_iter().enumerate() {
         let mut errs = Vec::new();
         let mut mips = Vec::new();
-        for (w, reference) in suite.iter().zip(&references) {
-            let out = runner.run(w, &plan);
-            errs.push(out.report.cpi_error_vs(reference));
-            mips.push(out.report.mips_pipelined());
+        for (out, reference) in matrix.iter().map(|row| (&row[i + 1], &row[0])) {
+            errs.push(out.cpi_error_vs(reference));
+            mips.push(out.mips_pipelined());
         }
         t.push_row([
             period.to_string(),

@@ -7,38 +7,49 @@
 
 use crate::experiments::LLC_8MB;
 use crate::options::ExpOptions;
-use crate::runs::plan_for;
+use crate::runs::{plan_for, BatchExecutor};
 use crate::table::{pct, Table};
 use delorean_cache::MachineConfig;
 use delorean_core::{DeLoreanConfig, DeLoreanRunner};
 use delorean_sampling::metrics::mean;
-use delorean_sampling::SmartsRunner;
+use delorean_sampling::{SamplingStrategy, SmartsRunner};
 use delorean_trace::{spec2006, Workload};
 
 /// Run the prefetching study and build the table (benchmarks sorted by
 /// no-prefetch error, as in the paper's figure).
 pub fn run(opts: &ExpOptions) -> Table {
     let plan = plan_for(opts);
-    let base =
-        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
+    let base = MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, LLC_8MB);
     let with_pf = base.with_prefetch(true);
     let config = DeLoreanConfig::for_scale(opts.scale);
 
-    let mut entries: Vec<(String, f64, f64)> = Vec::new();
-    for w in spec2006(opts.scale, opts.seed)
+    // Both machines × (reference, DeLorean): one 4-strategy matrix.
+    let strategies: Vec<Box<dyn SamplingStrategy>> = vec![
+        Box::new(SmartsRunner::new(base)),
+        Box::new(SmartsRunner::new(with_pf)),
+        Box::new(DeLoreanRunner::new(base, config.clone())),
+        Box::new(DeLoreanRunner::new(with_pf, config)),
+    ];
+    let suite: Vec<_> = spec2006(opts.scale, opts.seed)
         .into_iter()
         .filter(|w| opts.selected(w.name()))
-    {
-        let ref_plain = SmartsRunner::new(base).run(&w, &plan);
-        let ref_pf = SmartsRunner::new(with_pf).run(&w, &plan);
-        let delo_plain = DeLoreanRunner::new(base, config.clone()).run(&w, &plan);
-        let delo_pf = DeLoreanRunner::new(with_pf, config.clone()).run(&w, &plan);
-        entries.push((
-            w.name().to_string(),
-            delo_plain.report.cpi_error_vs(&ref_plain),
-            delo_pf.report.cpi_error_vs(&ref_pf),
-        ));
-    }
+        .collect();
+    let matrix = BatchExecutor::new().run_matrix(&strategies, &suite, &plan);
+
+    let mut entries: Vec<(String, f64, f64)> = suite
+        .iter()
+        .zip(&matrix)
+        .map(|(w, row)| {
+            let [ref_plain, ref_pf, delo_plain, delo_pf] = &row[..] else {
+                unreachable!("four strategies per workload");
+            };
+            (
+                w.name().to_string(),
+                delo_plain.cpi_error_vs(ref_plain),
+                delo_pf.cpi_error_vs(ref_pf),
+            )
+        })
+        .collect();
     entries.sort_by(|a, b| a.1.total_cmp(&b.1));
 
     let mut t = Table::new(

@@ -6,12 +6,12 @@
 //! without a pronounced knee.
 
 use crate::options::ExpOptions;
-use crate::runs::plan_for;
+use crate::runs::{plan_for, BatchExecutor};
 use crate::table::{f2, Table};
 use delorean_cache::MachineConfig;
 use delorean_core::dse::DesignSpaceExplorer;
 use delorean_core::DeLoreanConfig;
-use delorean_sampling::SmartsRunner;
+use delorean_sampling::{SamplingStrategy, SmartsRunner};
 use delorean_trace::spec_workload;
 
 /// The three benchmarks the paper plots.
@@ -31,20 +31,25 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
         .filter(|n| opts.selected(n))
         .map(|name| {
             let w = spec_workload(name, opts.scale, opts.seed).expect("known benchmark");
-            // DeLorean evaluates the whole sweep from ONE warm-up.
+            // DeLorean evaluates the whole sweep from ONE warm-up; the
+            // per-size SMARTS references fan out across the executor.
             let dse = DesignSpaceExplorer::new(
                 MachineConfig::for_scale(opts.scale),
                 DeLoreanConfig::for_scale(opts.scale),
             );
             let delorean = dse.run(&w, &plan, &machines);
+            let references: Vec<Box<dyn SamplingStrategy>> = machines
+                .iter()
+                .map(|m| Box::new(SmartsRunner::new(*m)) as Box<dyn SamplingStrategy>)
+                .collect();
+            let refs = BatchExecutor::new().run_strategies(&references, &w, &plan);
             let mut t = Table::new(
                 format!("Figure 13 — working-set curve for {name} (MPKI vs LLC size)"),
                 &["LLC (paper-scale MB)", "SMARTS MPKI", "DeLorean MPKI"],
             );
             let mut ref_mpki = Vec::with_capacity(sweep.len());
             let mut delo_mpki = Vec::with_capacity(sweep.len());
-            for (i, (&size, machine)) in sweep.iter().zip(&machines).enumerate() {
-                let reference = SmartsRunner::new(*machine).run(&w, &plan);
+            for (i, (&size, reference)) in sweep.iter().zip(&refs).enumerate() {
                 ref_mpki.push(reference.llc_mpki());
                 delo_mpki.push(delorean.outputs[i].report.llc_mpki());
                 t.push_row([

@@ -6,12 +6,12 @@
 //! analysts ≤ 1.05× (vs 10× for re-running detailed simulation).
 
 use crate::options::ExpOptions;
-use crate::runs::plan_for;
+use crate::runs::{plan_for, BatchExecutor};
 use crate::table::{f1, f2, Table};
 use delorean_cache::MachineConfig;
 use delorean_core::dse::DesignSpaceExplorer;
 use delorean_core::DeLoreanConfig;
-use delorean_sampling::SmartsRunner;
+use delorean_sampling::{SamplingStrategy, SmartsRunner};
 use delorean_trace::spec_workload;
 
 /// The three benchmarks the paper plots.
@@ -36,12 +36,16 @@ pub fn run(opts: &ExpOptions) -> Vec<Table> {
                 DeLoreanConfig::for_scale(opts.scale),
             );
             let delorean = dse.run(&w, &plan, &machines);
+            let references: Vec<Box<dyn SamplingStrategy>> = machines
+                .iter()
+                .map(|m| Box::new(SmartsRunner::new(*m)) as Box<dyn SamplingStrategy>)
+                .collect();
+            let refs = BatchExecutor::new().run_strategies(&references, &w, &plan);
             let mut t = Table::new(
                 format!("Figure 14 — CPI vs LLC size for {name} (one shared warm-up)"),
                 &["LLC (paper-scale MB)", "SMARTS CPI", "DeLorean CPI"],
             );
-            for (i, (&size, machine)) in sweep.iter().zip(&machines).enumerate() {
-                let reference = SmartsRunner::new(*machine).run(&w, &plan);
+            for (i, (&size, reference)) in sweep.iter().zip(&refs).enumerate() {
                 t.push_row([
                     (size >> 20).to_string(),
                     f2(reference.cpi()),

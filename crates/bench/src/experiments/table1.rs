@@ -34,8 +34,16 @@ pub fn run(opts: &ExpOptions) -> Table {
             "tournament (2k local / 8k global / 8k choice, 4k BTB)".into(),
             "identical".into(),
         ),
-        ("L1-I".into(), format!("{}", paper.l1i), format!("{}", scaled.l1i)),
-        ("L1-D".into(), format!("{}", paper.l1d), format!("{}", scaled.l1d)),
+        (
+            "L1-I".into(),
+            format!("{}", paper.l1i),
+            format!("{}", scaled.l1i),
+        ),
+        (
+            "L1-D".into(),
+            format!("{}", paper.l1d),
+            format!("{}", scaled.l1d),
+        ),
         (
             "LLC".into(),
             "1 MiB – 512 MiB, 8-way LRU".into(),

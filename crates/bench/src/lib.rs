@@ -23,6 +23,10 @@
 //! everything and emits the EXPERIMENTS.md payload. `cargo bench` runs
 //! criterion microbenchmarks of the substrates (`benches/substrates.rs`)
 //! and regenerates every figure (`benches/figures.rs`).
+//!
+//! Every experiment funnels its strategy runs through [`BatchExecutor`],
+//! which fans `Box<dyn SamplingStrategy>` × workload matrices out across
+//! worker threads with input-ordered (thread-count-independent) results.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -33,5 +37,8 @@ mod runs;
 mod table;
 
 pub use options::ExpOptions;
-pub use runs::{compare_all, BenchmarkComparison, StrategyOutputs};
+pub use runs::{
+    compare_all, compare_one, headline_strategies, plan_for, BatchExecutor, BenchmarkComparison,
+    StrategyOutputs,
+};
 pub use table::Table;

@@ -47,10 +47,8 @@ impl ExpOptions {
         let mut opts = ExpOptions::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next()
-                    .ok_or_else(|| format!("missing value for {name}"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
             match flag.as_str() {
                 "--scale" => {
                     opts.scale = match value("--scale")?.as_str() {
@@ -122,8 +120,17 @@ mod tests {
 
     #[test]
     fn full_flags() {
-        let o = parse(&["--scale", "tiny", "--seed", "7", "--filter", "lbm", "--regions", "4"])
-            .unwrap();
+        let o = parse(&[
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--filter",
+            "lbm",
+            "--regions",
+            "4",
+        ])
+        .unwrap();
         assert_eq!(o.scale, Scale::tiny());
         assert_eq!(o.seed, 7);
         assert!(o.selected("lbm"));

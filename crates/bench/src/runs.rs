@@ -1,14 +1,124 @@
-//! Shared experiment drivers: run all three strategies over the suite.
+//! The parallel strategy-execution layer of the experiment harness.
+//!
+//! [`BatchExecutor`] fans a `&[Box<dyn SamplingStrategy>]` × workload
+//! matrix out across worker threads: every (strategy, workload) cell is
+//! an independent, deterministic region evaluation, so cells execute in
+//! any order and results are collected back in input order — output is
+//! byte-identical for any worker count (asserted by
+//! `tests/strategy_layer.rs`). All experiment drivers and the
+//! `run_all`/figure binaries funnel through this one code path.
 
 use crate::options::ExpOptions;
 use delorean_cache::MachineConfig;
 use delorean_core::{DeLoreanConfig, DeLoreanOutput, DeLoreanRunner};
 use delorean_sampling::{
-    CoolSimConfig, CoolSimRunner, RegionPlan, SamplingConfig, SimulationReport, SmartsRunner,
+    CoolSimConfig, CoolSimRunner, RegionPlan, SamplingConfig, SamplingStrategy, SimulationReport,
+    SmartsRunner, StrategyReport,
 };
-use delorean_trace::{spec2006, Workload};
+use delorean_trace::{spec2006, Scale, Workload};
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
 
-/// Results of all three strategies on one workload.
+/// Executes (strategy × workload) batches on a worker pool.
+///
+/// The default executor sizes its pool to the machine divided by the
+/// batch's maximum [`internal_parallelism`] — a DeLorean cell spawns
+/// its own pipeline threads (Scout, Explorers, Analyst), so running one
+/// cell per core would oversubscribe the host. [`with_threads`] bounds
+/// the pool explicitly (1 = serial reference execution, used by the
+/// determinism tests).
+///
+/// [`internal_parallelism`]: SamplingStrategy::internal_parallelism
+/// [`with_threads`]: BatchExecutor::with_threads
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchExecutor {
+    threads: Option<usize>,
+}
+
+impl BatchExecutor {
+    /// An executor using the machine's full parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An executor bounded to `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        BatchExecutor {
+            threads: Some(threads.max(1)),
+        }
+    }
+
+    /// Run every strategy over every workload; `result[w][s]` is strategy
+    /// `s` on workload `w`. Cells run in parallel; the result layout is
+    /// input-ordered and independent of the worker count.
+    pub fn run_matrix<W: Workload>(
+        &self,
+        strategies: &[Box<dyn SamplingStrategy>],
+        workloads: &[W],
+        plan: &RegionPlan,
+    ) -> Vec<Vec<StrategyReport>> {
+        let jobs: Vec<(&dyn SamplingStrategy, &W)> = workloads
+            .iter()
+            .flat_map(|w| strategies.iter().map(move |s| (s.as_ref(), w)))
+            .collect();
+        let mut cells = self.run_cells(jobs, plan).into_iter();
+        workloads
+            .iter()
+            .map(|_| cells.by_ref().take(strategies.len()).collect())
+            .collect()
+    }
+
+    /// Run one strategy over every workload, in parallel.
+    pub fn run_strategy_over<W: Workload>(
+        &self,
+        strategy: &dyn SamplingStrategy,
+        workloads: &[W],
+        plan: &RegionPlan,
+    ) -> Vec<StrategyReport> {
+        self.run_cells(workloads.iter().map(|w| (strategy, w)).collect(), plan)
+    }
+
+    /// Run every strategy on one workload, in parallel.
+    pub fn run_strategies<W: Workload>(
+        &self,
+        strategies: &[Box<dyn SamplingStrategy>],
+        workload: &W,
+        plan: &RegionPlan,
+    ) -> Vec<StrategyReport> {
+        self.run_cells(
+            strategies.iter().map(|s| (s.as_ref(), workload)).collect(),
+            plan,
+        )
+    }
+
+    /// Evaluate a flat list of (strategy, workload) cells on the pool.
+    fn run_cells<W: Workload>(
+        &self,
+        jobs: Vec<(&dyn SamplingStrategy, &W)>,
+        plan: &RegionPlan,
+    ) -> Vec<StrategyReport> {
+        let workers = self.threads.unwrap_or_else(|| {
+            // Leave room for each cell's own threads (the TT pipeline).
+            let nested = jobs
+                .iter()
+                .map(|&(s, _)| s.internal_parallelism())
+                .max()
+                .unwrap_or(1);
+            (rayon::current_num_threads() / nested).max(1)
+        });
+        ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .expect("worker pool")
+            .install(|| {
+                jobs.par_iter()
+                    .map(|&(strategy, workload)| strategy.run(workload, plan))
+                    .collect()
+            })
+    }
+}
+
+/// Results of the three headline strategies on one workload.
 #[derive(Clone, Debug)]
 pub struct StrategyOutputs {
     /// SMARTS (functional warming) — the reference.
@@ -28,6 +138,19 @@ pub struct BenchmarkComparison {
     pub outputs: StrategyOutputs,
 }
 
+/// The headline strategy set behind Figures 5–10: SMARTS reference,
+/// CoolSim baseline, DeLorean — as trait objects for the executor.
+pub fn headline_strategies(scale: Scale, machine: MachineConfig) -> Vec<Box<dyn SamplingStrategy>> {
+    vec![
+        Box::new(SmartsRunner::new(machine)),
+        Box::new(CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale))),
+        Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(scale),
+        )),
+    ]
+}
+
 /// The region plan for a set of options.
 pub fn plan_for(opts: &ExpOptions) -> RegionPlan {
     let mut cfg = SamplingConfig::for_scale(opts.scale);
@@ -37,8 +160,32 @@ pub fn plan_for(opts: &ExpOptions) -> RegionPlan {
     cfg.plan()
 }
 
+/// Group one workload's headline-strategy reports (executor order) into
+/// named outputs. Each cell's self-reported strategy name is checked so
+/// a reorder of [`headline_strategies`] fails loudly instead of
+/// silently swapping the reference and baseline columns.
+fn group_outputs(reports: Vec<StrategyReport>) -> StrategyOutputs {
+    let mut it = reports.into_iter();
+    let mut named = |expected: &str| {
+        let report = it.next().expect("headline cell");
+        assert_eq!(
+            report.strategy, expected,
+            "headline_strategies order changed without updating group_outputs"
+        );
+        report
+    };
+    let smarts = named("smarts").into_report();
+    let coolsim = named("coolsim").into_report();
+    let delorean = named("delorean").try_into().expect("delorean extras");
+    StrategyOutputs {
+        smarts,
+        coolsim,
+        delorean,
+    }
+}
+
 /// Run SMARTS, CoolSim and DeLorean on one workload at a given LLC size
-/// (paper-scale bytes).
+/// (paper-scale bytes), fanning the strategies out in parallel.
 pub fn compare_one(
     opts: &ExpOptions,
     workload: &dyn Workload,
@@ -47,30 +194,28 @@ pub fn compare_one(
 ) -> StrategyOutputs {
     let machine =
         MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, llc_paper_bytes);
-    let smarts = SmartsRunner::new(machine).run(workload, plan);
-    let coolsim = CoolSimRunner::new(machine, CoolSimConfig::for_scale(opts.scale))
-        .run(workload, plan);
-    let delorean = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(opts.scale))
-        .run(workload, plan);
-    StrategyOutputs {
-        smarts,
-        coolsim,
-        delorean,
-    }
+    let strategies = headline_strategies(opts.scale, machine);
+    group_outputs(BatchExecutor::new().run_strategies(&strategies, &workload, plan))
 }
 
-/// Run the three-strategy comparison over the (filtered) suite.
+/// Run the three-strategy comparison over the (filtered) suite: the full
+/// strategy × workload matrix through the batch executor.
 pub fn compare_all(opts: &ExpOptions, llc_paper_bytes: u64) -> Vec<BenchmarkComparison> {
     let plan = plan_for(opts);
-    spec2006(opts.scale, opts.seed)
+    let machine =
+        MachineConfig::for_scale(opts.scale).with_llc_paper_bytes(opts.scale, llc_paper_bytes);
+    let strategies = headline_strategies(opts.scale, machine);
+    let workloads: Vec<_> = spec2006(opts.scale, opts.seed)
         .into_iter()
         .filter(|w| opts.selected(w.name()))
-        .map(|w| {
-            let outputs = compare_one(opts, &w, &plan, llc_paper_bytes);
-            BenchmarkComparison {
-                name: w.name().to_string(),
-                outputs,
-            }
+        .collect();
+    let matrix = BatchExecutor::new().run_matrix(&strategies, &workloads, &plan);
+    workloads
+        .iter()
+        .zip(matrix)
+        .map(|(w, reports)| BenchmarkComparison {
+            name: w.name().to_string(),
+            outputs: group_outputs(reports),
         })
         .collect()
 }
@@ -102,5 +247,30 @@ mod tests {
         let rows = compare_all(&opts, 8 << 20);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].name, "lbm");
+    }
+
+    #[test]
+    fn matrix_layout_is_workload_major() {
+        let opts = ExpOptions {
+            filter: Some("m".into()), // several workloads contain an 'm'
+            ..ExpOptions::tiny()
+        };
+        let plan = plan_for(&opts);
+        let machine = MachineConfig::for_scale(opts.scale);
+        let strategies = headline_strategies(opts.scale, machine);
+        let workloads: Vec<_> = spec2006(opts.scale, opts.seed)
+            .into_iter()
+            .filter(|w| opts.selected(w.name()))
+            .take(2)
+            .collect();
+        let matrix = BatchExecutor::new().run_matrix(&strategies, &workloads, &plan);
+        assert_eq!(matrix.len(), workloads.len());
+        for (w, row) in workloads.iter().zip(&matrix) {
+            assert_eq!(row.len(), strategies.len());
+            for (s, cell) in strategies.iter().zip(row) {
+                assert_eq!(cell.workload, w.name());
+                assert_eq!(cell.strategy, s.name());
+            }
+        }
     }
 }

@@ -397,14 +397,12 @@ mod tests {
 
     fn tiny(ways: u32, policy: ReplacementPolicy) -> Cache {
         // 4 sets × `ways` lines of 64 B.
-        Cache::new(
-            CacheConfig {
-                size_bytes: 64 * 4 * ways as u64,
-                ways,
-                line_bytes: 64,
-                replacement: policy,
-            },
-        )
+        Cache::new(CacheConfig {
+            size_bytes: 64 * 4 * ways as u64,
+            ways,
+            line_bytes: 64,
+            replacement: policy,
+        })
     }
 
     #[test]
@@ -503,7 +501,10 @@ mod tests {
                 evicted.insert(e.0 % 16);
             }
         }
-        assert!(evicted.len() >= 3, "random eviction too narrow: {evicted:?}");
+        assert!(
+            evicted.len() >= 3,
+            "random eviction too narrow: {evicted:?}"
+        );
     }
 
     #[test]

@@ -89,10 +89,10 @@ impl CacheConfig {
         if self.line_bytes == 0 || self.size_bytes == 0 || self.ways == 0 {
             return Err("sizes and associativity must be positive".into());
         }
-        if self.size_bytes % self.line_bytes != 0 {
+        if !self.size_bytes.is_multiple_of(self.line_bytes) {
             return Err("capacity must be a multiple of the line size".into());
         }
-        if self.lines() % self.ways as u64 != 0 {
+        if !self.lines().is_multiple_of(self.ways as u64) {
             return Err("lines must divide evenly into ways".into());
         }
         let sets = self.sets();
@@ -113,7 +113,13 @@ impl fmt::Display for CacheConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let kib = self.size_bytes as f64 / 1024.0;
         if kib >= 1024.0 {
-            write!(f, "{:.0} MiB {}-way {}", kib / 1024.0, self.ways, self.replacement)
+            write!(
+                f,
+                "{:.0} MiB {}-way {}",
+                kib / 1024.0,
+                self.ways,
+                self.replacement
+            )
         } else {
             write!(f, "{kib:.0} KiB {}-way {}", self.ways, self.replacement)
         }

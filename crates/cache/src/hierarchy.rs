@@ -62,10 +62,7 @@ impl Hierarchy {
             l1i: Cache::new(cfg.hierarchy.l1i),
             l1d: Cache::new(cfg.hierarchy.l1d),
             llc: Cache::new(cfg.hierarchy.llc),
-            mshr_d: MshrFile::new(
-                cfg.hierarchy.l1d_mshrs,
-                cfg.hierarchy.mshr_latency_accesses,
-            ),
+            mshr_d: MshrFile::new(cfg.hierarchy.l1d_mshrs, cfg.hierarchy.mshr_latency_accesses),
             prefetcher: cfg.prefetch.then(StridePrefetcher::paper_default),
             stats: HierarchyStats::default(),
         }

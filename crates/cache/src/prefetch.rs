@@ -170,7 +170,7 @@ mod tests {
         p.on_trigger(Pc(1), LineAddr(0));
         p.on_trigger(Pc(2), LineAddr(0));
         p.on_trigger(Pc(3), LineAddr(0)); // evicts PC 1
-        // PC 1 must re-learn from scratch.
+                                          // PC 1 must re-learn from scratch.
         p.on_trigger(Pc(1), LineAddr(8)); // evicts PC 2, fresh stream
         p.on_trigger(Pc(1), LineAddr(16));
         assert!(p.on_trigger(Pc(1), LineAddr(24)) == vec![LineAddr(32)]);

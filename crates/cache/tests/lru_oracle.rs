@@ -1,10 +1,20 @@
 //! Property tests: the set-associative cache against the exact
 //! stack-distance oracle, and policy invariants under random traffic.
+//!
+//! Cases are generated from the workspace's own deterministic counter
+//! RNG (`mix64`) instead of proptest — the registry is unreachable in
+//! this build environment, and seeded enumeration keeps failures exactly
+//! reproducible by case index.
 
 use delorean_cache::{Cache, CacheConfig, ReplacementPolicy};
 use delorean_statmodel::exact::ExactStackProcessor;
-use delorean_trace::LineAddr;
-use proptest::prelude::*;
+use delorean_trace::{mix64, LineAddr};
+
+/// Deterministic pseudo-random access stream for one test case.
+fn rand_stream(seed: u64, case: u64, max_len: u64, domain: u64) -> Vec<u64> {
+    let len = 1 + mix64(seed, case) % max_len;
+    (0..len).map(|i| mix64(seed ^ case, i) % domain).collect()
+}
 
 /// A fully-associative LRU cache (1 set) must agree exactly with Mattson
 /// stack distances: hit iff stack distance < capacity.
@@ -17,35 +27,37 @@ fn fully_assoc_lru(lines: u64) -> Cache {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lru_matches_stack_distance_oracle(
-        stream in prop::collection::vec(0u64..48, 1..400),
-        capacity in prop::sample::select(vec![2u64, 4, 8, 16, 32]),
-    ) {
+#[test]
+fn lru_matches_stack_distance_oracle() {
+    for case in 0..64u64 {
+        let stream = rand_stream(0x04ac1e, case, 400, 48);
+        let capacity = [2u64, 4, 8, 16, 32][(case % 5) as usize];
         let mut cache = fully_assoc_lru(capacity);
         let mut oracle = ExactStackProcessor::new();
         for &l in &stream {
             let line = LineAddr(l);
             let cache_hit = cache.access(line).is_hit();
             let oracle_hit = matches!(oracle.access(line), Some(sd) if sd < capacity);
-            prop_assert_eq!(cache_hit, oracle_hit, "line {} capacity {}", l, capacity);
+            assert_eq!(
+                cache_hit, oracle_hit,
+                "case {case} line {l} capacity {capacity}"
+            );
         }
     }
+}
 
-    #[test]
-    fn any_policy_hits_after_immediate_refill(
-        stream in prop::collection::vec(0u64..1000, 1..200),
-        policy in prop::sample::select(vec![
-            ReplacementPolicy::Lru,
-            ReplacementPolicy::Fifo,
-            ReplacementPolicy::Random,
-            ReplacementPolicy::PLru,
-            ReplacementPolicy::Nmru,
-        ]),
-    ) {
+#[test]
+fn any_policy_hits_after_immediate_refill() {
+    let policies = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+        ReplacementPolicy::PLru,
+        ReplacementPolicy::Nmru,
+    ];
+    for case in 0..64u64 {
+        let stream = rand_stream(0x4ef111, case, 200, 1000);
+        let policy = policies[(case % policies.len() as u64) as usize];
         let mut cache = Cache::new(CacheConfig {
             size_bytes: 64 * 64,
             ways: 4,
@@ -55,14 +67,18 @@ proptest! {
         for &l in &stream {
             cache.access(LineAddr(l));
             // Back-to-back re-access must always hit, under every policy.
-            prop_assert!(cache.access(LineAddr(l)).is_hit());
+            assert!(
+                cache.access(LineAddr(l)).is_hit(),
+                "case {case} policy {policy:?} line {l}"
+            );
         }
     }
+}
 
-    #[test]
-    fn probe_never_mutates(
-        stream in prop::collection::vec(0u64..256, 1..200),
-    ) {
+#[test]
+fn probe_never_mutates() {
+    for case in 0..64u64 {
+        let stream = rand_stream(0x94abe, case, 200, 256);
         let mut cache = Cache::new(CacheConfig {
             size_bytes: 64 * 32,
             ways: 2,
@@ -80,14 +96,15 @@ proptest! {
             }
         }
         let after: Vec<bool> = (0..256).map(|l| cache.probe(LineAddr(l))).collect();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}");
     }
+}
 
-    #[test]
-    fn valid_lines_never_exceed_capacity(
-        stream in prop::collection::vec(0u64..100_000, 1..500),
-        ways in prop::sample::select(vec![1u32, 2, 4, 8]),
-    ) {
+#[test]
+fn valid_lines_never_exceed_capacity() {
+    for case in 0..64u64 {
+        let stream = rand_stream(0xca95, case, 500, 100_000);
+        let ways = [1u32, 2, 4, 8][(case % 4) as usize];
         let mut cache = Cache::new(CacheConfig {
             size_bytes: 64 * 16 * ways as u64,
             ways,
@@ -96,7 +113,7 @@ proptest! {
         });
         for &l in &stream {
             cache.access(LineAddr(l));
-            prop_assert!(cache.warm_fraction() <= 1.0);
+            assert!(cache.warm_fraction() <= 1.0, "case {case}");
         }
         // Residency check: everything probed as present must map to
         // distinct (set, way) slots — at most sets × ways lines.
@@ -104,7 +121,7 @@ proptest! {
             .iter()
             .filter(|&&l| cache.probe(LineAddr(l)))
             .collect::<std::collections::HashSet<_>>();
-        prop_assert!(resident.len() as u64 <= 16 * ways as u64);
+        assert!(resident.len() as u64 <= 16 * ways as u64, "case {case}");
     }
 }
 

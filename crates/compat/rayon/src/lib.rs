@@ -1,0 +1,247 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the rayon API shape — `par_iter().map(..).collect()`, plus
+//! `ThreadPoolBuilder`/`ThreadPool::install` for bounding worker counts —
+//! implemented over `std::thread::scope`. Results are collected in input
+//! order, so `collect` is deterministic regardless of worker count,
+//! matching rayon's indexed parallel iterators. When network access is
+//! available, replace the `path` dependency with the real `rayon`; call
+//! sites compile unchanged.
+
+use std::cell::Cell;
+use std::fmt;
+
+pub mod prelude {
+    //! Traits that make `.par_iter()` available on slices and vectors.
+    pub use crate::IntoParallelRefIterator;
+}
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] for the
+    /// duration of a closure on the current thread.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel operations started from this thread
+/// will use: the installed pool's size, or the machine's parallelism.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine-sized) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count; `0` means the machine's parallelism.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool. Never fails in this stand-in; the `Result` matches
+    /// the real rayon signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
+pub struct ThreadPoolBuildError;
+
+impl fmt::Debug for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ThreadPoolBuildError")
+    }
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A bounded worker pool. Unlike real rayon this holds no threads; it
+/// only records the worker count that scoped parallel operations spawn.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker count governing any parallel
+    /// iterators it executes on the current thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|t| t.replace(Some(self.num_threads)));
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// `.par_iter()` on shared slices, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over `&self`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+#[derive(Debug)]
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by [`ParMap::collect`].
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<T, F> fmt::Debug for ParMap<'_, T, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParMap")
+            .field("len", &self.items.len())
+            .finish()
+    }
+}
+
+impl<'data, T, R, F> ParMap<'data, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    /// Evaluate the map across the governing worker count and collect the
+    /// results **in input order** — deterministic for any thread count.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let workers = current_num_threads().min(self.items.len().max(1));
+        if workers <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(self.items.len());
+        slots.resize_with(self.items.len(), || None);
+        let chunk = self.items.len().div_ceil(workers);
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for (in_chunk, out_chunk) in self.items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot filled by a worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_is_identical_across_worker_counts() {
+        let input: Vec<u64> = (0..257).collect();
+        let reference: Vec<u64> = input.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let got: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * x).collect());
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn install_restores_previous_worker_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let before = super::current_num_threads();
+        pool.install(|| assert_eq!(super::current_num_threads(), 3));
+        assert_eq!(super::current_num_threads(), before);
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let input: Vec<u64> = Vec::new();
+        let out: Vec<u64> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -166,7 +166,9 @@ mod tests {
     fn setup() -> (impl Workload, MachineConfig, Region) {
         let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
         let machine = MachineConfig::for_scale(Scale::tiny());
-        let plan = SamplingConfig::for_scale(Scale::tiny()).with_regions(2).plan();
+        let plan = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(2)
+            .plan();
         (w, machine, plan.regions[0].clone())
     }
 
@@ -185,7 +187,10 @@ mod tests {
             &AnalystInput::default(),
             1,
         );
-        assert_eq!(out.detailed.instructions, region.detailed.clone().count() as u64);
+        assert_eq!(
+            out.detailed.instructions,
+            region.detailed.clone().count() as u64
+        );
         // Without key rds, every first-time lukewarm miss is cold.
         assert_eq!(out.counts.warming, 0);
         assert_eq!(out.counts.capacity, 0);
@@ -233,7 +238,9 @@ mod tests {
         // mcf's far streams guarantee lukewarm LLC misses in the region.
         let w = spec_workload("mcf", Scale::tiny(), 1).unwrap();
         let machine = MachineConfig::for_scale(Scale::tiny());
-        let plan = SamplingConfig::for_scale(Scale::tiny()).with_regions(2).plan();
+        let plan = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(2)
+            .plan();
         let region = plan.regions[0].clone();
         let cost = CostModel::paper_host();
         let region_first = w.access_index_at_instr(region.detailed.start);
@@ -270,10 +277,24 @@ mod tests {
         let mut c1 = HostClock::new();
         let mut c2 = HostClock::new();
         let a = run_analyst(
-            &w, &machine, &TimingConfig::table1(), &cost, &mut c1, &region, &input, 1,
+            &w,
+            &machine,
+            &TimingConfig::table1(),
+            &cost,
+            &mut c1,
+            &region,
+            &input,
+            1,
         );
         let b = run_analyst(
-            &w, &machine, &TimingConfig::table1(), &cost, &mut c2, &region, &input, 1,
+            &w,
+            &machine,
+            &TimingConfig::table1(),
+            &cost,
+            &mut c2,
+            &region,
+            &input,
+            1,
         );
         assert_eq!(a.detailed, b.detailed);
         assert_eq!(a.counts, b.counts);

@@ -67,11 +67,7 @@ impl DeLoreanConfig {
                 crate::MAX_EXPLORERS
             ));
         }
-        if !self
-            .explorer_windows_instrs
-            .windows(2)
-            .all(|w| w[0] < w[1])
-        {
+        if !self.explorer_windows_instrs.windows(2).all(|w| w[0] < w[1]) {
             return Err("explorer windows must be strictly increasing".into());
         }
         if self.vicinity_period_accesses == 0 {
@@ -113,7 +109,8 @@ mod tests {
 
     #[test]
     fn vicinity_override() {
-        let c = DeLoreanConfig::for_scale(Scale::paper()).with_vicinity_period(Scale::paper(), 10_000);
+        let c =
+            DeLoreanConfig::for_scale(Scale::paper()).with_vicinity_period(Scale::paper(), 10_000);
         assert_eq!(c.vicinity_period_accesses, 10_000);
     }
 

@@ -18,6 +18,7 @@ use delorean_cpu::TimingConfig;
 use delorean_sampling::{RegionPlan, RegionReport, SimulationReport};
 use delorean_trace::Workload;
 use delorean_virt::{CostModel, HostClock, RunCost};
+use rayon::prelude::*;
 
 /// Result of a design-space exploration run.
 #[derive(Clone, Debug)]
@@ -48,8 +49,7 @@ impl DseOutput {
         if one == 0.0 {
             return 0.0;
         }
-        let n_total: f64 = self.warming_seconds
-            + self.analyst_seconds.iter().take(n).sum::<f64>();
+        let n_total: f64 = self.warming_seconds + self.analyst_seconds.iter().take(n).sum::<f64>();
         n_total / one
     }
 }
@@ -139,53 +139,62 @@ impl DesignSpaceExplorer {
         let warming_seconds =
             scout_clock.seconds() + explorer_clocks.iter().map(|c| c.seconds()).sum::<f64>();
 
-        // One analyst per machine, all fed from the same artifacts.
-        let mut outputs = Vec::with_capacity(analyst_machines.len());
-        let mut analyst_seconds = Vec::with_capacity(analyst_machines.len());
-        for machine in analyst_machines {
-            let mut analyst_clock = HostClock::new();
-            let mut stats = TtStats::default();
-            let mut dsw_counts = DswCounts::default();
-            let mut reports = Vec::with_capacity(artifacts.len());
-            for a in &artifacts {
-                let out = run_analyst(
-                    workload,
-                    machine,
-                    &self.timing,
-                    &self.cost,
-                    &mut analyst_clock,
-                    &a.region,
-                    &a.input,
-                    mult,
-                );
-                accumulate(&mut stats, a);
-                dsw_counts.merge(&out.counts);
-                reports.push(RegionReport {
-                    region: a.region.index,
-                    detailed: out.detailed,
-                });
-            }
-            analyst_seconds.push(analyst_clock.seconds());
+        // One analyst per machine, all fed from the same artifacts. The
+        // analysts are mutually independent — reuse distances are
+        // microarchitecture-independent, which is the whole point of §3.3
+        // — so they fan out across worker threads. Each analyst is a
+        // deterministic function of (machine, artifacts) and results are
+        // collected in machine order, so the output is identical to the
+        // serial loop for any thread count.
+        let per_machine: Vec<(DeLoreanOutput, f64)> = analyst_machines
+            .par_iter()
+            .map(|machine| {
+                let mut analyst_clock = HostClock::new();
+                let mut stats = TtStats::default();
+                let mut dsw_counts = DswCounts::default();
+                let mut reports = Vec::with_capacity(artifacts.len());
+                for a in &artifacts {
+                    let out = run_analyst(
+                        workload,
+                        machine,
+                        &self.timing,
+                        &self.cost,
+                        &mut analyst_clock,
+                        &a.region,
+                        &a.input,
+                        mult,
+                    );
+                    accumulate(&mut stats, a);
+                    dsw_counts.merge(&out.counts);
+                    reports.push(RegionReport {
+                        region: a.region.index,
+                        detailed: out.detailed,
+                    });
+                }
+                let seconds = analyst_clock.seconds();
 
-            let mut run_cost = RunCost::new(plan.regions.len() as u64);
-            run_cost.push("scout", scout_clock);
-            for (k, c) in explorer_clocks.iter().enumerate() {
-                run_cost.push(format!("explorer-{}", k + 1), *c);
-            }
-            run_cost.push("analyst", analyst_clock);
-            outputs.push(DeLoreanOutput {
-                report: SimulationReport {
-                    workload: workload.name().to_string(),
-                    strategy: "delorean".into(),
-                    regions: reports,
-                    collected_reuse_distances: stats.collected_reuse_distances(),
-                    cost: run_cost,
-                    covered_instrs: plan.represented_instrs(),
-                },
-                stats,
-                dsw_counts,
-            });
-        }
+                let mut run_cost = RunCost::new(plan.regions.len() as u64);
+                run_cost.push("scout", scout_clock);
+                for (k, c) in explorer_clocks.iter().enumerate() {
+                    run_cost.push(format!("explorer-{}", k + 1), *c);
+                }
+                run_cost.push("analyst", analyst_clock);
+                let output = DeLoreanOutput {
+                    report: SimulationReport {
+                        workload: workload.name().to_string(),
+                        strategy: "delorean".into(),
+                        regions: reports,
+                        collected_reuse_distances: stats.collected_reuse_distances(),
+                        cost: run_cost,
+                        covered_instrs: plan.represented_instrs(),
+                    },
+                    stats,
+                    dsw_counts,
+                };
+                (output, seconds)
+            })
+            .collect();
+        let (outputs, analyst_seconds) = per_machine.into_iter().unzip();
         DseOutput {
             outputs,
             warming_seconds,
@@ -198,7 +207,7 @@ impl DesignSpaceExplorer {
 mod tests {
     use super::*;
     use delorean_sampling::SamplingConfig;
-    use delorean_trace::{Scale, spec_workload};
+    use delorean_trace::{spec_workload, Scale};
 
     fn sweep(scale: Scale, sizes_paper: &[u64]) -> Vec<MachineConfig> {
         sizes_paper
@@ -224,10 +233,7 @@ mod tests {
         // Larger LLCs must not increase LLC MPKI.
         let mpki: Vec<f64> = out.outputs.iter().map(|o| o.report.llc_mpki()).collect();
         for w in mpki.windows(2) {
-            assert!(
-                w[1] <= w[0] + 0.5,
-                "MPKI not (roughly) monotone: {mpki:?}"
-            );
+            assert!(w[1] <= w[0] + 0.5, "MPKI not (roughly) monotone: {mpki:?}");
         }
     }
 
@@ -236,8 +242,21 @@ mod tests {
         let scale = Scale::tiny();
         let w = spec_workload("hmmer", scale, 1).unwrap();
         let plan = SamplingConfig::for_scale(scale).with_regions(2).plan();
-        let machines = sweep(scale, &[(1 << 20), 2 << 20, 4 << 20, 8 << 20, 16 << 20,
-                                       32 << 20, 64 << 20, 128 << 20, 256 << 20, 512 << 20]);
+        let machines = sweep(
+            scale,
+            &[
+                (1 << 20),
+                2 << 20,
+                4 << 20,
+                8 << 20,
+                16 << 20,
+                32 << 20,
+                64 << 20,
+                128 << 20,
+                256 << 20,
+                512 << 20,
+            ],
+        );
         let dse = DesignSpaceExplorer::new(
             MachineConfig::for_scale(scale),
             DeLoreanConfig::for_scale(scale),

@@ -224,9 +224,7 @@ impl DswModel {
             };
         };
         let effective = self.assoc.effective_lines(pc, self.llc_sets, self.llc_ways);
-        if effective < self.cache_lines()
-            && self.vicinity.stack_distance(rd) >= effective as f64
-        {
+        if effective < self.cache_lines() && self.vicinity.stack_distance(rd) >= effective as f64 {
             return DswVerdict::ConflictStride;
         }
         if self.predicts_capacity_miss(rd) {

@@ -206,7 +206,9 @@ mod tests {
 
     fn setup() -> (impl Workload, Region) {
         let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
-        let plan = SamplingConfig::for_scale(Scale::tiny()).with_regions(2).plan();
+        let plan = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(2)
+            .plan();
         (w, plan.regions[1].clone())
     }
 
@@ -251,9 +253,7 @@ mod tests {
                 .unwrap()
                 .first_access_index;
             // Verify against brute force within the window.
-            let window_accesses = first_idx - w.access_index_at_instr(
-                region.start_instr - window,
-            );
+            let window_accesses = first_idx - w.access_index_at_instr(region.start_instr - window);
             let truth = true_backward_rd(&w, line, first_idx, window_accesses);
             assert_eq!(Some(rd), truth, "line {line:?}");
         }
@@ -275,8 +275,12 @@ mod tests {
         };
         let mut c1 = HostClock::new();
         let mut c2 = HostClock::new();
-        let f = run_explorer(&w, &cost, &mut c1, 0, 20_000, 0, &region, &pending, 1_000, 7, 1);
-        let v = run_explorer(&w, &cost, &mut c2, 1, 20_000, 0, &region, &pending, 1_000, 7, 1);
+        let f = run_explorer(
+            &w, &cost, &mut c1, 0, 20_000, 0, &region, &pending, 1_000, 7, 1,
+        );
+        let v = run_explorer(
+            &w, &cost, &mut c2, 1, 20_000, 0, &region, &pending, 1_000, 7, 1,
+        );
         let mut fr = f.resolved.clone();
         let mut vr = v.resolved.clone();
         fr.sort_unstable_by_key(|&(l, _)| l);
@@ -302,7 +306,17 @@ mod tests {
             &w, &cost, &mut clock, 0, 3_000, 0, &region, &pending, 10_000, 7, 1,
         );
         let wide = run_explorer(
-            &w, &cost, &mut clock, 0, region.start_instr, 0, &region, &pending, 10_000, 7, 1,
+            &w,
+            &cost,
+            &mut clock,
+            0,
+            region.start_instr,
+            0,
+            &region,
+            &pending,
+            10_000,
+            7,
+            1,
         );
         assert!(wide.resolved.len() >= narrow.resolved.len());
         assert_eq!(wide.resolved.len() + wide.remaining.len(), 1);
@@ -313,9 +327,7 @@ mod tests {
         let (w, region) = setup();
         let cost = CostModel::paper_host();
         let mut clock = HostClock::new();
-        let out = run_explorer(
-            &w, &cost, &mut clock, 0, 60_000, 0, &region, &[], 100, 7, 1,
-        );
+        let out = run_explorer(&w, &cost, &mut clock, 0, 60_000, 0, &region, &[], 100, 7, 1);
         // 60k instructions / period 3 = 20k accesses, rate 1/100 → ~200
         // samples armed; hot lines reuse fast so most resolve.
         assert!(

@@ -47,7 +47,7 @@ mod stats;
 
 pub use config::DeLoreanConfig;
 pub use keyset::{KeyInfo, KeySet};
-pub use runner::{DeLoreanOutput, DeLoreanRunner};
+pub use runner::{DeLoreanExtras, DeLoreanOutput, DeLoreanRunner};
 pub use stats::TtStats;
 
 /// Maximum number of Explorer passes (the paper's implementation uses 4).

@@ -114,17 +114,7 @@ pub fn run_pipelined(
             let (tx, rx_next) = bounded::<PipeMsg>(PIPE_DEPTH);
             let rx = std::mem::replace(&mut stage_rx, rx_next);
             explorer_handles.push(scope.spawn(move || {
-                explorer_stage(
-                    workload,
-                    cost,
-                    config,
-                    k,
-                    window,
-                    prev_window,
-                    mult,
-                    rx,
-                    tx,
-                )
+                explorer_stage(workload, cost, config, k, window, prev_window, mult, rx, tx)
             }));
         }
 
@@ -248,7 +238,7 @@ fn explorer_stage(
 mod tests {
     use super::*;
     use crate::DeLoreanRunner;
-    use delorean_sampling::SamplingConfig;
+    use delorean_sampling::{SamplingConfig, SamplingStrategy};
     use delorean_trace::{spec_workload, Scale};
 
     fn runner() -> DeLoreanRunner {
@@ -261,10 +251,12 @@ mod tests {
     #[test]
     fn pipelined_matches_serial_exactly() {
         let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
-        let plan = SamplingConfig::for_scale(Scale::tiny()).with_regions(4).plan();
+        let plan = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(4)
+            .plan();
         let r = runner();
         let serial = r.run_serial(&w, &plan);
-        let piped = r.run(&w, &plan);
+        let piped: DeLoreanOutput = r.run(&w, &plan).try_into().unwrap();
         assert_eq!(serial.report.cpi(), piped.report.cpi());
         assert_eq!(serial.report.total(), piped.report.total());
         assert_eq!(serial.stats, piped.stats);
@@ -290,7 +282,9 @@ mod tests {
 
     #[test]
     fn pipelined_works_across_workloads() {
-        let plan = SamplingConfig::for_scale(Scale::tiny()).with_regions(2).plan();
+        let plan = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(2)
+            .plan();
         for name in ["bwaves", "mcf", "povray"] {
             let w = spec_workload(name, Scale::tiny(), 1).unwrap();
             let out = runner().run(&w, &plan);
@@ -302,7 +296,9 @@ mod tests {
     #[test]
     fn regions_come_back_in_order() {
         let w = spec_workload("namd", Scale::tiny(), 1).unwrap();
-        let plan = SamplingConfig::for_scale(Scale::tiny()).with_regions(5).plan();
+        let plan = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(5)
+            .plan();
         let out = runner().run(&w, &plan);
         let order: Vec<u32> = out.report.regions.iter().map(|r| r.region).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);

@@ -9,7 +9,9 @@ use crate::stats::TtStats;
 use crate::MAX_EXPLORERS;
 use delorean_cache::MachineConfig;
 use delorean_cpu::TimingConfig;
-use delorean_sampling::{Region, RegionPlan, RegionReport, SimulationReport};
+use delorean_sampling::{
+    Region, RegionPlan, RegionReport, SamplingStrategy, SimulationReport, StrategyReport,
+};
 use delorean_trace::Workload;
 use delorean_virt::{CostModel, HostClock, RunCost, WorkKind};
 
@@ -23,6 +25,42 @@ pub struct DeLoreanOutput {
     pub stats: TtStats,
     /// DSW classification counters summed over regions.
     pub dsw_counts: DswCounts,
+}
+
+/// Strategy extras attached by [`DeLoreanRunner`]'s
+/// [`SamplingStrategy::run`]: the time-traveling statistics and DSW
+/// classification counters behind Figures 6–8.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeLoreanExtras {
+    /// Key-set, explorer and trap statistics.
+    pub stats: TtStats,
+    /// DSW classification counters summed over regions.
+    pub dsw_counts: DswCounts,
+}
+
+impl From<DeLoreanOutput> for StrategyReport {
+    fn from(out: DeLoreanOutput) -> Self {
+        StrategyReport::new(out.report).with_extras(DeLoreanExtras {
+            stats: out.stats,
+            dsw_counts: out.dsw_counts,
+        })
+    }
+}
+
+impl TryFrom<StrategyReport> for DeLoreanOutput {
+    type Error = &'static str;
+
+    /// Recover the full output from a trait-object run. Fails only if the
+    /// report did not come from a DeLorean strategy.
+    fn try_from(report: StrategyReport) -> Result<Self, Self::Error> {
+        let (report, extras) = report.split::<DeLoreanExtras>();
+        let extras = extras.ok_or("report carries no DeLorean extras")?;
+        Ok(DeLoreanOutput {
+            report,
+            stats: extras.stats,
+            dsw_counts: extras.dsw_counts,
+        })
+    }
 }
 
 /// Per-region artifacts produced by the warming passes (Scout +
@@ -194,21 +232,9 @@ impl DeLoreanRunner {
         &self.cost
     }
 
-    /// Run with the multi-threaded pipelined TT implementation.
-    pub fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> DeLoreanOutput {
-        crate::pipeline::run_pipelined(
-            workload,
-            &self.machine,
-            &self.timing,
-            &self.cost,
-            &self.config,
-            plan,
-        )
-    }
-
-    /// Run all passes serially in one thread (identical results to
-    /// [`DeLoreanRunner::run`]; useful for debugging and as the test
-    /// oracle for the pipeline).
+    /// Run all passes serially in one thread (identical results to the
+    /// pipelined [`SamplingStrategy::run`]; useful for debugging and as
+    /// the test oracle for the pipeline).
     pub fn run_serial(&self, workload: &dyn Workload, plan: &RegionPlan) -> DeLoreanOutput {
         let mult = plan.config.work_multiplier();
         let n_explorers = self.config.explorer_windows_instrs.len();
@@ -273,6 +299,33 @@ impl DeLoreanRunner {
     }
 }
 
+impl SamplingStrategy for DeLoreanRunner {
+    fn name(&self) -> &str {
+        "delorean"
+    }
+
+    /// Run the multi-threaded pipelined TT implementation. The
+    /// time-traveling statistics and DSW counters ride along as
+    /// [`DeLoreanExtras`]; recover the full [`DeLoreanOutput`] with
+    /// `TryFrom<StrategyReport>`.
+    fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
+        crate::pipeline::run_pipelined(
+            workload,
+            &self.machine,
+            &self.timing,
+            &self.cost,
+            &self.config,
+            plan,
+        )
+        .into()
+    }
+
+    /// One thread per TT pass: Scout + the explorer chain + Analyst.
+    fn internal_parallelism(&self) -> usize {
+        self.config.explorer_windows_instrs.len() + 2
+    }
+}
+
 /// Fold one region's artifacts into the run statistics.
 pub(crate) fn accumulate(stats: &mut TtStats, artifacts: &RegionArtifacts) {
     stats.regions += 1;
@@ -298,7 +351,9 @@ mod tests {
     use delorean_trace::{spec_workload, Scale};
 
     fn quick_plan() -> RegionPlan {
-        SamplingConfig::for_scale(Scale::tiny()).with_regions(3).plan()
+        SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(3)
+            .plan()
     }
 
     fn runner() -> DeLoreanRunner {

@@ -82,8 +82,7 @@ pub fn scout_region(
         assoc.observe(a.pc, line);
         let first_access = seen.insert(line);
         let l1_hit = l1.lookup(line);
-        let mshr_hit =
-            !l1_hit && mshr.on_miss(line, a.index) == MshrOutcome::DelayedHit;
+        let mshr_hit = !l1_hit && mshr.on_miss(line, a.index) == MshrOutcome::DelayedHit;
         if !l1_hit {
             l1.fill(line);
         }
@@ -110,7 +109,9 @@ mod tests {
     fn setup() -> (impl Workload, MachineConfig, Vec<Region>) {
         let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
         let machine = MachineConfig::for_scale(Scale::tiny());
-        let plan = SamplingConfig::for_scale(Scale::tiny()).with_regions(3).plan();
+        let plan = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(3)
+            .plan();
         (w, machine, plan.regions)
     }
 
@@ -123,8 +124,10 @@ mod tests {
         let out = scout_region(&w, &machine, &cost, &mut clock, r, 0, 1);
         let region_first = w.access_index_at_instr(r.detailed.start);
         let region_end = w.access_index_at_instr(r.detailed.end);
-        let unique: std::collections::HashSet<_> =
-            w.iter_range(region_first..region_end).map(|a| a.line()).collect();
+        let unique: std::collections::HashSet<_> = w
+            .iter_range(region_first..region_end)
+            .map(|a| a.line())
+            .collect();
         assert!(out.keyset.len() <= unique.len());
         assert!(out.keyset.lines().all(|l| unique.contains(&l)));
         assert!(clock.seconds() > 0.0);
@@ -136,7 +139,15 @@ mod tests {
         let cost = CostModel::paper_host();
         let mut clock = HostClock::new();
         let r = &regions[1];
-        let out = scout_region(&w, &machine, &cost, &mut clock, r, regions[0].detailed.end, 1);
+        let out = scout_region(
+            &w,
+            &machine,
+            &cost,
+            &mut clock,
+            r,
+            regions[0].detailed.end,
+            1,
+        );
         let region_first = w.access_index_at_instr(r.detailed.start);
         let region_end = w.access_index_at_instr(r.detailed.end);
         for (line, info) in out.keyset.iter() {
@@ -152,16 +163,14 @@ mod tests {
     fn hot_workload_has_few_keys() {
         let w = spec_workload("bwaves", Scale::tiny(), 1).unwrap();
         let machine = MachineConfig::for_scale(Scale::tiny());
-        let plan = SamplingConfig::for_scale(Scale::tiny()).with_regions(3).plan();
+        let plan = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(3)
+            .plan();
         let cost = CostModel::paper_host();
         let mut clock = HostClock::new();
         let out = scout_region(&w, &machine, &cost, &mut clock, &plan.regions[1], 0, 1);
         // bwaves is lukewarm-dominated: nearly everything filters out.
-        assert!(
-            out.keyset.len() < 200,
-            "bwaves keys = {}",
-            out.keyset.len()
-        );
+        assert!(out.keyset.len() < 200, "bwaves keys = {}", out.keyset.len());
     }
 
     #[test]

@@ -144,7 +144,13 @@ mod tests {
             pred.execute(e.pc, e.taken);
         }
         let mut always_l1 = |_: &MemAccess, _: u64| MemLevel::L1;
-        let r = simulate_detailed(&w, 0..10_000, &TimingConfig::table1(), &mut pred, &mut always_l1);
+        let r = simulate_detailed(
+            &w,
+            0..10_000,
+            &TimingConfig::table1(),
+            &mut pred,
+            &mut always_l1,
+        );
         assert_eq!(r.instructions, 10_000);
         assert!(r.cpi() > 0.1 && r.cpi() < 0.6, "cpi = {}", r.cpi());
         assert_eq!(r.level_counts[0], r.mem_accesses);
@@ -155,7 +161,13 @@ mod tests {
         let w = spec_workload("mcf", Scale::tiny(), 1).unwrap();
         let mut pred = TournamentPredictor::new();
         let mut all_memory = |_: &MemAccess, _: u64| MemLevel::Memory;
-        let r = simulate_detailed(&w, 0..10_000, &TimingConfig::table1(), &mut pred, &mut all_memory);
+        let r = simulate_detailed(
+            &w,
+            0..10_000,
+            &TimingConfig::table1(),
+            &mut pred,
+            &mut all_memory,
+        );
         assert!(r.cpi() > 5.0, "cpi = {}", r.cpi());
         assert_eq!(r.level_counts[3], r.mem_accesses);
     }

@@ -222,7 +222,7 @@ mod tests {
     fn random_branches_are_hard() {
         let mut p = TournamentPredictor::new();
         for i in 0..5000u64 {
-            p.execute(Pc(0x300), delorean_trace::mix64(9, i) % 2 == 0);
+            p.execute(Pc(0x300), delorean_trace::mix64(9, i).is_multiple_of(2));
         }
         let rate = p.stats().mispredict_rate();
         assert!(rate > 0.3, "random branches should hurt: {rate}");

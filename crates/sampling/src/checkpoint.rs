@@ -15,12 +15,13 @@
 //! evaluation-run speed including checkpoint load time.
 
 use crate::config::RegionPlan;
-use crate::report::{RegionReport, SimulationReport};
-use crate::run_region_detailed;
+use crate::driver::RegionDriver;
+use crate::report::SimulationReport;
+use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, HierarchySnapshot, MachineConfig};
 use delorean_cpu::TimingConfig;
 use delorean_trace::{MemAccess, Workload, WorkloadExt};
-use delorean_virt::{CostModel, HostClock, RunCost, WorkKind};
+use delorean_virt::{CostModel, HostClock, WorkKind};
 
 /// The checkpoints of one (workload, plan, machine) combination.
 #[derive(Clone, Debug)]
@@ -46,6 +47,17 @@ impl CheckpointSet {
     pub fn storage_bytes(&self) -> u64 {
         self.snapshots.iter().map(|s| s.storage_bytes()).sum()
     }
+}
+
+/// Strategy extras attached by [`CheckpointWarmingRunner`]'s
+/// [`SamplingStrategy::run`]: the preparation-run trade-off the
+/// evaluation report deliberately excludes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointExtras {
+    /// Total checkpoint storage, bytes.
+    pub storage_bytes: u64,
+    /// Host seconds of the preparation (functional-warming) run.
+    pub preparation_seconds: f64,
 }
 
 /// Checkpointed-warming runner: prepare once, evaluate cheaply.
@@ -124,33 +136,36 @@ impl CheckpointWarmingRunner {
             plan.regions.len(),
             "checkpoint/plan mismatch"
         );
-        let mut clock = HostClock::new();
-        let mut regions = Vec::with_capacity(plan.regions.len());
+        let mut driver = RegionDriver::new(workload, plan, &self.timing, &self.cost);
         let mut hierarchy = Hierarchy::new(&self.machine);
         for (region, snap) in plan.regions.iter().zip(&checkpoints.snapshots) {
             // Load the checkpoint from storage.
-            clock.charge(snap.storage_bytes() as f64 / self.load_bytes_per_second);
+            driver.charge_seconds(snap.storage_bytes() as f64 / self.load_bytes_per_second);
             hierarchy.restore(snap);
             // Detailed warming + region on the restored state.
-            let span = region.detailed.end - region.warming.start;
-            clock.charge(self.cost.instr_seconds(WorkKind::Detailed, span));
             let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
-            let result = run_region_detailed(workload, region, &self.timing, &mut source);
-            regions.push(RegionReport {
-                region: region.index,
-                detailed: result,
-            });
+            driver.measure_region(region, &mut source);
         }
-        let mut cost = RunCost::new(plan.regions.len() as u64);
-        cost.push("checkpoint-eval", clock);
-        SimulationReport {
-            workload: workload.name().to_string(),
-            strategy: "checkpoint".into(),
-            regions,
-            collected_reuse_distances: 0,
-            cost,
-            covered_instrs: plan.represented_instrs(),
-        }
+        driver.finish("checkpoint")
+    }
+}
+
+impl SamplingStrategy for CheckpointWarmingRunner {
+    fn name(&self) -> &str {
+        "checkpoint"
+    }
+
+    /// Prepare and evaluate in one call. The returned report covers the
+    /// **evaluation run only** (checkpointing's selling point); the
+    /// preparation cost and storage footprint — the trade-off against
+    /// statistical warming — ride along as [`CheckpointExtras`].
+    fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
+        let checkpoints = self.prepare(workload, plan);
+        let report = self.run_with(&checkpoints, workload, plan);
+        StrategyReport::new(report).with_extras(CheckpointExtras {
+            storage_bytes: checkpoints.storage_bytes(),
+            preparation_seconds: checkpoints.preparation_seconds,
+        })
     }
 }
 
@@ -214,12 +229,27 @@ mod tests {
     }
 
     #[test]
+    fn strategy_run_is_prepare_plus_eval_with_extras() {
+        let (w, machine, plan) = setup();
+        let runner = CheckpointWarmingRunner::new(machine);
+        let via_trait = runner.run(&w, &plan);
+        let checkpoints = runner.prepare(&w, &plan);
+        let direct = runner.run_with(&checkpoints, &w, &plan);
+        assert_eq!(via_trait.total(), direct.total());
+        let extras = via_trait.extras::<CheckpointExtras>().expect("extras");
+        assert_eq!(extras.storage_bytes, checkpoints.storage_bytes());
+        assert_eq!(extras.preparation_seconds, checkpoints.preparation_seconds);
+    }
+
+    #[test]
     #[should_panic(expected = "checkpoint/plan mismatch")]
     fn mismatched_plan_is_rejected() {
         let (w, machine, plan) = setup();
         let runner = CheckpointWarmingRunner::new(machine);
         let checkpoints = runner.prepare(&w, &plan);
-        let other = SamplingConfig::for_scale(Scale::tiny()).with_regions(5).plan();
+        let other = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(5)
+            .plan();
         let _ = runner.run_with(&checkpoints, &w, &other);
     }
 }

@@ -202,7 +202,9 @@ mod tests {
 
     #[test]
     fn with_regions_override() {
-        let p = SamplingConfig::for_scale(Scale::tiny()).with_regions(3).plan();
+        let p = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(3)
+            .plan();
         assert_eq!(p.regions.len(), 3);
     }
 }

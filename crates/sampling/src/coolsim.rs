@@ -19,13 +19,13 @@
 //! CoolSim's CPI overestimation for soplex and GemsFDTD in Figures 9/10).
 
 use crate::config::RegionPlan;
-use crate::report::{RegionReport, SimulationReport};
-use crate::run_region_detailed;
+use crate::driver::RegionDriver;
+use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig, MemLevel};
 use delorean_cpu::TimingConfig;
 use delorean_statmodel::per_pc::{PcPrediction, PcProfiles};
 use delorean_trace::{CounterRng, LineAddr, MemAccess, Scale, Workload, WorkloadExt};
-use delorean_virt::{CostModel, HostClock, RunCost, Trap, WatchSet, WorkKind};
+use delorean_virt::{CostModel, Trap, WatchSet, WorkKind};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -121,17 +121,21 @@ impl CoolSimRunner {
         self.cost = cost;
         self
     }
+}
 
-    /// Run the full sampled simulation.
-    pub fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> SimulationReport {
-        let mut clock = HostClock::new();
-        let mut regions = Vec::with_capacity(plan.regions.len());
-        let mut collected = 0u64;
+impl SamplingStrategy for CoolSimRunner {
+    fn name(&self) -> &str {
+        "coolsim"
+    }
+
+    fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
+        let mut driver = RegionDriver::new(workload, plan, &self.timing, &self.cost);
         let p = workload.mem_period();
         let mult = plan.config.work_multiplier();
         let rng = CounterRng::new(self.config.seed);
         let spacing = plan.config.spacing_instrs;
         let llc_lines = self.machine.hierarchy.llc.lines();
+        let trap_seconds = self.cost.trap_seconds;
 
         for region in &plan.regions {
             // --- Profile the warm-up interval with random watchpoints. ---
@@ -145,19 +149,19 @@ impl CoolSimRunner {
 
             // The interval runs under VFF (charged at represented
             // magnitude); traps are charged per event at face value.
-            clock.charge(self.cost.instr_seconds(WorkKind::Vff, len * p * mult));
+            driver.charge_work(WorkKind::Vff, len * p * mult);
             for a in workload.iter_range(first..last) {
                 let k = a.index;
                 match watch.classify(&a) {
                     Trap::None => {}
-                    Trap::FalsePositive => clock.charge(self.cost.trap_seconds),
+                    Trap::FalsePositive => driver.charge_seconds(trap_seconds),
                     Trap::Hit(line) => {
-                        clock.charge(self.cost.trap_seconds);
+                        driver.charge_seconds(trap_seconds);
                         if let Some(set_at) = pending.remove(&line) {
                             // Reuse found: distance is the accesses strictly
                             // between; attributed to the reusing PC.
                             profiles.record(a.pc, k - set_at - 1, 1.0);
-                            collected += 1;
+                            driver.record_collected(1);
                             watch.unwatch_line(line);
                         }
                     }
@@ -179,8 +183,6 @@ impl CoolSimRunner {
             }
 
             // --- Lukewarm detailed warming + statistically-warmed region. ---
-            let detailed_span = region.detailed.end - region.warming.start;
-            clock.charge(self.cost.instr_seconds(WorkKind::Detailed, detailed_span));
             let mut lukewarm = Hierarchy::new(&self.machine);
             let mut source = |a: &MemAccess, now: u64| {
                 let simulated = lukewarm.access_data(a.pc, a.line(), now);
@@ -195,23 +197,9 @@ impl CoolSimRunner {
                     PcPrediction::Miss | PcPrediction::NoData => MemLevel::Memory,
                 }
             };
-            let result = run_region_detailed(workload, region, &self.timing, &mut source);
-            regions.push(RegionReport {
-                region: region.index,
-                detailed: result,
-            });
+            driver.measure_region(region, &mut source);
         }
-
-        let mut cost = RunCost::new(plan.regions.len() as u64);
-        cost.push("coolsim", clock);
-        SimulationReport {
-            workload: workload.name().to_string(),
-            strategy: "coolsim".into(),
-            regions,
-            collected_reuse_distances: collected,
-            cost,
-            covered_instrs: plan.represented_instrs(),
-        }
+        driver.finish(self.name()).into()
     }
 }
 
@@ -222,7 +210,9 @@ mod tests {
     use delorean_trace::spec_workload;
 
     fn quick_plan() -> RegionPlan {
-        SamplingConfig::for_scale(Scale::tiny()).with_regions(3).plan()
+        SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(3)
+            .plan()
     }
 
     fn runner() -> CoolSimRunner {
@@ -275,7 +265,12 @@ mod tests {
         let cool = runner().run(&w, &plan);
         let smarts = SmartsRunner::new(MachineConfig::for_scale(Scale::tiny())).run(&w, &plan);
         let err = cool.cpi_error_vs(&smarts);
-        assert!(err < 0.5, "CoolSim error {err} (cool {} vs ref {})", cool.cpi(), smarts.cpi());
+        assert!(
+            err < 0.5,
+            "CoolSim error {err} (cool {} vs ref {})",
+            cool.cpi(),
+            smarts.cpi()
+        );
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Shared region-loop scaffolding for sampling strategies.
+//!
+//! Every warming strategy walks the same skeleton: iterate the plan's
+//! regions in order, charge host cost for the warm-up work between
+//! regions, run detailed warming plus the measured detailed region
+//! against a strategy-specific outcome source, and assemble the
+//! per-region results into a [`SimulationReport`] with cost accounting.
+//! [`RegionDriver`] owns that skeleton; strategies only contribute the
+//! warming work and the outcome source — the parts that actually differ.
+
+use crate::config::{Region, RegionPlan};
+use crate::report::{RegionReport, SimulationReport};
+use crate::run_region_detailed;
+use delorean_cpu::{OutcomeSource, TimingConfig};
+use delorean_trace::Workload;
+use delorean_virt::{CostModel, HostClock, RunCost, WorkKind};
+
+/// Drives the per-region loop of one strategy run: cost clock, detailed
+/// simulation of each region, and final report assembly.
+#[derive(Debug)]
+pub(crate) struct RegionDriver<'a> {
+    workload: &'a dyn Workload,
+    plan: &'a RegionPlan,
+    timing: &'a TimingConfig,
+    cost: &'a CostModel,
+    clock: HostClock,
+    regions: Vec<RegionReport>,
+    collected: u64,
+}
+
+impl<'a> RegionDriver<'a> {
+    /// A driver at the start of the run, with an empty clock.
+    pub fn new(
+        workload: &'a dyn Workload,
+        plan: &'a RegionPlan,
+        timing: &'a TimingConfig,
+        cost: &'a CostModel,
+    ) -> Self {
+        RegionDriver {
+            workload,
+            plan,
+            timing,
+            cost,
+            clock: HostClock::new(),
+            regions: Vec::with_capacity(plan.regions.len()),
+            collected: 0,
+        }
+    }
+
+    /// Charge `instrs` instructions of `kind` work to the run clock.
+    pub fn charge_work(&mut self, kind: WorkKind, instrs: u64) {
+        self.clock.charge(self.cost.instr_seconds(kind, instrs));
+    }
+
+    /// Charge raw host seconds (per-event costs such as traps).
+    pub fn charge_seconds(&mut self, seconds: f64) {
+        self.clock.charge(seconds);
+    }
+
+    /// Count reuse distances collected during warm-up (Figure 6).
+    pub fn record_collected(&mut self, n: u64) {
+        self.collected += n;
+    }
+
+    /// Charge the detailed span (warming + measured region, at face
+    /// value) and run it against `source`, recording the region result.
+    pub fn measure_region(&mut self, region: &Region, source: &mut dyn OutcomeSource) {
+        let span = region.detailed.end.saturating_sub(region.warming.start);
+        self.clock
+            .charge(self.cost.instr_seconds(WorkKind::Detailed, span));
+        let result = run_region_detailed(self.workload, region, self.timing, source);
+        self.regions.push(RegionReport {
+            region: region.index,
+            detailed: result,
+        });
+    }
+
+    /// Assemble the final report; `strategy` names both the report and
+    /// its single cost pass.
+    pub fn finish(self, strategy: &str) -> SimulationReport {
+        let mut cost = RunCost::new(self.plan.regions.len() as u64);
+        cost.push(strategy, self.clock);
+        SimulationReport {
+            workload: self.workload.name().to_string(),
+            strategy: strategy.into(),
+            regions: self.regions,
+            collected_reuse_distances: self.collected,
+            cost,
+            covered_instrs: self.plan.represented_instrs(),
+        }
+    }
+}

@@ -1,5 +1,10 @@
-//! Sampled-simulation framework and the paper's two baselines.
+//! Sampled-simulation framework: the strategy execution layer and the
+//! paper's baselines.
 //!
+//! * [`SamplingStrategy`] / [`StrategyReport`] — the unified interface
+//!   every warming strategy implements; harness code executes any mix of
+//!   strategies through `Box<dyn SamplingStrategy>` trait objects (the
+//!   parallel batch executor lives in `delorean_bench`).
 //! * [`SamplingConfig`] / [`RegionPlan`] — where the detailed regions sit
 //!   (§5: 10 regions spread 1 B instructions apart, 10 k-instruction
 //!   regions, 30 k instructions of detailed warming before each).
@@ -20,6 +25,10 @@
 //! * [`SimulationReport`] — per-region and aggregate CPI/MPKI plus cost
 //!   accounting, shared with DeLorean so every strategy is compared with
 //!   identical metrics.
+//!
+//! The shared per-region scaffolding (cost clock, detailed tail, report
+//! assembly) lives in the private `driver` module; strategies implement
+//! only the warming work that actually differs between them.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,19 +36,24 @@
 mod checkpoint;
 mod config;
 mod coolsim;
+mod driver;
 pub mod metrics;
 mod mrrl;
 mod report;
 mod smarts;
+mod strategy;
 
-pub use checkpoint::{CheckpointSet, CheckpointWarmingRunner};
+pub use checkpoint::{CheckpointExtras, CheckpointSet, CheckpointWarmingRunner};
 pub use config::{Region, RegionPlan, SamplingConfig};
 pub use coolsim::{CoolSimConfig, CoolSimRunner};
 pub use mrrl::MrrlRunner;
 pub use report::{RegionReport, SimulationReport};
 pub use smarts::SmartsRunner;
+pub use strategy::{SamplingStrategy, StrategyReport};
 
-use delorean_cpu::{simulate_detailed, DetailedResult, OutcomeSource, TimingConfig, TournamentPredictor};
+use delorean_cpu::{
+    simulate_detailed, DetailedResult, OutcomeSource, TimingConfig, TournamentPredictor,
+};
 use delorean_trace::Workload;
 
 /// Run one region's detailed warming + detailed simulation with a fresh

@@ -15,13 +15,13 @@
 //! to simulate all of them").
 
 use crate::config::RegionPlan;
-use crate::report::{RegionReport, SimulationReport};
-use crate::run_region_detailed;
+use crate::driver::RegionDriver;
+use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig};
 use delorean_cpu::TimingConfig;
 use delorean_statmodel::LogHistogram;
 use delorean_trace::{MemAccess, Workload, WorkloadExt};
-use delorean_virt::{CostModel, HostClock, RunCost, WorkKind};
+use delorean_virt::{CostModel, WorkKind};
 use std::collections::HashMap;
 
 /// The MRRL adaptive-functional-warming runner.
@@ -77,23 +77,24 @@ impl MrrlRunner {
         }
         hist.quantile(self.percentile)
     }
+}
 
-    /// Run the full sampled simulation.
-    pub fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> SimulationReport {
-        let mut clock = HostClock::new();
+impl SamplingStrategy for MrrlRunner {
+    fn name(&self) -> &str {
+        "mrrl"
+    }
+
+    fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
+        let mut driver = RegionDriver::new(workload, plan, &self.timing, &self.cost);
         let p = workload.mem_period();
         let mult = plan.config.work_multiplier();
-        let mut regions = Vec::with_capacity(plan.regions.len());
         let mut prev_end = 0u64;
 
         for region in &plan.regions {
             // Pick this region's warming window from local reuse latencies
             // (profiling cost: functional over the profile slice).
             let region_first = workload.access_index_at_instr(region.detailed.start);
-            clock.charge(
-                self.cost
-                    .instr_seconds(WorkKind::Functional, self.profile_accesses * p),
-            );
+            driver.charge_work(WorkKind::Functional, self.profile_accesses * p);
             let window = self
                 .warming_window(workload, region_first)
                 .clamp(p, region.warming.start);
@@ -103,8 +104,8 @@ impl MrrlRunner {
             // percentile choice).
             let warm_start = region.warming.start.saturating_sub(window);
             let skip = warm_start.saturating_sub(prev_end);
-            clock.charge(self.cost.instr_seconds(WorkKind::Vff, skip * mult));
-            clock.charge(self.cost.instr_seconds(WorkKind::Functional, window * mult));
+            driver.charge_work(WorkKind::Vff, skip * mult);
+            driver.charge_work(WorkKind::Functional, window * mult);
             let mut hierarchy = Hierarchy::new(&self.machine);
             let from = workload.access_index_at_instr(warm_start);
             let to = workload.access_index_at_instr(region.warming.start);
@@ -112,27 +113,11 @@ impl MrrlRunner {
                 hierarchy.access_data(a.pc, a.line(), a.index);
             }
 
-            let span = region.detailed.end - region.warming.start;
-            clock.charge(self.cost.instr_seconds(WorkKind::Detailed, span));
             let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
-            let result = run_region_detailed(workload, region, &self.timing, &mut source);
-            regions.push(RegionReport {
-                region: region.index,
-                detailed: result,
-            });
+            driver.measure_region(region, &mut source);
             prev_end = region.detailed.end;
         }
-
-        let mut cost = RunCost::new(plan.regions.len() as u64);
-        cost.push("mrrl", clock);
-        SimulationReport {
-            workload: workload.name().to_string(),
-            strategy: "mrrl".into(),
-            regions,
-            collected_reuse_distances: 0,
-            cost,
-            covered_instrs: plan.represented_instrs(),
-        }
+        driver.finish(self.name()).into()
     }
 }
 

@@ -8,12 +8,12 @@
 //! measures SMARTS at 1.3 MIPS.
 
 use crate::config::RegionPlan;
-use crate::report::{RegionReport, SimulationReport};
-use crate::run_region_detailed;
+use crate::driver::RegionDriver;
+use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig};
 use delorean_cpu::TimingConfig;
 use delorean_trace::{MemAccess, Workload, WorkloadExt};
-use delorean_virt::{CostModel, HostClock, RunCost, WorkKind};
+use delorean_virt::{CostModel, WorkKind};
 
 /// The SMARTS (functional warming) runner.
 #[derive(Clone, Debug)]
@@ -44,15 +44,19 @@ impl SmartsRunner {
         self.cost = cost;
         self
     }
+}
 
-    /// Run the full sampled simulation.
-    pub fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> SimulationReport {
+impl SamplingStrategy for SmartsRunner {
+    fn name(&self) -> &str {
+        "smarts"
+    }
+
+    fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
+        let mut driver = RegionDriver::new(workload, plan, &self.timing, &self.cost);
         let mut hierarchy = Hierarchy::new(&self.machine);
-        let mut clock = HostClock::new();
         let p = workload.mem_period();
         let mult = plan.config.work_multiplier();
         let mut pos_access: u64 = 0;
-        let mut regions = Vec::with_capacity(plan.regions.len());
 
         for region in &plan.regions {
             // Functional warming: simulate every access up to the start of
@@ -60,39 +64,18 @@ impl SmartsRunner {
             // (paper-equivalent) magnitude.
             let warm_end_access = region.warming.start / p;
             let span = warm_end_access.saturating_sub(pos_access);
-            clock.charge(
-                self.cost
-                    .instr_seconds(WorkKind::Functional, span * p * mult),
-            );
+            driver.charge_work(WorkKind::Functional, span * p * mult);
             for a in workload.iter_range(pos_access..warm_end_access) {
                 hierarchy.access_data(a.pc, a.line(), a.index);
             }
 
             // Detailed warming + detailed region on the (fully warm)
-            // hierarchy; detailed lengths are unscaled, charged at face
-            // value.
-            let detailed_span =
-                region.detailed.end.saturating_sub(region.warming.start);
-            clock.charge(self.cost.instr_seconds(WorkKind::Detailed, detailed_span));
+            // hierarchy.
             let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
-            let result = run_region_detailed(workload, region, &self.timing, &mut source);
-            regions.push(RegionReport {
-                region: region.index,
-                detailed: result,
-            });
+            driver.measure_region(region, &mut source);
             pos_access = region.detailed.end / p;
         }
-
-        let mut cost = RunCost::new(plan.regions.len() as u64);
-        cost.push("smarts", clock);
-        SimulationReport {
-            workload: workload.name().to_string(),
-            strategy: "smarts".into(),
-            regions,
-            collected_reuse_distances: 0,
-            cost,
-            covered_instrs: plan.represented_instrs(),
-        }
+        driver.finish(self.name()).into()
     }
 }
 
@@ -103,18 +86,22 @@ mod tests {
     use delorean_trace::{spec_workload, Scale};
 
     fn quick_plan() -> RegionPlan {
-        SamplingConfig::for_scale(Scale::tiny()).with_regions(3).plan()
+        SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(3)
+            .plan()
     }
 
     #[test]
     fn produces_region_results_and_cost() {
         let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
-        let report = SmartsRunner::new(MachineConfig::for_scale(Scale::tiny())).run(&w, &quick_plan());
+        let report =
+            SmartsRunner::new(MachineConfig::for_scale(Scale::tiny())).run(&w, &quick_plan());
         assert_eq!(report.regions.len(), 3);
         assert!(report.cpi() > 0.0);
         assert!(report.cost.total_resources() > 0.0);
         assert_eq!(report.strategy, "smarts");
         assert_eq!(report.collected_reuse_distances, 0);
+        assert!(report.extras::<()>().is_none());
     }
 
     #[test]
@@ -122,7 +109,8 @@ mod tests {
         // bwaves is hot-set dominated: with full functional warming, most
         // region accesses must be L1 hits and CPI must be near base.
         let w = spec_workload("bwaves", Scale::tiny(), 1).unwrap();
-        let report = SmartsRunner::new(MachineConfig::for_scale(Scale::tiny())).run(&w, &quick_plan());
+        let report =
+            SmartsRunner::new(MachineConfig::for_scale(Scale::tiny())).run(&w, &quick_plan());
         let t = report.total();
         let l1_rate = t.level_counts[0] as f64 / t.mem_accesses as f64;
         assert!(l1_rate > 0.8, "bwaves L1 hit rate {l1_rate}");

@@ -1,0 +1,166 @@
+//! The unified strategy-execution interface.
+//!
+//! Every warming strategy in the workspace — SMARTS, CoolSim, MRRL,
+//! checkpointed warming and DeLorean itself — implements
+//! [`SamplingStrategy`], so harness code (the parallel batch executor in
+//! `delorean_bench`, the experiment drivers, integration tests) can hold
+//! a `Box<dyn SamplingStrategy>` and run any mix of strategies through
+//! one code path.
+//!
+//! A strategy returns a [`StrategyReport`]: the strategy-agnostic
+//! [`SimulationReport`] every comparison is built on, plus optional
+//! strategy-specific *extras* (DeLorean attaches its time-traveling
+//! statistics and DSW classification counters; checkpointed warming its
+//! storage footprint). Extras are type-erased so this crate does not
+//! need to know downstream types; consumers recover them with
+//! [`StrategyReport::extras`] or [`StrategyReport::split`].
+
+use crate::config::RegionPlan;
+use crate::report::SimulationReport;
+use delorean_trace::Workload;
+use std::any::Any;
+use std::fmt;
+use std::ops::Deref;
+
+/// A sampled-simulation warming strategy, executable through a trait
+/// object.
+///
+/// Implementations must be deterministic pure functions of
+/// `(self, workload, plan)`: the batch executor runs strategies from
+/// worker threads in arbitrary order and asserts that results are
+/// byte-identical to serial execution.
+pub trait SamplingStrategy: Send + Sync {
+    /// Stable lowercase identifier (`"smarts"`, `"coolsim"`, `"mrrl"`,
+    /// `"checkpoint"`, `"delorean"`); also the `strategy` field of the
+    /// returned report.
+    fn name(&self) -> &str;
+
+    /// Run the full sampled simulation over `plan`'s regions.
+    fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport;
+
+    /// Number of threads one [`run`](SamplingStrategy::run) call spawns
+    /// internally (1 for single-threaded strategies). Batch executors
+    /// divide their worker pools by the batch's maximum so nested
+    /// parallelism does not oversubscribe the host.
+    fn internal_parallelism(&self) -> usize {
+        1
+    }
+}
+
+impl fmt::Debug for dyn SamplingStrategy + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SamplingStrategy")
+            .field("name", &self.name())
+            .finish()
+    }
+}
+
+/// The outcome of one [`SamplingStrategy::run`]: the comparable report
+/// plus optional type-erased strategy extras.
+///
+/// Dereferences to [`SimulationReport`], so metric helpers (`cpi()`,
+/// `speedup_vs(..)`, …) are available directly.
+pub struct StrategyReport {
+    /// The strategy-agnostic report (CPI/MPKI per region, host cost).
+    pub report: SimulationReport,
+    extras: Option<Box<dyn Any + Send + Sync>>,
+}
+
+impl StrategyReport {
+    /// A report without extras.
+    pub fn new(report: SimulationReport) -> Self {
+        StrategyReport {
+            report,
+            extras: None,
+        }
+    }
+
+    /// Attach strategy-specific extras.
+    pub fn with_extras<T: Any + Send + Sync>(mut self, extras: T) -> Self {
+        self.extras = Some(Box::new(extras));
+        self
+    }
+
+    /// Borrow the extras, if present and of type `T`.
+    pub fn extras<T: Any>(&self) -> Option<&T> {
+        self.extras.as_ref()?.downcast_ref::<T>()
+    }
+
+    /// Split into the plain report and the extras, if of type `T`.
+    /// Extras of a different type are dropped.
+    pub fn split<T: Any>(self) -> (SimulationReport, Option<T>) {
+        let extras = self
+            .extras
+            .and_then(|b| (b as Box<dyn Any>).downcast::<T>().ok())
+            .map(|b| *b);
+        (self.report, extras)
+    }
+
+    /// Discard any extras and return the plain report.
+    pub fn into_report(self) -> SimulationReport {
+        self.report
+    }
+}
+
+impl From<SimulationReport> for StrategyReport {
+    fn from(report: SimulationReport) -> Self {
+        StrategyReport::new(report)
+    }
+}
+
+impl Deref for StrategyReport {
+    type Target = SimulationReport;
+
+    fn deref(&self) -> &SimulationReport {
+        &self.report
+    }
+}
+
+impl fmt::Debug for StrategyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StrategyReport")
+            .field("report", &self.report)
+            .field("has_extras", &self.extras.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Extra(u32);
+
+    fn report() -> SimulationReport {
+        SimulationReport {
+            workload: "w".into(),
+            strategy: "s".into(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn extras_round_trip_by_type() {
+        let r = StrategyReport::new(report()).with_extras(Extra(7));
+        assert_eq!(r.extras::<Extra>(), Some(&Extra(7)));
+        assert_eq!(r.extras::<String>(), None);
+        let (rep, extra) = r.split::<Extra>();
+        assert_eq!(rep.strategy, "s");
+        assert_eq!(extra, Some(Extra(7)));
+    }
+
+    #[test]
+    fn deref_exposes_report_metrics() {
+        let r = StrategyReport::new(report());
+        assert_eq!(r.workload, "w");
+        assert_eq!(r.regions.len(), 0);
+    }
+
+    #[test]
+    fn split_with_wrong_type_drops_extras() {
+        let r = StrategyReport::new(report()).with_extras(Extra(7));
+        let (_, extra) = r.split::<String>();
+        assert_eq!(extra, None);
+    }
+}

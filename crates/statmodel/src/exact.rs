@@ -161,9 +161,8 @@ mod tests {
     #[test]
     fn matches_brute_force_on_random_streams() {
         for seed in 0..3u64 {
-            let stream: Vec<LineAddr> = (0..500u64)
-                .map(|i| LineAddr(mix64(seed, i) % 40))
-                .collect();
+            let stream: Vec<LineAddr> =
+                (0..500u64).map(|i| LineAddr(mix64(seed, i) % 40)).collect();
             let mut p = ExactStackProcessor::new();
             for (i, &l) in stream.iter().enumerate() {
                 let got = p.access(l);

@@ -96,8 +96,7 @@ impl PcProfiles {
             profile.cold_fraction()
         } else {
             let reuse_part = 1.0 - profile.cold_fraction();
-            profile.cold_fraction()
-                + reuse_part * profile.p_reuse_ge(d_crit.saturating_add(1))
+            profile.cold_fraction() + reuse_part * profile.p_reuse_ge(d_crit.saturating_add(1))
         };
         if p_miss >= 0.5 {
             PcPrediction::Miss

@@ -197,7 +197,14 @@ mod tests {
     #[test]
     fn converges_quickly() {
         let apps: Vec<StatCcApp> = (0..4)
-            .map(|i| app(&format!("app{i}"), 500 * (i + 1) as u64, 100.0, 200.0 + 50.0 * i as f64))
+            .map(|i| {
+                app(
+                    &format!("app{i}"),
+                    500 * (i + 1) as u64,
+                    100.0,
+                    200.0 + 50.0 * i as f64,
+                )
+            })
             .collect();
         let sol = StatCc::new().solve(&apps, 8_192);
         assert!(sol.iterations < 50, "iterations {}", sol.iterations);

@@ -99,6 +99,36 @@ pub trait Workload: Send + Sync {
     }
 }
 
+impl<W: Workload + ?Sized> Workload for &W {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn mem_period(&self) -> u64 {
+        (**self).mem_period()
+    }
+
+    fn access_at(&self, k: u64) -> MemAccess {
+        (**self).access_at(k)
+    }
+
+    fn branch_model(&self) -> BranchModel {
+        (**self).branch_model()
+    }
+
+    fn accesses_in_instrs(&self, instrs: u64) -> u64 {
+        (**self).accesses_in_instrs(instrs)
+    }
+
+    fn access_index_at_instr(&self, instr: u64) -> u64 {
+        (**self).access_index_at_instr(instr)
+    }
+
+    fn instr_of_access(&self, k: u64) -> u64 {
+        (**self).instr_of_access(k)
+    }
+}
+
 impl fmt::Debug for dyn Workload + '_ {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Workload")

@@ -155,9 +155,7 @@ impl Pattern {
                 if mul_bound(h, 1000) < hot_permille as u64 {
                     page * LINES_PER_PAGE
                 } else {
-                    page * LINES_PER_PAGE
-                        + 1
-                        + mul_bound(mix64(seed ^ 0x55, j), LINES_PER_PAGE - 1)
+                    page * LINES_PER_PAGE + 1 + mul_bound(mix64(seed ^ 0x55, j), LINES_PER_PAGE - 1)
                 }
             }
         }
@@ -353,7 +351,7 @@ mod tests {
         for j in 0..10_000 {
             let l = p.line_at(3, j);
             assert!(l < 256);
-            if l % 64 == 0 {
+            if l.is_multiple_of(64) {
                 hot += 1;
             }
         }

@@ -466,8 +466,14 @@ mod tests {
     #[test]
     fn phases_switch_at_boundaries() {
         let w = PhasedWorkloadBuilder::new("t", 5)
-            .phase(100, vec![StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 1)])
-            .phase(300, vec![StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 1)])
+            .phase(
+                100,
+                vec![StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 1)],
+            )
+            .phase(
+                300,
+                vec![StreamSpec::new(Pattern::RandomUniform { lines: 16 }, 1)],
+            )
             .build()
             .unwrap();
         assert_eq!(w.cycle_len_accesses(), 400);
@@ -557,8 +563,7 @@ mod tests {
             )
             .build()
             .unwrap();
-        let pcs: std::collections::HashSet<u64> =
-            w.iter_range(0..1_000).map(|a| a.pc.0).collect();
+        let pcs: std::collections::HashSet<u64> = w.iter_range(0..1_000).map(|a| a.pc.0).collect();
         assert!(pcs.len() <= 8);
         assert!(pcs.len() >= 6, "expected most PCs used, got {}", pcs.len());
     }

@@ -113,14 +113,19 @@ mod tests {
             counts[rng.below(i, 8) as usize] += 1;
         }
         for &c in &counts {
-            assert!((8_000..12_000).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 
     #[test]
     fn chance_permille_matches_rate() {
         let rng = CounterRng::new(3);
-        let hits = (0..100_000).filter(|&i| rng.chance_permille(i, 250)).count();
+        let hits = (0..100_000)
+            .filter(|&i| rng.chance_permille(i, 250))
+            .count();
         assert!((23_000..27_000).contains(&hits), "hits = {hits}");
     }
 

@@ -26,6 +26,9 @@ pub struct Scale {
     pub label: &'static str,
 }
 
+// Only referenced from the `#[serde(default)]` attribute, which the
+// offline serde shim parses but discards.
+#[allow(dead_code)]
 fn custom_label() -> &'static str {
     "custom"
 }

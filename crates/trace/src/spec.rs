@@ -397,7 +397,11 @@ fn spec_table() -> Vec<Spec> {
             name: "sjeng",
             mem_period: 4,
             branch_biased: 860,
-            phases: one_phase(vec![hot(8 * KB, 850), walk(16 * MB, 100), walk(48 * MB, 50)]),
+            phases: one_phase(vec![
+                hot(8 * KB, 850),
+                walk(16 * MB, 100),
+                walk(48 * MB, 50),
+            ]),
         },
         Spec {
             name: "GemsFDTD",
@@ -464,13 +468,21 @@ fn spec_table() -> Vec<Spec> {
             name: "omnetpp",
             mem_period: 3,
             branch_biased: 890,
-            phases: one_phase(vec![hot(8 * KB, 800), walk(16 * MB, 130), rand(64 * MB, 70)]),
+            phases: one_phase(vec![
+                hot(8 * KB, 800),
+                walk(16 * MB, 130),
+                rand(64 * MB, 70),
+            ]),
         },
         Spec {
             name: "astar",
             mem_period: 3,
             branch_biased: 865,
-            phases: one_phase(vec![hot(8 * KB, 820), walk(16 * MB, 100), rand(96 * MB, 80)]),
+            phases: one_phase(vec![
+                hot(8 * KB, 820),
+                walk(16 * MB, 100),
+                rand(96 * MB, 80),
+            ]),
         },
         Spec {
             name: "xalancbmk",
@@ -614,10 +626,8 @@ mod tests {
         let cycle = w.cycle_len_accesses();
         let a_pcs: std::collections::HashSet<u64> =
             w.iter_range(0..5_000).map(|a| a.pc.0).collect();
-        let b_pcs: std::collections::HashSet<u64> = w
-            .iter_range(cycle - 5_000..cycle)
-            .map(|a| a.pc.0)
-            .collect();
+        let b_pcs: std::collections::HashSet<u64> =
+            w.iter_range(cycle - 5_000..cycle).map(|a| a.pc.0).collect();
         assert!(a_pcs.is_disjoint(&b_pcs), "phases share PCs");
     }
 

@@ -80,11 +80,7 @@ impl RunCost {
     /// Estimated wall-clock of the pipelined run: the slowest pass plus a
     /// one-region pipeline-fill share of every other pass.
     pub fn pipelined_wallclock(&self) -> f64 {
-        let max = self
-            .passes
-            .iter()
-            .map(|p| p.seconds)
-            .fold(0.0f64, f64::max);
+        let max = self.passes.iter().map(|p| p.seconds).fold(0.0f64, f64::max);
         let rest: f64 = self.total_resources() - max;
         max + rest / self.regions as f64
     }

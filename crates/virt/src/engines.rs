@@ -37,10 +37,7 @@ pub fn functional_scan<F: FnMut(&MemAccess)>(
     mut on_access: F,
 ) {
     let n_accesses = accesses.end.saturating_sub(accesses.start);
-    clock.charge(cost.instr_seconds(
-        WorkKind::Functional,
-        n_accesses * workload.mem_period(),
-    ));
+    clock.charge(cost.instr_seconds(WorkKind::Functional, n_accesses * workload.mem_period()));
     for a in workload.iter_range(accesses) {
         on_access(&a);
     }
@@ -111,7 +108,7 @@ pub fn watchpoint_scan<F: FnMut(&MemAccess, &mut WatchSet)>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use delorean_trace::{spec_workload, Scale, LineAddr};
+    use delorean_trace::{spec_workload, LineAddr, Scale};
 
     fn demo_workload() -> impl Workload {
         spec_workload("hmmer", Scale::tiny(), 5).unwrap()

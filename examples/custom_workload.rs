@@ -50,11 +50,16 @@ fn main() {
     let machine = MachineConfig::for_scale(scale);
 
     let reference = SmartsRunner::new(machine).run(&workload, &plan);
-    let delorean = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale))
-        .run(&workload, &plan);
+    let delorean: DeLoreanOutput = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale))
+        .run(&workload, &plan)
+        .try_into()
+        .expect("delorean extras");
 
     println!("custom workload: {}", workload.name());
-    println!("  cycle length : {} accesses", workload.cycle_len_accesses());
+    println!(
+        "  cycle length : {} accesses",
+        workload.cycle_len_accesses()
+    );
     println!("  footprint    : {} lines", workload.footprint_lines());
     println!();
     println!("  SMARTS CPI   : {:.3}", reference.cpi());

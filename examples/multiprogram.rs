@@ -50,7 +50,11 @@ fn main() {
 
     println!("solo miss ratios in a {shared_lines}-line LLC:");
     for a in &apps {
-        println!("  {:<12} {:.1}%", a.name, 100.0 * a.profile.miss_ratio(shared_lines));
+        println!(
+            "  {:<12} {:.1}%",
+            a.name,
+            100.0 * a.profile.miss_ratio(shared_lines)
+        );
     }
 
     println!("\npairwise contention (StatCC fixpoint):");

@@ -26,13 +26,27 @@ fn main() {
         plan.config.spacing_instrs
     );
 
-    let reference = SmartsRunner::new(machine).run(&workload, &plan);
-    let coolsim = CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale))
-        .run(&workload, &plan);
-    let delorean = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale))
-        .run(&workload, &plan);
+    // All strategies share the SamplingStrategy interface; the batch
+    // executor fans them out across worker threads.
+    let strategies: Vec<Box<dyn SamplingStrategy>> = vec![
+        Box::new(SmartsRunner::new(machine)),
+        Box::new(CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale))),
+        Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(scale),
+        )),
+    ];
+    let mut reports = BatchExecutor::new()
+        .run_strategies(&strategies, &workload, &plan)
+        .into_iter();
+    let reference = reports.next().unwrap().into_report();
+    let coolsim = reports.next().unwrap().into_report();
+    let delorean: DeLoreanOutput = reports.next().unwrap().try_into().unwrap();
 
-    println!("{:<10} {:>8} {:>12} {:>12}", "strategy", "CPI", "CPI error", "speedup");
+    println!(
+        "{:<10} {:>8} {:>12} {:>12}",
+        "strategy", "CPI", "CPI error", "speedup"
+    );
     println!(
         "{:<10} {:>8.3} {:>12} {:>12}",
         "SMARTS",
@@ -57,8 +71,14 @@ fn main() {
 
     let stats = &delorean.stats;
     println!("\ntime traveling:");
-    println!("  key cachelines/region (avg): {:.1}", stats.avg_keys_per_region());
-    println!("  explorers engaged (avg)    : {:.2}", stats.avg_explorers_engaged());
+    println!(
+        "  key cachelines/region (avg): {:.1}",
+        stats.avg_keys_per_region()
+    );
+    println!(
+        "  explorers engaged (avg)    : {:.2}",
+        stats.avg_explorers_engaged()
+    );
     println!(
         "  reuse distances collected  : {} (CoolSim: {})",
         delorean.report.collected_reuse_distances, coolsim.collected_reuse_distances

@@ -29,7 +29,10 @@ fn main() {
     let delorean = dse.run(&workload, &plan, &machines);
 
     println!("lbm working-set curve ({scale}):\n");
-    println!("{:>12} {:>14} {:>14}", "LLC (MB)", "SMARTS MPKI", "DeLorean MPKI");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "LLC (MB)", "SMARTS MPKI", "DeLorean MPKI"
+    );
     let mut rows = Vec::new();
     for (i, (&size, machine)) in sizes.iter().zip(&machines).enumerate() {
         let reference = SmartsRunner::new(*machine).run(&workload, &plan);

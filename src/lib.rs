@@ -25,6 +25,10 @@
 //!
 //! ## Quickstart
 //!
+//! Every warming strategy implements [`SamplingStrategy`]
+//! (re-exported in the [`prelude`]), so any mix of strategies runs
+//! through one interface — boxed for batch execution or called directly:
+//!
 //! ```
 //! use delorean::prelude::*;
 //!
@@ -34,14 +38,19 @@
 //! let plan = SamplingConfig::for_scale(scale).with_regions(3).plan();
 //! let machine = MachineConfig::for_scale(scale);
 //!
-//! let reference = SmartsRunner::new(machine).run(&workload, &plan);
-//! let delorean = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale))
-//!     .run(&workload, &plan);
+//! let strategies: Vec<Box<dyn SamplingStrategy>> = vec![
+//!     Box::new(SmartsRunner::new(machine)),
+//!     Box::new(DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale))),
+//! ];
+//! let reports: Vec<StrategyReport> =
+//!     strategies.iter().map(|s| s.run(&workload, &plan)).collect();
 //!
-//! let err = delorean.report.cpi_error_vs(&reference);
+//! let err = reports[1].cpi_error_vs(&reports[0]);
 //! assert!(err < 0.5, "CPI error {err}");
-//! assert!(delorean.report.speedup_vs(&reference) > 1.0);
+//! assert!(reports[1].speedup_vs(&reports[0]) > 1.0);
 //! ```
+//!
+//! [`SamplingStrategy`]: sampling::SamplingStrategy
 
 pub use delorean_bench as bench;
 pub use delorean_cache as cache;
@@ -54,13 +63,16 @@ pub use delorean_virt as virt;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
+    pub use delorean_bench::BatchExecutor;
     pub use delorean_cache::{CacheConfig, HierarchyConfig, MachineConfig};
     pub use delorean_core::dse::DesignSpaceExplorer;
-    pub use delorean_core::{DeLoreanConfig, DeLoreanOutput, DeLoreanRunner, TtStats};
+    pub use delorean_core::{
+        DeLoreanConfig, DeLoreanExtras, DeLoreanOutput, DeLoreanRunner, TtStats,
+    };
     pub use delorean_cpu::TimingConfig;
     pub use delorean_sampling::{
         CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, RegionPlan,
-        SamplingConfig, SimulationReport, SmartsRunner,
+        SamplingConfig, SamplingStrategy, SimulationReport, SmartsRunner, StrategyReport,
     };
     pub use delorean_trace::{
         spec2006, spec_workload, Scale, Workload, WorkloadExt, SPEC2006_NAMES,

@@ -9,10 +9,7 @@ fn workloads_are_position_addressable() {
     // Visiting accesses in any order yields identical records.
     let w = spec_workload("xalancbmk", Scale::tiny(), 42).unwrap();
     let forward: Vec<_> = w.iter_range(10_000..10_100).collect();
-    let mut backward: Vec<_> = (10_000..10_100)
-        .rev()
-        .map(|k| w.access_at(k))
-        .collect();
+    let mut backward: Vec<_> = (10_000..10_100).rev().map(|k| w.access_at(k)).collect();
     backward.reverse();
     let random_order: Vec<_> = [50u64, 3, 99, 0, 77]
         .iter()
@@ -39,8 +36,9 @@ fn every_strategy_is_run_to_run_deterministic() {
     assert_eq!(c1.total(), c2.total());
     assert_eq!(c1.collected_reuse_distances, c2.collected_reuse_distances);
 
-    let d1 = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
-    let d2 = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
+    let runner = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale));
+    let d1: DeLoreanOutput = runner.run(&w, &plan).try_into().unwrap();
+    let d2: DeLoreanOutput = runner.run(&w, &plan).try_into().unwrap();
     assert_eq!(d1.report.total(), d2.report.total());
     assert_eq!(d1.stats, d2.stats);
 }
@@ -54,7 +52,7 @@ fn pipelined_and_serial_delorean_agree_across_workloads() {
         let w = spec_workload(name, scale, 42).unwrap();
         let runner = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale));
         let serial = runner.run_serial(&w, &plan);
-        let piped = runner.run(&w, &plan);
+        let piped: DeLoreanOutput = runner.run(&w, &plan).try_into().unwrap();
         assert_eq!(serial.report.total(), piped.report.total(), "{name}");
         assert_eq!(serial.stats, piped.stats, "{name}");
         assert_eq!(serial.dsw_counts, piped.dsw_counts, "{name}");

@@ -11,8 +11,11 @@ fn dse_analyst_matches_standalone_runner() {
     let base = MachineConfig::for_scale(scale);
     let config = DeLoreanConfig::for_scale(scale);
 
-    // Standalone run at the default machine.
-    let standalone = DeLoreanRunner::new(base, config.clone()).run(&w, &plan);
+    // Standalone run at the default machine, through the strategy layer.
+    let standalone: DeLoreanOutput = DeLoreanRunner::new(base, config.clone())
+        .run(&w, &plan)
+        .try_into()
+        .unwrap();
 
     // DSE with the same machine among the analysts.
     let machines = vec![

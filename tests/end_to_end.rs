@@ -3,7 +3,9 @@
 use delorean::prelude::*;
 
 fn plan() -> RegionPlan {
-    SamplingConfig::for_scale(Scale::tiny()).with_regions(3).plan()
+    SamplingConfig::for_scale(Scale::tiny())
+        .with_regions(3)
+        .plan()
 }
 
 #[test]
@@ -12,10 +14,23 @@ fn all_24_workloads_run_through_delorean() {
     let machine = MachineConfig::for_scale(scale);
     let plan = plan();
     for w in spec2006(scale, 42) {
-        let out = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
+        let out: DeLoreanOutput = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale))
+            .run(&w, &plan)
+            .try_into()
+            .unwrap();
         assert_eq!(out.report.regions.len(), 3, "{}", w.name());
-        assert!(out.report.cpi() > 0.05, "{} CPI {}", w.name(), out.report.cpi());
-        assert!(out.report.cpi() < 30.0, "{} CPI {}", w.name(), out.report.cpi());
+        assert!(
+            out.report.cpi() > 0.05,
+            "{} CPI {}",
+            w.name(),
+            out.report.cpi()
+        );
+        assert!(
+            out.report.cpi() < 30.0,
+            "{} CPI {}",
+            w.name(),
+            out.report.cpi()
+        );
         assert_eq!(out.stats.regions, 3, "{}", w.name());
         // The level counts add up to the access count in every region.
         for r in &out.report.regions {
@@ -80,8 +95,7 @@ fn collected_reuse_distances_are_directed() {
         let delorean =
             DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
         assert!(
-            delorean.report.collected_reuse_distances * 2
-                < coolsim.collected_reuse_distances,
+            delorean.report.collected_reuse_distances * 2 < coolsim.collected_reuse_distances,
             "{name}: DSW {} vs RSW {}",
             delorean.report.collected_reuse_distances,
             coolsim.collected_reuse_distances

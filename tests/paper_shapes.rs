@@ -6,7 +6,9 @@
 use delorean::prelude::*;
 
 fn plan() -> RegionPlan {
-    SamplingConfig::for_scale(Scale::tiny()).with_regions(3).plan()
+    SamplingConfig::for_scale(Scale::tiny())
+        .with_regions(3)
+        .plan()
 }
 
 #[test]
@@ -17,8 +19,8 @@ fn bwaves_is_the_best_case_for_time_traveling() {
     let bwaves = spec_workload("bwaves", scale, 42).unwrap();
     let gems = spec_workload("GemsFDTD", scale, 42).unwrap();
     let runner = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale));
-    let out_b = runner.run(&bwaves, &plan);
-    let out_g = runner.run(&gems, &plan);
+    let out_b: DeLoreanOutput = runner.run(&bwaves, &plan).try_into().unwrap();
+    let out_g: DeLoreanOutput = runner.run(&gems, &plan).try_into().unwrap();
     // bwaves: hardly any keys, hardly any explorers (paper: < 1 average).
     assert!(
         out_b.stats.avg_explorers_engaged() < 1.0,
@@ -85,7 +87,10 @@ fn povray_pays_for_page_granularity() {
     let machine = MachineConfig::for_scale(scale);
     let plan = plan();
     let w = spec_workload("povray", scale, 42).unwrap();
-    let out = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
+    let out: DeLoreanOutput = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale))
+        .run(&w, &plan)
+        .try_into()
+        .unwrap();
     assert!(
         out.stats.false_positive_traps > out.stats.true_hit_traps,
         "expected false positives to dominate: fp={} th={}",
@@ -100,7 +105,10 @@ fn conflict_stride_model_fires_on_strided_workloads() {
     let machine = MachineConfig::for_scale(scale);
     let plan = plan();
     let w = spec_workload("hmmer", scale, 42).unwrap();
-    let out = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&w, &plan);
+    let out: DeLoreanOutput = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale))
+        .run(&w, &plan)
+        .try_into()
+        .unwrap();
     // hmmer carries a 512-byte-stride stream; the limited-associativity
     // model must detect at least some strided PCs over the run (counted
     // indirectly via classification or assoc stats on any region).

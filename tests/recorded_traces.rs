@@ -15,8 +15,8 @@ fn recorded_trace_runs_all_strategies() {
     let machine = MachineConfig::for_scale(scale);
 
     let smarts = SmartsRunner::new(machine).run(&trace, &plan);
-    let delorean = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale))
-        .run(&trace, &plan);
+    let delorean =
+        DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale)).run(&trace, &plan);
     assert!(smarts.cpi() > 0.0);
     assert!(delorean.report.cpi() > 0.0);
     let err = delorean.report.cpi_error_vs(&smarts);

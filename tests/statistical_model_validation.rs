@@ -1,9 +1,9 @@
 //! Cross-crate validation: statistical predictions vs exact simulation on
 //! real suite workloads (not synthetic unit-test streams).
 
+use delorean::prelude::*;
 use delorean::statmodel::exact::lru_misses;
 use delorean::statmodel::ReuseProfile;
-use delorean::prelude::*;
 use delorean::trace::LineAddr;
 
 /// Build a full (unsampled) reuse profile of a workload slice.
