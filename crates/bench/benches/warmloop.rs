@@ -1,0 +1,83 @@
+//! Warm-loop microbenchmarks: indexed (`access_at`) vs streaming
+//! (`Workload::cursor`) access generation, per workload family.
+//!
+//! The warm loops are the dominant hot path of every sampling strategy;
+//! these benches track the two access paths side by side so a regression
+//! in either is visible. `bench_pr2` emits the same comparison as
+//! machine-readable JSON (`BENCH_PR2.json`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use delorean_bench::warmloop::{drain, AccessPath};
+use delorean_trace::{Pattern, PhasedWorkloadBuilder, RecordedTrace, Scale, StreamSpec, Workload};
+
+const ACCESSES: u64 = 100_000;
+
+fn bench_both_paths(c: &mut Criterion, group: &str, workload: &dyn Workload) {
+    let mut g = c.benchmark_group(group);
+    g.throughput(Throughput::Elements(ACCESSES));
+    g.bench_function("indexed", |b| {
+        b.iter(|| {
+            black_box(drain(
+                workload,
+                AccessPath::Indexed,
+                1_000..1_000 + ACCESSES,
+            ))
+        })
+    });
+    g.bench_function("streaming", |b| {
+        b.iter(|| {
+            black_box(drain(
+                workload,
+                AccessPath::Streaming,
+                1_000..1_000 + ACCESSES,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn phased_suite(c: &mut Criterion) {
+    // One representative per suite behaviour class: hot-set dominated,
+    // permutation-walk heavy, sequential sweeps, random tails.
+    for name in ["bwaves", "perlbench", "lbm", "mcf"] {
+        let w = delorean_trace::spec_workload(name, Scale::demo(), 42).unwrap();
+        bench_both_paths(c, &format!("warmloop/phased/{name}"), &w);
+    }
+}
+
+fn pattern_primitives(c: &mut Criterion) {
+    let patterns = [
+        (
+            "stream",
+            Pattern::Stream {
+                lines: 4096,
+                stride_lines: 3,
+            },
+        ),
+        ("walk", Pattern::PermutationWalk { lines: 4096 }),
+        ("random", Pattern::RandomUniform { lines: 4096 }),
+        (
+            "strided",
+            Pattern::StridedScan {
+                lines: 512,
+                stride_lines: 8,
+            },
+        ),
+    ];
+    for (tag, pattern) in patterns {
+        let w = PhasedWorkloadBuilder::new(format!("pattern-{tag}"), 7)
+            .phase(1_000_000, vec![StreamSpec::new(pattern, 1)])
+            .build()
+            .unwrap();
+        bench_both_paths(c, &format!("warmloop/pattern/{tag}"), &w);
+    }
+}
+
+fn recorded_replay(c: &mut Criterion) {
+    let src = delorean_trace::spec_workload("hmmer", Scale::tiny(), 42).unwrap();
+    let trace = RecordedTrace::capture(&src, 0..50_000);
+    bench_both_paths(c, "warmloop/recorded/hmmer", &trace);
+}
+
+criterion_group!(benches, phased_suite, pattern_primitives, recorded_replay);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! Warm-loop perf harness: writes `BENCH_PR2.json`, the first point of
+//! the repository's perf trajectory.
+//!
+//! Measures, per workload family, the accesses/second of the two access
+//! paths (indexed `access_at` regeneration vs the streaming
+//! `Workload::cursor`), and the end-to-end wall time of each sampling
+//! strategy's region loop — all of which now run on the streaming path.
+//!
+//! Flags: `--quick` (CI smoke: one repeat over short ranges),
+//! `--out PATH` (default `BENCH_PR2.json`).
+
+use delorean_bench::warmloop::{measure, AccessPath};
+use delorean_core::{DeLoreanConfig, DeLoreanRunner};
+use delorean_sampling::{
+    CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, SamplingConfig,
+    SamplingStrategy, SmartsRunner,
+};
+use delorean_trace::{
+    spec_workload, Pattern, PhasedWorkloadBuilder, RecordedTrace, Scale, StreamSpec, Workload,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct GenerationRow {
+    workload: String,
+    family: &'static str,
+    indexed: f64,
+    streaming: f64,
+    checksums_match: bool,
+}
+
+fn measured_workloads() -> Vec<(&'static str, Box<dyn Workload>)> {
+    let mut v: Vec<(&'static str, Box<dyn Workload>)> = Vec::new();
+    // Phased family: one representative per suite behaviour class.
+    for name in ["bwaves", "perlbench", "lbm", "mcf", "GemsFDTD"] {
+        v.push((
+            "phased",
+            Box::new(spec_workload(name, Scale::demo(), 42).unwrap()),
+        ));
+    }
+    // Pattern primitives in isolation.
+    let patterns = [
+        (
+            "pattern-stream",
+            Pattern::Stream {
+                lines: 4096,
+                stride_lines: 3,
+            },
+        ),
+        ("pattern-walk", Pattern::PermutationWalk { lines: 4096 }),
+        ("pattern-random", Pattern::RandomUniform { lines: 4096 }),
+    ];
+    for (tag, pattern) in patterns {
+        v.push((
+            "pattern",
+            Box::new(
+                PhasedWorkloadBuilder::new(tag, 7)
+                    .phase(1_000_000, vec![StreamSpec::new(pattern, 1)])
+                    .build()
+                    .unwrap(),
+            ),
+        ));
+    }
+    // Recorded replay.
+    let src = spec_workload("hmmer", Scale::tiny(), 42).unwrap();
+    v.push((
+        "recorded",
+        Box::new(RecordedTrace::capture(&src, 0..50_000)),
+    ));
+    v
+}
+
+fn strategies(scale: Scale) -> Vec<Box<dyn SamplingStrategy>> {
+    let machine = delorean_cache::MachineConfig::for_scale(scale);
+    vec![
+        Box::new(SmartsRunner::new(machine)),
+        Box::new(CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale))),
+        Box::new(MrrlRunner::new(machine)),
+        Box::new(CheckpointWarmingRunner::new(machine)),
+        Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(scale),
+        )),
+    ]
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+
+    let accesses: u64 = if quick { 200_000 } else { 2_000_000 };
+    let repeats: u32 = if quick { 1 } else { 3 };
+
+    // --- Generation rates: indexed vs streaming, per workload. ---
+    let mut rows = Vec::new();
+    for (family, w) in measured_workloads() {
+        let range = 1_000..1_000 + accesses;
+        let idx = measure(w.as_ref(), AccessPath::Indexed, range.clone(), repeats);
+        let strm = measure(w.as_ref(), AccessPath::Streaming, range, repeats);
+        eprintln!(
+            "{:<16} {:>8.1} Macc/s indexed   {:>8.1} Macc/s streaming   ({:.2}x)",
+            w.name(),
+            idx.accesses_per_sec / 1e6,
+            strm.accesses_per_sec / 1e6,
+            strm.accesses_per_sec / idx.accesses_per_sec,
+        );
+        rows.push(GenerationRow {
+            workload: w.name().to_string(),
+            family,
+            indexed: idx.accesses_per_sec,
+            streaming: strm.accesses_per_sec,
+            checksums_match: idx.checksum == strm.checksum,
+        });
+    }
+    assert!(
+        rows.iter().all(|r| r.checksums_match),
+        "streaming cursor diverged from access_at"
+    );
+    let phased_speedups: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.family == "phased")
+        .map(|r| r.streaming / r.indexed)
+        .collect();
+    let phased_geomean = geomean(&phased_speedups);
+
+    // --- End-to-end strategy region time (all warm loops streaming). ---
+    let scale = Scale::tiny();
+    let plan = SamplingConfig::for_scale(scale)
+        .with_regions(if quick { 2 } else { 3 })
+        .plan();
+    let strategy_workload = spec_workload("hmmer", scale, 1).unwrap();
+    let mut strategy_rows = Vec::new();
+    for s in strategies(scale) {
+        let t = Instant::now();
+        let report = s.run(&strategy_workload, &plan);
+        let wall = t.elapsed().as_secs_f64();
+        eprintln!(
+            "{:<12} end-to-end {:>8.3} s (cpi {:.3})",
+            s.name(),
+            wall,
+            report.cpi()
+        );
+        strategy_rows.push((s.name().to_string(), wall, report.cpi()));
+    }
+
+    // --- Emit JSON (hand-rolled: the serde shim has no serializer). ---
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"pr\": 2,");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    let _ = writeln!(j, "  \"accesses_per_workload\": {accesses},");
+    j.push_str("  \"generation\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"family\": \"{}\", \"indexed_accesses_per_sec\": {:.0}, \"streaming_accesses_per_sec\": {:.0}, \"speedup\": {:.3}}}{}",
+            json_escape(&r.workload),
+            r.family,
+            r.indexed,
+            r.streaming,
+            r.streaming / r.indexed,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(j, "  \"phased_geomean_speedup\": {phased_geomean:.3},");
+    j.push_str("  \"strategy_end_to_end\": [\n");
+    for (i, (name, wall, cpi)) in strategy_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"strategy\": \"{}\", \"workload\": \"hmmer\", \"scale\": \"tiny\", \"wall_seconds\": {:.4}, \"cpi\": {:.4}}}{}",
+            json_escape(name),
+            wall,
+            cpi,
+            if i + 1 < strategy_rows.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &j).expect("write BENCH_PR2.json");
+    eprintln!("phased warm-loop geomean speedup: {phased_geomean:.2}x");
+    eprintln!("wrote {out_path}");
+
+    // The PR's acceptance bar: streaming must beat indexed generation by
+    // ≥ 1.5x on the phased warm loop.
+    if phased_geomean < 1.5 {
+        eprintln!("WARNING: phased geomean speedup below the 1.5x acceptance bar");
+        std::process::exit(1);
+    }
+}

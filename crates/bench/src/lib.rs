@@ -35,6 +35,7 @@ pub mod experiments;
 mod options;
 mod runs;
 mod table;
+pub mod warmloop;
 
 pub use options::ExpOptions;
 pub use runs::{

@@ -1,0 +1,96 @@
+//! Warm-loop perf measurement: indexed vs streaming access generation.
+//!
+//! The warm loops (functional warming, watchpoint scans, profiling
+//! windows) dominate every strategy's wall clock, and they all reduce to
+//! "generate a contiguous range of accesses and fold them into some
+//! state". This module measures exactly that kernel both ways — through
+//! the stateless [`access_at`](delorean_trace::Workload::access_at)
+//! fallback ([`IndexedCursor`]) and through the workload's streaming
+//! [`cursor`](delorean_trace::Workload::cursor) — and is shared by the
+//! `warmloop` criterion bench and the `bench_pr2` JSON perf harness.
+
+use delorean_trace::{AccessCursor, IndexedCursor, Workload, CURSOR_BATCH};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Which access path a measurement exercised.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Per-access regeneration through `access_at` (`IndexedCursor`).
+    Indexed,
+    /// The workload's streaming cursor.
+    Streaming,
+}
+
+/// Drain `range` through the chosen access path, folding a checksum so
+/// the generation cannot be optimized away. Returns the checksum.
+pub fn drain(workload: &dyn Workload, path: AccessPath, range: Range<u64>) -> u64 {
+    let mut cursor: Box<dyn AccessCursor + '_> = match path {
+        AccessPath::Indexed => Box::new(IndexedCursor::new(workload, range)),
+        AccessPath::Streaming => workload.cursor(range),
+    };
+    let mut buf = Vec::with_capacity(CURSOR_BATCH);
+    let mut acc = 0u64;
+    while cursor.fill(&mut buf, CURSOR_BATCH) > 0 {
+        for a in &buf {
+            acc ^= a
+                .addr
+                .0
+                .wrapping_add(a.pc.0)
+                .rotate_left((a.index % 63) as u32);
+        }
+    }
+    acc
+}
+
+/// One measured warm-loop rate.
+#[derive(Copy, Clone, Debug)]
+pub struct WarmLoopRate {
+    /// Accesses generated per wall-clock second (best of `repeats`).
+    pub accesses_per_sec: f64,
+    /// Fold checksum (identical across paths by the cursor contract).
+    pub checksum: u64,
+}
+
+/// Measure accesses/second of `path` over `range`, best of `repeats`
+/// runs (wall-clock noise shrinks the rate, never inflates it).
+pub fn measure(
+    workload: &dyn Workload,
+    path: AccessPath,
+    range: Range<u64>,
+    repeats: u32,
+) -> WarmLoopRate {
+    let n = range.end.saturating_sub(range.start);
+    let mut best = f64::MAX;
+    let mut checksum = 0;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        checksum = drain(workload, path, range.clone());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    WarmLoopRate {
+        accesses_per_sec: n as f64 / best.max(1e-12),
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_trace::{spec_workload, Scale};
+
+    #[test]
+    fn both_paths_fold_the_same_checksum() {
+        let w = spec_workload("perlbench", Scale::tiny(), 42).unwrap();
+        let a = drain(&w, AccessPath::Indexed, 1_000..9_000);
+        let b = drain(&w, AccessPath::Streaming, 1_000..9_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn measure_reports_a_positive_rate() {
+        let w = spec_workload("bwaves", Scale::tiny(), 42).unwrap();
+        let r = measure(&w, AccessPath::Streaming, 0..20_000, 1);
+        assert!(r.accesses_per_sec > 0.0);
+    }
+}

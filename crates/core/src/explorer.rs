@@ -116,12 +116,12 @@ pub fn run_explorer(
         ..Default::default()
     };
 
-    for a in workload.iter_range(first..end) {
+    workload.for_each_access(first..end, |a| {
         let line = a.line();
         // Trap accounting (VDP explorers only): any access to a watched
         // page costs a trap, watched line or not.
         if !functional {
-            match watch.classify(&a) {
+            match watch.classify(a) {
                 Trap::None => {}
                 Trap::FalsePositive => {
                     scan.false_positives += 1;
@@ -154,7 +154,7 @@ pub fn run_explorer(
                 watch.watch_line(line);
             }
         }
-    }
+    });
     // Vicinity samples with no reuse before the scan end are *censored*:
     // the reuse is at least as long as the remaining window. Record them
     // at the censoring distance (a lower bound) rather than as cold —

@@ -68,16 +68,16 @@ pub fn scout_region(
     let region_end = workload.access_index_at_instr(region.detailed.end);
 
     // Warm the replica.
-    for a in workload.iter_range(warm_first..region_first) {
+    workload.for_each_access(warm_first..region_first, |a| {
         if !l1.lookup(a.line()) && mshr.on_miss(a.line(), a.index) == MshrOutcome::Allocated {
             l1.fill(a.line());
         }
-    }
+    });
     // Walk the region: first access per line decides key-ness.
     let mut keyset = KeySet::new();
     let mut assoc = LimitedAssocModel::new();
     let mut seen = std::collections::HashSet::new();
-    for a in workload.iter_range(region_first..region_end) {
+    workload.for_each_access(region_first..region_end, |a| {
         let line = a.line();
         assoc.observe(a.pc, line);
         let first_access = seen.insert(line);
@@ -95,7 +95,7 @@ pub fn scout_region(
                 },
             );
         }
-    }
+    });
     debug_assert!(region_end * p >= region.detailed.start);
     ScoutOutput { keyset, assoc }
 }

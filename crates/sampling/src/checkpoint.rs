@@ -106,9 +106,9 @@ impl CheckpointWarmingRunner {
                 self.cost
                     .instr_seconds(WorkKind::Functional, span * p * mult),
             );
-            for a in workload.iter_range(pos_access..warm_end_access) {
+            workload.for_each_access(pos_access..warm_end_access, |a| {
                 hierarchy.access_data(a.pc, a.line(), a.index);
-            }
+            });
             snapshots.push(hierarchy.snapshot());
             pos_access = warm_end_access;
         }

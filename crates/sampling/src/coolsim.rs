@@ -150,9 +150,9 @@ impl SamplingStrategy for CoolSimRunner {
             // The interval runs under VFF (charged at represented
             // magnitude); traps are charged per event at face value.
             driver.charge_work(WorkKind::Vff, len * p * mult);
-            for a in workload.iter_range(first..last) {
+            workload.for_each_access(first..last, |a| {
                 let k = a.index;
-                match watch.classify(&a) {
+                match watch.classify(a) {
                     Trap::None => {}
                     Trap::FalsePositive => driver.charge_seconds(trap_seconds),
                     Trap::Hit(line) => {
@@ -172,7 +172,7 @@ impl SamplingStrategy for CoolSimRunner {
                     pending.insert(a.line(), k);
                     watch.watch_line(a.line());
                 }
-            }
+            });
             // Unresolved samples: reuse longer than the remaining interval.
             // CoolSim has no better information than "very long"; attribute
             // cold weight to the sampled access's PC.

@@ -67,11 +67,11 @@ impl MrrlRunner {
         let start = around_access.saturating_sub(self.profile_accesses);
         let mut hist = LogHistogram::new();
         let mut last: HashMap<_, u64> = HashMap::new();
-        for a in workload.iter_range(start..around_access) {
+        workload.for_each_access(start..around_access, |a| {
             if let Some(prev) = last.insert(a.line(), a.index) {
                 hist.add((a.index - prev) * p, 1.0);
             }
-        }
+        });
         if hist.is_empty() {
             return self.profile_accesses * p;
         }
@@ -109,9 +109,9 @@ impl SamplingStrategy for MrrlRunner {
             let mut hierarchy = Hierarchy::new(&self.machine);
             let from = workload.access_index_at_instr(warm_start);
             let to = workload.access_index_at_instr(region.warming.start);
-            for a in workload.iter_range(from..to) {
+            workload.for_each_access(from..to, |a| {
                 hierarchy.access_data(a.pc, a.line(), a.index);
-            }
+            });
 
             let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
             driver.measure_region(region, &mut source);

@@ -42,36 +42,52 @@ impl SimulationReport {
     }
 
     /// Aggregate CPI over all regions.
+    ///
+    /// Returns 0 for an empty plan or zero simulated instructions —
+    /// never NaN, so degenerate runs stay plottable.
     pub fn cpi(&self) -> f64 {
         self.total().cpi()
     }
 
-    /// Aggregate LLC MPKI over all regions.
+    /// Aggregate LLC MPKI over all regions (0 for zero instructions).
     pub fn llc_mpki(&self) -> f64 {
         self.total().llc_mpki()
     }
 
     /// Relative CPI error against a reference report, in `[0, ∞)`.
+    ///
+    /// Both reports empty (CPI 0 vs CPI 0) compares equal: error 0.
     pub fn cpi_error_vs(&self, reference: &SimulationReport) -> f64 {
         crate::metrics::relative_error(self.cpi(), reference.cpi())
     }
 
-    /// Effective simulation speed in MIPS under pipelined execution.
+    /// Effective simulation speed in MIPS under pipelined execution
+    /// (0 for a zero-cost run).
     pub fn mips_pipelined(&self) -> f64 {
         mips(self.covered_instrs, self.cost.pipelined_wallclock())
     }
 
-    /// Effective simulation speed in MIPS under serial execution.
+    /// Effective simulation speed in MIPS under serial execution
+    /// (0 for a zero-cost run).
     pub fn mips_serial(&self) -> f64 {
         mips(self.covered_instrs, self.cost.serial_wallclock())
     }
 
     /// Speed relative to a reference report (both pipelined).
+    ///
+    /// Degenerate zero-cost reports (empty plans) stay finite: two
+    /// zero-cost runs compare equal (1.0), and a zero-cost run measured
+    /// against a real one reports 0.0 — conservative, and safe to feed
+    /// into geomeans — rather than ±∞.
     pub fn speedup_vs(&self, reference: &SimulationReport) -> f64 {
         let mine = self.cost.pipelined_wallclock();
         let theirs = reference.cost.pipelined_wallclock();
         if mine <= 0.0 {
-            0.0
+            if theirs <= 0.0 {
+                1.0
+            } else {
+                0.0
+            }
         } else {
             theirs / mine
         }
@@ -119,6 +135,32 @@ mod tests {
         let a = report_with(1000.0, 1000, 2.0, 10_000_000);
         assert!((a.mips_pipelined() - 5.0).abs() < 1e-9);
         assert!((a.mips_serial() - 5.0).abs() < 1e-9);
+    }
+
+    /// Empty plans and zero-instruction regions must yield well-defined
+    /// (finite, zero) metrics — never NaN/∞ leaking into figure output.
+    #[test]
+    fn empty_and_zero_instruction_reports_stay_finite() {
+        let empty = SimulationReport::default();
+        assert_eq!(empty.cpi(), 0.0);
+        assert_eq!(empty.llc_mpki(), 0.0);
+        assert_eq!(empty.mips_pipelined(), 0.0);
+        assert_eq!(empty.mips_serial(), 0.0);
+        assert_eq!(empty.cpi_error_vs(&empty), 0.0);
+        assert_eq!(empty.speedup_vs(&empty), 1.0);
+
+        // Zero-instruction region (e.g. a degenerate plan entry).
+        let zero_region = report_with(0.0, 0, 0.0, 0);
+        assert_eq!(zero_region.cpi(), 0.0);
+        assert_eq!(zero_region.llc_mpki(), 0.0);
+        assert!(zero_region.cpi().is_finite());
+
+        // Zero-cost vs real-cost comparisons stay finite and ordered.
+        let real = report_with(1000.0, 1000, 1.0, 1_000_000);
+        assert_eq!(empty.speedup_vs(&real), 0.0);
+        assert!((real.speedup_vs(&empty) - 0.0).abs() < 1e-12);
+        assert_eq!(empty.cpi_error_vs(&real), 1.0);
+        assert!(real.cpi_error_vs(&empty).is_finite());
     }
 
     #[test]

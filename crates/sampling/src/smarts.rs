@@ -65,9 +65,9 @@ impl SamplingStrategy for SmartsRunner {
             let warm_end_access = region.warming.start / p;
             let span = warm_end_access.saturating_sub(pos_access);
             driver.charge_work(WorkKind::Functional, span * p * mult);
-            for a in workload.iter_range(pos_access..warm_end_access) {
+            workload.for_each_access(pos_access..warm_end_access, |a| {
                 hierarchy.access_data(a.pc, a.line(), a.index);
-            }
+            });
 
             // Detailed warming + detailed region on the (fully warm)
             // hierarchy.

@@ -183,17 +183,25 @@ impl LogHistogram {
             return 0;
         }
         let target = self.total * q.clamp(0.0, 1.0);
+        // `acc` sums in bucket order while `total` was accumulated in
+        // insertion order, so float rounding can leave `acc` a hair below
+        // `target` even after the last occupied bucket. Never answer past
+        // the last non-empty bucket — falling through to the overflow
+        // bucket would report a ~2^48 distance for a histogram whose
+        // weight sits entirely in low buckets.
         let mut acc = 0.0;
+        let mut last_nonempty = 0;
         for (b, &c) in self.counts.iter().enumerate() {
             if c == 0.0 {
                 continue;
             }
             acc += c;
+            last_nonempty = b;
             if acc >= target {
                 return Self::bucket_rep(b);
             }
         }
-        Self::bucket_rep(NUM_BUCKETS - 1)
+        Self::bucket_rep(last_nonempty)
     }
 }
 
@@ -315,6 +323,53 @@ mod tests {
         assert!(h.quantile(0.5) >= 49 && h.quantile(0.5) <= 51);
         assert_eq!(h.quantile(0.0), 1);
         assert!(h.quantile(1.0) >= 99);
+    }
+
+    #[test]
+    fn quantile_boundaries_and_single_bucket() {
+        // Single-bucket histogram: every quantile is that bucket.
+        let mut h = LogHistogram::new();
+        for _ in 0..3 {
+            h.add(42, 0.1);
+        }
+        assert_eq!(h.quantile(0.0), 42);
+        assert_eq!(h.quantile(0.5), 42);
+        assert_eq!(h.quantile(1.0), 42);
+        // Out-of-range q is clamped.
+        assert_eq!(h.quantile(-1.0), 42);
+        assert_eq!(h.quantile(7.0), 42);
+
+        // Two buckets: q = 0 answers the first, q = 1 the last.
+        let mut h = LogHistogram::new();
+        h.add(3, 1.0);
+        h.add(90, 2.0);
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(1.0), 90);
+    }
+
+    /// Regression: `quantile(1.0)` must never fall through to the
+    /// overflow bucket (a ~2^48 representative) on float rounding. The
+    /// bucket-order accumulation can round below the insertion-order
+    /// `total`; sweep many adversarial weight mixes to exercise it.
+    #[test]
+    fn quantile_one_never_exceeds_the_last_nonempty_bucket() {
+        for case in 0..200u64 {
+            let mut h = LogHistogram::new();
+            let mut max_d = 0;
+            for i in 0..(3 + case % 17) {
+                // Weights like 0.1/0.3/0.7 accumulate differently in
+                // insertion vs bucket order.
+                let w = 0.1 + ((case * 31 + i * 7) % 13) as f64 * 0.1;
+                let d = 1 + (case * 97 + i * 41) % 500;
+                h.add(d, w);
+                max_d = max_d.max(d);
+            }
+            let q1 = h.quantile(1.0);
+            assert!(
+                q1 <= LogHistogram::bucket_rep(LogHistogram::bucket_of(max_d)),
+                "case {case}: quantile(1.0) = {q1} beyond max distance {max_d}"
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Iteration over a range of workload accesses.
 
+use crate::cursor::{AccessCursor, CURSOR_BATCH};
 use crate::types::MemAccess;
 use crate::Workload;
 use std::fmt;
@@ -8,11 +9,16 @@ use std::ops::Range;
 /// Iterator over the accesses of a [`Workload`] with indices in a range.
 ///
 /// Produced by [`WorkloadExt::iter_range`](crate::WorkloadExt::iter_range);
-/// works with both concrete workloads and `dyn Workload`.
+/// works with both concrete workloads and `dyn Workload`. Backed by the
+/// workload's streaming [`AccessCursor`], refilled in batches of
+/// [`CURSOR_BATCH`], so iteration over a `PhasedWorkload` or
+/// `RecordedTrace` runs on the streaming fast path rather than
+/// regenerating every access through `access_at`.
 pub struct AccessIter<'w, W: Workload + ?Sized> {
     workload: &'w W,
-    next: u64,
-    end: u64,
+    cursor: Box<dyn AccessCursor + 'w>,
+    buf: Vec<MemAccess>,
+    pos: usize,
 }
 
 impl<'w, W: Workload + ?Sized> AccessIter<'w, W> {
@@ -20,18 +26,27 @@ impl<'w, W: Workload + ?Sized> AccessIter<'w, W> {
     pub fn new(workload: &'w W, range: Range<u64>) -> Self {
         AccessIter {
             workload,
-            next: range.start,
-            end: range.end.max(range.start),
+            cursor: workload.cursor(range),
+            buf: Vec::new(),
+            pos: 0,
         }
+    }
+
+    /// Accesses left to yield (buffered plus not yet generated).
+    fn remaining(&self) -> u64 {
+        self.cursor.remaining() + (self.buf.len() - self.pos) as u64
     }
 }
 
 impl<W: Workload + ?Sized> fmt::Debug for AccessIter<'_, W> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The cursor prefetches a batch, so its position runs ahead of
+        // the iterator; report the index the next `next()` will yield.
+        let next = self.cursor.position() - (self.buf.len() - self.pos) as u64;
         f.debug_struct("AccessIter")
             .field("workload", &self.workload.name())
-            .field("next", &self.next)
-            .field("end", &self.end)
+            .field("next", &next)
+            .field("end", &self.cursor.end())
             .finish()
     }
 }
@@ -41,20 +56,34 @@ impl<W: Workload + ?Sized> Iterator for AccessIter<'_, W> {
 
     #[inline]
     fn next(&mut self) -> Option<MemAccess> {
-        if self.next >= self.end {
-            return None;
+        if self.pos == self.buf.len() {
+            if self.cursor.fill(&mut self.buf, CURSOR_BATCH) == 0 {
+                return None;
+            }
+            self.pos = 0;
         }
-        let a = self.workload.access_at(self.next);
-        self.next += 1;
+        let a = self.buf[self.pos];
+        self.pos += 1;
         Some(a)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = (self.end - self.next) as usize;
-        (n, Some(n))
+        // The remaining count is a u64; on hosts where usize is narrower
+        // the cast must saturate rather than truncate (and the upper
+        // bound becomes unknown), otherwise `len` would lie on ranges
+        // exceeding usize::MAX.
+        match usize::try_from(self.remaining()) {
+            Ok(n) => (n, Some(n)),
+            Err(_) => (usize::MAX, None),
+        }
     }
 }
 
+// On 64-bit hosts the u64 remaining count always fits in usize, so the
+// size hint is exact and the `ExactSizeIterator` contract holds. On
+// narrower hosts a range can exceed usize::MAX, where no honest `len`
+// exists — the impl is gated out rather than allowed to lie.
+#[cfg(target_pointer_width = "64")]
 impl<W: Workload + ?Sized> ExactSizeIterator for AccessIter<'_, W> {}
 
 #[cfg(test)]
@@ -92,5 +121,33 @@ mod tests {
         let it = w.iter_range(0..17);
         assert_eq!(it.size_hint(), (17, Some(17)));
         assert_eq!(it.len(), 17);
+    }
+
+    #[test]
+    fn size_hint_counts_down_across_buffer_refills() {
+        let w = spec_workload("namd", Scale::tiny(), 3).unwrap();
+        let n = (crate::CURSOR_BATCH as u64) * 2 + 5;
+        let mut it = w.iter_range(0..n);
+        for left in (0..n).rev() {
+            assert!(it.next().is_some());
+            assert_eq!(it.size_hint(), (left as usize, Some(left as usize)));
+        }
+        assert!(it.next().is_none());
+    }
+
+    /// Regression test for the unchecked `u64 → usize` cast: a range
+    /// whose length exceeds what fits in `usize` must saturate the lower
+    /// bound instead of wrapping (on 64-bit hosts it stays exact; either
+    /// way `size_hint` must not lie small).
+    #[test]
+    fn huge_range_size_hint_saturates_instead_of_wrapping() {
+        let w = spec_workload("namd", Scale::tiny(), 3).unwrap();
+        let it = w.iter_range(0..u64::MAX);
+        let (lo, hi) = it.size_hint();
+        if let Ok(exact) = usize::try_from(u64::MAX) {
+            assert_eq!((lo, hi), (exact, Some(exact)));
+        } else {
+            assert_eq!((lo, hi), (usize::MAX, None));
+        }
     }
 }

@@ -18,6 +18,26 @@
 //! execution — playing the role that hardware virtualization (KVM) plays in
 //! the paper.
 //!
+//! # Two access paths
+//!
+//! Consumers reach a workload's accesses through one of two paths:
+//!
+//! * **Random access** — [`Workload::access_at`]: stateless `O(1)`
+//!   regeneration of any single index. Used by DSW key probes, the
+//!   detailed-simulation loop, and tests.
+//! * **Streaming** — [`Workload::cursor`] / [`AccessCursor`]: batched
+//!   sequential generation that hoists per-range work (phase lookup,
+//!   permutation setup) out of the loop and advances stream-local state
+//!   incrementally. Every warm loop (functional warming, watchpoint
+//!   scans, profiling windows) runs on this path, via
+//!   [`WorkloadExt::for_each_access`] or [`WorkloadExt::iter_range`].
+//!
+//! Both paths are pinned byte-identical by property tests; custom
+//! [`Workload`] implementors get a correct (indexed) cursor for free and
+//! should override [`Workload::cursor`] only when sequential generation
+//! can share work between neighbouring indices — see the [`cursor`
+//! module](AccessCursor) docs for guidance.
+//!
 //! # Quick example
 //!
 //! ```
@@ -34,6 +54,7 @@
 #![warn(missing_debug_implementations)]
 
 mod branch;
+mod cursor;
 mod iter;
 mod pattern;
 mod phased;
@@ -44,10 +65,11 @@ mod spec;
 mod types;
 
 pub use branch::{BranchEvent, BranchModel};
+pub use cursor::{AccessCursor, IndexedCursor, CURSOR_BATCH};
 pub use iter::AccessIter;
-pub use pattern::Pattern;
-pub use phased::{PhaseSpec, PhasedWorkload, PhasedWorkloadBuilder, StreamSpec};
-pub use recorded::{RecordedAccess, RecordedTrace, RecordedTraceBuilder};
+pub use pattern::{Pattern, PatternCursor};
+pub use phased::{PhaseSpec, PhasedCursor, PhasedWorkload, PhasedWorkloadBuilder, StreamSpec};
+pub use recorded::{RecordedAccess, RecordedCursor, RecordedTrace, RecordedTraceBuilder};
 pub use rng::{mix64, CounterRng};
 pub use scale::Scale;
 pub use spec::{spec2006, spec_workload, SPEC2006_NAMES};
@@ -97,6 +119,24 @@ pub trait Workload: Send + Sync {
     fn instr_of_access(&self, k: u64) -> u64 {
         k * self.mem_period()
     }
+
+    /// A streaming cursor over the accesses with indices in `range` —
+    /// the sequential counterpart to [`access_at`](Workload::access_at).
+    ///
+    /// The default implementation is the [`IndexedCursor`] fallback
+    /// (correct for every workload, no faster than `access_at`).
+    /// Implementations should override this whenever neighbouring
+    /// indices share derivable state — hoisted phase lookups,
+    /// incrementally advanced pattern positions — as
+    /// [`PhasedWorkload`] and [`RecordedTrace`] do.
+    ///
+    /// The contract is strict: the cursor must yield **byte-identical**
+    /// [`MemAccess`] records to `access_at(k)` for every `k` in `range`
+    /// (pinned by the equivalence property tests in
+    /// `tests/properties.rs`).
+    fn cursor<'a>(&'a self, range: Range<u64>) -> Box<dyn AccessCursor + 'a> {
+        Box::new(IndexedCursor::new(self, range))
+    }
 }
 
 impl<W: Workload + ?Sized> Workload for &W {
@@ -127,6 +167,10 @@ impl<W: Workload + ?Sized> Workload for &W {
     fn instr_of_access(&self, k: u64) -> u64 {
         (**self).instr_of_access(k)
     }
+
+    fn cursor<'a>(&'a self, range: Range<u64>) -> Box<dyn AccessCursor + 'a> {
+        (**self).cursor(range)
+    }
 }
 
 impl fmt::Debug for dyn Workload + '_ {
@@ -152,6 +196,32 @@ pub trait WorkloadExt: Workload {
     /// ```
     fn iter_range(&self, range: Range<u64>) -> AccessIter<'_, Self> {
         AccessIter::new(self, range)
+    }
+
+    /// Visit every access with index in `range`, in order, through the
+    /// workload's streaming cursor in batches of [`CURSOR_BATCH`].
+    ///
+    /// This is the preferred form for sequential hot loops (functional
+    /// warming, watchpoint scans, profiling windows): one virtual call
+    /// per batch instead of one per access, and none of the `Option`
+    /// plumbing of an iterator.
+    ///
+    /// ```
+    /// use delorean_trace::{spec_workload, Scale, WorkloadExt};
+    ///
+    /// let w = spec_workload("bwaves", Scale::tiny(), 1).unwrap();
+    /// let mut n = 0u64;
+    /// w.for_each_access(0..100, |a| n += u64::from(a.is_store()));
+    /// assert!(n <= 100);
+    /// ```
+    fn for_each_access<F: FnMut(&MemAccess)>(&self, range: Range<u64>, mut f: F) {
+        let mut cursor = self.cursor(range);
+        let mut buf = Vec::with_capacity(CURSOR_BATCH);
+        while cursor.fill(&mut buf, CURSOR_BATCH) > 0 {
+            for a in &buf {
+                f(a);
+            }
+        }
     }
 }
 

@@ -161,6 +161,56 @@ impl Pattern {
         }
     }
 
+    /// A streaming cursor producing `line_at(seed, j)`, `line_at(seed,
+    /// j + 1)`, … incrementally.
+    ///
+    /// The cursor hoists everything `line_at` re-derives per call out of
+    /// the loop: sequential and strided scans keep a running offset
+    /// instead of a divide/multiply/mod chain, and permutation walks
+    /// compute the affine multiplier (a gcd search in `line_at`) exactly
+    /// once, stepping the permutation by modular addition afterwards.
+    /// Hash-driven patterns (`RandomUniform`, `HotCold`, `PagedHotCold`)
+    /// are inherently per-access and fall through to `line_at`.
+    pub fn cursor(&self, seed: u64, start_j: u64) -> PatternCursor {
+        let state = match *self {
+            Pattern::Stream {
+                lines,
+                stride_lines,
+            } => PatternState::Stream {
+                cur: self.line_at(seed, start_j),
+                step: stride_lines % lines,
+                lines,
+            },
+            Pattern::StridedScan {
+                lines,
+                stride_lines,
+            } => PatternState::StridedScan {
+                idx: start_j % lines,
+                cur: (start_j % lines) * stride_lines,
+                stride: stride_lines,
+                lines,
+            },
+            Pattern::PermutationWalk { lines } => PatternState::Perm {
+                cur: self.line_at(seed, start_j),
+                step: if lines == 1 {
+                    0
+                } else {
+                    coprime_multiplier(seed, lines)
+                },
+                lines,
+            },
+            Pattern::RandomUniform { .. }
+            | Pattern::HotCold { .. }
+            | Pattern::PagedHotCold { .. } => PatternState::Hashed,
+        };
+        PatternCursor {
+            pattern: *self,
+            seed,
+            j: start_j,
+            state,
+        }
+    }
+
     /// Validate the parameters, returning a description of the first
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
@@ -214,6 +264,89 @@ impl Pattern {
             }
         }
         Ok(())
+    }
+}
+
+/// Incremental state of a [`PatternCursor`].
+#[derive(Copy, Clone, Debug)]
+enum PatternState {
+    /// `Stream`: `(j % lines) * stride % lines` advances by `stride %
+    /// lines` per access, wrapping modularly (the wrap at `j % lines == 0`
+    /// lands on the same residue, so no reset is needed).
+    Stream { cur: u64, step: u64, lines: u64 },
+    /// `StridedScan`: `(j % lines) * stride` advances by `stride`,
+    /// resetting when the scan restarts.
+    StridedScan {
+        idx: u64,
+        cur: u64,
+        stride: u64,
+        lines: u64,
+    },
+    /// `PermutationWalk`: `(a·x + b) mod n` advances by `a mod n` per
+    /// access; the wrap from `x = n − 1` to `x = 0` is again the same
+    /// modular step.
+    Perm { cur: u64, step: u64, lines: u64 },
+    /// Hash-driven patterns: no exploitable sequential structure.
+    Hashed,
+}
+
+/// Streaming generator of a pattern's line offsets; see
+/// [`Pattern::cursor`].
+#[derive(Copy, Clone, Debug)]
+pub struct PatternCursor {
+    pattern: Pattern,
+    seed: u64,
+    j: u64,
+    state: PatternState,
+}
+
+impl PatternCursor {
+    /// The line offset of the current stream-local index, advancing the
+    /// cursor by one. Byte-identical to `pattern.line_at(seed, j)`.
+    #[inline]
+    pub fn next_line(&mut self) -> u64 {
+        let j = self.j;
+        self.j += 1;
+        match &mut self.state {
+            PatternState::Stream { cur, step, lines } => {
+                let r = *cur;
+                *cur += *step;
+                if *cur >= *lines {
+                    *cur -= *lines;
+                }
+                r
+            }
+            PatternState::StridedScan {
+                idx,
+                cur,
+                stride,
+                lines,
+            } => {
+                let r = *cur;
+                *idx += 1;
+                if *idx == *lines {
+                    *idx = 0;
+                    *cur = 0;
+                } else {
+                    *cur += *stride;
+                }
+                r
+            }
+            PatternState::Perm { cur, step, lines } => {
+                let r = *cur;
+                *cur += *step;
+                if *cur >= *lines {
+                    *cur -= *lines;
+                }
+                r
+            }
+            PatternState::Hashed => self.pattern.line_at(self.seed, j),
+        }
+    }
+
+    /// Stream-local index of the next line the cursor will produce.
+    pub fn next_j(&self) -> u64 {
+        self.j
     }
 }
 

@@ -14,11 +14,13 @@
 //! that KVM checkpointing provides on real hardware.
 
 use crate::branch::BranchModel;
-use crate::pattern::Pattern;
+use crate::cursor::AccessCursor;
+use crate::pattern::{Pattern, PatternCursor};
 use crate::rng::{mix64, CounterRng};
 use crate::types::{AccessKind, Addr, MemAccess, Pc, LINE_BYTES, PAGE_BYTES};
 use crate::Workload;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// One weighted access stream within a phase.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -360,6 +362,161 @@ impl Workload for PhasedWorkload {
             kind,
         }
     }
+
+    fn cursor<'a>(&'a self, range: Range<u64>) -> Box<dyn AccessCursor + 'a> {
+        Box::new(PhasedCursor::new(self, range))
+    }
+}
+
+/// Per-stream incremental state of a [`PhasedCursor`]: the stream-local
+/// index of the stream's next occurrence and a [`PatternCursor`] kept in
+/// lock-step with it.
+#[derive(Debug)]
+struct StreamCursor {
+    j: u64,
+    pattern: PatternCursor,
+}
+
+/// Streaming cursor over a [`PhasedWorkload`].
+///
+/// `access_at` re-derives phase, slot, stream and stream-local index for
+/// every access: a binary search over the phase starts plus a chain of
+/// divides and mods. Sequential consumers never need any of that — the
+/// cursor resolves the phase once per phase *segment* (and once per
+/// seek), then walks the slot table in order while per-stream indices
+/// and pattern states advance incrementally. Output is byte-identical to
+/// `access_at` over the range.
+#[derive(Debug)]
+pub struct PhasedCursor<'w> {
+    w: &'w PhasedWorkload,
+    next: u64,
+    end: u64,
+    /// Index of the phase containing `next`.
+    pi: usize,
+    /// Global access index at which the current phase segment ends.
+    segment_end: u64,
+    /// Position in the current phase's slot table for `next`.
+    slot_pos: usize,
+    streams: Vec<StreamCursor>,
+}
+
+impl<'w> PhasedCursor<'w> {
+    /// A cursor over `workload` accesses with `index ∈ range`.
+    pub fn new(workload: &'w PhasedWorkload, range: Range<u64>) -> Self {
+        let mut c = PhasedCursor {
+            w: workload,
+            next: range.start,
+            end: range.end.max(range.start),
+            pi: 0,
+            segment_end: range.start,
+            slot_pos: 0,
+            streams: Vec::new(),
+        };
+        if c.next < c.end {
+            c.seek(c.next);
+        }
+        c
+    }
+
+    /// Resolve the phase containing global index `k` and rebuild the
+    /// per-stream incremental state. `O(weight_sum + streams)`; runs once
+    /// per phase segment, amortized over at least `len_accesses` reads.
+    fn seek(&mut self, k: u64) {
+        let w = self.w;
+        let rep = k / w.cycle_len;
+        let pos = k % w.cycle_len;
+        let pi = match w.phase_starts.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        let phase = &w.phases[pi];
+        let local = pos - w.phase_starts[pi];
+        let phase_len = phase.periods_per_rep * phase.weight_sum;
+        let period_idx = local / phase.weight_sum;
+        let slot_pos = (local % phase.weight_sum) as usize;
+        // Occurrences of each stream already consumed in this period: the
+        // `occ` of its next slot (== weight if fully consumed, which rolls
+        // cleanly into the next period's index 0).
+        let mut consumed = vec![0u64; phase.streams.len()];
+        for slot in &phase.slots[..slot_pos] {
+            consumed[slot.stream as usize] += 1;
+        }
+        let period_base = rep * phase.periods_per_rep + period_idx;
+        self.pi = pi;
+        self.segment_end = k + (phase_len - local);
+        self.slot_pos = slot_pos;
+        self.streams = phase
+            .streams
+            .iter()
+            .zip(consumed)
+            .map(|(s, done)| {
+                let j = period_base * s.weight + done;
+                StreamCursor {
+                    j,
+                    pattern: s.pattern.cursor(s.seed, j),
+                }
+            })
+            .collect();
+    }
+}
+
+impl AccessCursor for PhasedCursor<'_> {
+    fn position(&self) -> u64 {
+        self.next
+    }
+
+    fn end(&self) -> u64 {
+        self.end
+    }
+
+    fn fill(&mut self, out: &mut Vec<MemAccess>, max: usize) -> usize {
+        out.clear();
+        let w = self.w;
+        let p = w.mem_period;
+        while out.len() < max && self.next < self.end {
+            if self.next == self.segment_end {
+                self.seek(self.next);
+            }
+            let phase = &w.phases[self.pi];
+            let burst_end = self
+                .end
+                .min(self.segment_end)
+                .min(self.next + (max - out.len()) as u64);
+            out.reserve((burst_end - self.next) as usize);
+            while self.next < burst_end {
+                let slot = &phase.slots[self.slot_pos];
+                let si = slot.stream as usize;
+                let s = &phase.streams[si];
+                let st = &mut self.streams[si];
+                let j = st.j;
+                st.j += 1;
+                let line = s.base_line + st.pattern.next_line();
+                let pc_idx = if s.pcs == 1 {
+                    0
+                } else {
+                    mix64(s.seed ^ 0x9c, j) % s.pcs as u64
+                };
+                let kind = if mix64(s.seed ^ 0x3f, j) % 1000 < s.write_permille as u64 {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                out.push(MemAccess {
+                    index: self.next,
+                    icount: self.next * p,
+                    pc: Pc(s.pc_base + pc_idx * 4),
+                    addr: Addr(line * LINE_BYTES),
+                    kind,
+                });
+                self.next += 1;
+                self.slot_pos += 1;
+                if self.slot_pos == phase.slots.len() {
+                    self.slot_pos = 0;
+                }
+            }
+        }
+        out.len()
+    }
 }
 
 #[cfg(test)]
@@ -566,6 +723,59 @@ mod tests {
         let pcs: std::collections::HashSet<u64> = w.iter_range(0..1_000).map(|a| a.pc.0).collect();
         assert!(pcs.len() <= 8);
         assert!(pcs.len() >= 6, "expected most PCs used, got {}", pcs.len());
+    }
+
+    #[test]
+    fn cursor_matches_access_at_across_phase_and_cycle_boundaries() {
+        let w = PhasedWorkloadBuilder::new("t", 5)
+            .phase(
+                100,
+                vec![
+                    StreamSpec::new(
+                        Pattern::Stream {
+                            lines: 32,
+                            stride_lines: 3,
+                        },
+                        3,
+                    ),
+                    StreamSpec::new(Pattern::PermutationWalk { lines: 61 }, 2),
+                ],
+            )
+            .phase(
+                200,
+                vec![
+                    StreamSpec::new(Pattern::RandomUniform { lines: 128 }, 1),
+                    StreamSpec::new(
+                        Pattern::StridedScan {
+                            lines: 7,
+                            stride_lines: 8,
+                        },
+                        4,
+                    ),
+                ],
+            )
+            .build()
+            .unwrap();
+        let cycle = w.cycle_len_accesses();
+        // Ranges spanning the phase switch, the cycle wrap, and a deep
+        // offset; odd batch sizes so refills land mid-period.
+        for range in [
+            0..cycle + 50,
+            80..130,
+            cycle - 25..2 * cycle + 25,
+            1_000_003..1_000_403,
+        ] {
+            let mut cur = PhasedCursor::new(&w, range.clone());
+            let mut buf = Vec::new();
+            let mut k = range.start;
+            while cur.fill(&mut buf, 13) > 0 {
+                for a in &buf {
+                    assert_eq!(*a, w.access_at(k), "index {k}");
+                    k += 1;
+                }
+            }
+            assert_eq!(k, range.end);
+        }
     }
 
     #[test]

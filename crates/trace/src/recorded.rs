@@ -21,9 +21,11 @@
 //! ```
 
 use crate::branch::BranchModel;
+use crate::cursor::AccessCursor;
 use crate::types::{AccessKind, Addr, MemAccess, Pc};
 use crate::Workload;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// One recorded access (without position — that is implied by order).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -158,6 +160,69 @@ impl Workload for RecordedTrace {
             kind: r.kind,
         }
     }
+
+    fn cursor<'a>(&'a self, range: Range<u64>) -> Box<dyn AccessCursor + 'a> {
+        Box::new(RecordedCursor::new(self, range))
+    }
+}
+
+/// Streaming cursor over a [`RecordedTrace`]: replays the backing slice
+/// directly, advancing one in-bounds offset instead of taking a modulo
+/// per access, and wrapping at the recorded length for the cyclic
+/// extension.
+#[derive(Debug)]
+pub struct RecordedCursor<'w> {
+    trace: &'w RecordedTrace,
+    next: u64,
+    end: u64,
+    /// `next % recorded_len`, maintained incrementally.
+    offset: usize,
+}
+
+impl<'w> RecordedCursor<'w> {
+    /// A cursor over `trace` accesses with `index ∈ range`.
+    pub fn new(trace: &'w RecordedTrace, range: Range<u64>) -> Self {
+        RecordedCursor {
+            trace,
+            next: range.start,
+            end: range.end.max(range.start),
+            offset: (range.start % trace.accesses.len() as u64) as usize,
+        }
+    }
+}
+
+impl AccessCursor for RecordedCursor<'_> {
+    fn position(&self) -> u64 {
+        self.next
+    }
+
+    fn end(&self) -> u64 {
+        self.end
+    }
+
+    fn fill(&mut self, out: &mut Vec<MemAccess>, max: usize) -> usize {
+        out.clear();
+        let records = &self.trace.accesses;
+        let p = self.trace.mem_period;
+        let n = (self.end - self.next).min(max as u64) as usize;
+        out.reserve(n);
+        for _ in 0..n {
+            let r = &records[self.offset];
+            out.push(MemAccess {
+                index: self.next,
+                icount: self.next * p,
+                pc: r.pc,
+                addr: r.addr,
+                kind: r.kind,
+            });
+            self.next += 1;
+            self.offset += 1;
+            if self.offset == records.len() {
+                self.offset = 0;
+            }
+        }
+        n
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +266,25 @@ mod tests {
             assert_eq!(rec.kind, orig.kind);
         }
         assert_eq!(t.mem_period(), w.mem_period());
+    }
+
+    #[test]
+    fn cursor_matches_access_at_across_the_cyclic_wrap() {
+        let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
+        let t = RecordedTrace::capture(&w, 0..137);
+        let len = t.recorded_len();
+        for range in [0..len, len - 10..3 * len + 10, 5..5] {
+            let mut cur = RecordedCursor::new(&t, range.clone());
+            let mut buf = Vec::new();
+            let mut k = range.start;
+            while cur.fill(&mut buf, 11) > 0 {
+                for a in &buf {
+                    assert_eq!(*a, t.access_at(k), "index {k}");
+                    k += 1;
+                }
+            }
+            assert_eq!(k, range.end.max(range.start));
+        }
     }
 
     #[test]

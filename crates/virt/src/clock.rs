@@ -79,7 +79,14 @@ impl RunCost {
 
     /// Estimated wall-clock of the pipelined run: the slowest pass plus a
     /// one-region pipeline-fill share of every other pass.
+    ///
+    /// `RunCost::new` clamps the region count to ≥ 1, but a `Default`
+    /// (deserialized, empty) cost has zero regions — fall back to the
+    /// serial sum there rather than dividing 0/0 into NaN.
     pub fn pipelined_wallclock(&self) -> f64 {
+        if self.regions == 0 {
+            return self.total_resources();
+        }
         let max = self.passes.iter().map(|p| p.seconds).fold(0.0f64, f64::max);
         let rest: f64 = self.total_resources() - max;
         max + rest / self.regions as f64

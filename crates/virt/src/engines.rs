@@ -38,9 +38,7 @@ pub fn functional_scan<F: FnMut(&MemAccess)>(
 ) {
     let n_accesses = accesses.end.saturating_sub(accesses.start);
     clock.charge(cost.instr_seconds(WorkKind::Functional, n_accesses * workload.mem_period()));
-    for a in workload.iter_range(accesses) {
-        on_access(&a);
-    }
+    workload.for_each_access(accesses, |a| on_access(a));
 }
 
 /// Statistics of one watchpoint (VDP) scan.
@@ -88,20 +86,18 @@ pub fn watchpoint_scan<F: FnMut(&MemAccess, &mut WatchSet)>(
     let n_accesses = accesses.end.saturating_sub(accesses.start);
     stats.accesses_scanned = n_accesses;
     clock.charge(cost.instr_seconds(WorkKind::Vff, n_accesses * workload.mem_period()));
-    for a in workload.iter_range(accesses) {
-        match watch.classify(&a) {
-            Trap::None => {}
-            Trap::FalsePositive => {
-                stats.false_positives += 1;
-                clock.charge(cost.trap_seconds);
-            }
-            Trap::Hit(_) => {
-                stats.true_hits += 1;
-                clock.charge(cost.trap_seconds);
-                on_hit(&a, watch);
-            }
+    workload.for_each_access(accesses, |a| match watch.classify(a) {
+        Trap::None => {}
+        Trap::FalsePositive => {
+            stats.false_positives += 1;
+            clock.charge(cost.trap_seconds);
         }
-    }
+        Trap::Hit(_) => {
+            stats.true_hits += 1;
+            clock.charge(cost.trap_seconds);
+            on_hit(a, watch);
+        }
+    });
     stats
 }
 

@@ -8,7 +8,7 @@
 
 use delorean::prelude::*;
 use delorean::statmodel::exact::ExactStackProcessor;
-use delorean::trace::{mix64, Pattern, PhasedWorkloadBuilder, StreamSpec};
+use delorean::trace::{mix64, Pattern, PhasedWorkloadBuilder, RecordedTrace, StreamSpec};
 
 /// Deterministically generate a small but structurally diverse workload
 /// composition for case `case`: a seed plus 1–3 streams of
@@ -116,6 +116,138 @@ fn statstack_tracks_exact_lru_for_arbitrary_compositions() {
         let err1024 = (profile.miss_ratio(1024) - misses_1024 as f64 / n as f64).abs();
         assert!(err64 < 0.25, "case {case}: 64-line error {err64}");
         assert!(err1024 < 0.25, "case {case}: 1024-line error {err1024}");
+    }
+}
+
+/// Drain `workload.cursor(range)` in batches of `batch` and assert every
+/// produced record is byte-identical to `access_at`, and that exactly the
+/// range is produced.
+fn assert_cursor_matches_access_at(
+    workload: &dyn delorean::trace::Workload,
+    range: std::ops::Range<u64>,
+    batch: usize,
+    ctx: &str,
+) {
+    let mut cursor = workload.cursor(range.clone());
+    let mut buf = Vec::new();
+    let mut k = range.start;
+    while cursor.fill(&mut buf, batch) > 0 {
+        for a in &buf {
+            assert_eq!(*a, workload.access_at(k), "{ctx}: index {k}");
+            k += 1;
+        }
+    }
+    assert_eq!(k, range.end.max(range.start), "{ctx}: range coverage");
+    assert_eq!(cursor.remaining(), 0, "{ctx}: cursor drained");
+    // The iterator facade rides the same cursor; spot-check it agrees.
+    let n = (range.end.saturating_sub(range.start)).min(64);
+    for (i, a) in workload
+        .iter_range(range.start..range.start + n)
+        .enumerate()
+    {
+        assert_eq!(a, workload.access_at(range.start + i as u64), "{ctx}: iter");
+    }
+}
+
+/// Tentpole contract: streaming cursors are byte-identical to `access_at`
+/// over random ranges, for arbitrary phased compositions covering every
+/// `Pattern` constructor (the six kinds below) and odd batch sizes that
+/// land refills mid-period and mid-phase.
+#[test]
+fn cursors_match_access_at_for_arbitrary_compositions() {
+    for case in 0..24u64 {
+        let size = 16 + mix64(case, 7) % 496;
+        let pattern = match case % 6 {
+            0 => Pattern::Stream {
+                lines: size,
+                stride_lines: 1 + size % 5,
+            },
+            1 => Pattern::RandomUniform { lines: size },
+            2 => Pattern::PermutationWalk { lines: size },
+            3 => Pattern::StridedScan {
+                lines: (size / 8).max(2),
+                stride_lines: 8,
+            },
+            4 => Pattern::PagedHotCold {
+                pages: (size / 64).max(2),
+                hot_permille: 700,
+            },
+            _ => Pattern::HotCold {
+                hot_lines: (size / 4).max(1),
+                cold_lines: size,
+                hot_permille: 800,
+            },
+        };
+        // Two phases so ranges cross a phase boundary and the cycle wrap.
+        let w = PhasedWorkloadBuilder::new("cursor-prop", mix64(0x5eed, case))
+            .mem_period(1 + case % 4)
+            .phase(500, vec![StreamSpec::new(pattern, 1 + (case % 3) as u32)])
+            .phase(
+                700,
+                vec![
+                    StreamSpec::new(Pattern::RandomUniform { lines: 64 }, 2),
+                    StreamSpec::new(pattern, 3),
+                ],
+            )
+            .build()
+            .expect("generated spec is valid");
+        let cycle = w.cycle_len_accesses();
+        let start = mix64(case, 0xc0de) % (3 * cycle);
+        let len = 1 + mix64(case, 0xbeef) % 2_000;
+        let batch = 1 + (mix64(case, 0xfeed) % 257) as usize;
+        assert_cursor_matches_access_at(&w, start..start + len, batch, &format!("case {case}"));
+        // And a range pinned across both the phase switch and the wrap.
+        assert_cursor_matches_access_at(
+            &w,
+            450..cycle + 50,
+            batch,
+            &format!("case {case} boundary"),
+        );
+    }
+}
+
+/// The full 24-workload suite (every `spec_workload` constructor), with
+/// ranges spanning phase boundaries for the phase-split benchmarks.
+#[test]
+fn cursors_match_access_at_for_the_spec_suite() {
+    for (i, w) in delorean::trace::spec2006(Scale::tiny(), 42)
+        .iter()
+        .enumerate()
+    {
+        let cycle = w.cycle_len_accesses();
+        let deep = mix64(i as u64, 0xd4) % 10_000_000;
+        for (range, tag) in [
+            (0..600, "head"),
+            (cycle - 300..cycle + 300, "cycle wrap"),
+            (deep..deep + 600, "deep"),
+        ] {
+            assert_cursor_matches_access_at(
+                w,
+                range,
+                1 + (mix64(i as u64, 3) % 100) as usize,
+                &format!("{} {tag}", w.name()),
+            );
+        }
+    }
+}
+
+/// RecordedTrace cursors, including ranges spanning the cyclic-extension
+/// wrap at `recorded_len` (multiple wraps per fill batch).
+#[test]
+fn recorded_trace_cursors_match_access_at_across_wraps() {
+    let src = delorean::trace::spec_workload("soplex", Scale::tiny(), 9).unwrap();
+    for case in 0..8u64 {
+        let len = 37 + mix64(case, 1) % 400;
+        let t = RecordedTrace::capture(&src, 1_000..1_000 + len);
+        let rlen = t.recorded_len();
+        let start = mix64(case, 2) % (2 * rlen);
+        let batch = 1 + (mix64(case, 4) % 129) as usize;
+        assert_cursor_matches_access_at(
+            &t,
+            start..start + 3 * rlen + 5,
+            batch,
+            &format!("recorded case {case}"),
+        );
     }
 }
 
