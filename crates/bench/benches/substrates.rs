@@ -132,6 +132,56 @@ fn watchpoints(c: &mut Criterion) {
     g.finish();
 }
 
+fn line_tables(c: &mut Criterion) {
+    // The PR 3 lookup substrate against std: the per-access probe that
+    // every warm loop pays. Populated at a typical key-set density.
+    let mut flat: delorean_trace::LineMap<u64> = delorean_trace::LineMap::new();
+    let mut std_map: std::collections::HashMap<LineAddr, u64> = std::collections::HashMap::new();
+    let mut filter = delorean_trace::InterestFilter::with_capacity_for(512);
+    for i in 0..512u64 {
+        let line = LineAddr(mix64(13, i) % 65_536);
+        flat.insert(line, i);
+        std_map.insert(line, i);
+        filter.insert_line(line);
+    }
+    let mut g = c.benchmark_group("line_tables");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("std_hashmap_probe_100k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..100_000u64 {
+                if std_map.contains_key(&LineAddr(mix64(17, i) % 65_536)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("flat_linemap_probe_100k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..100_000u64 {
+                if flat.contains(LineAddr(mix64(17, i) % 65_536)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.bench_function("interest_filter_probe_100k", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..100_000u64 {
+                if filter.contains_line(LineAddr(mix64(17, i) % 65_536)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     workload_generation,
@@ -140,6 +190,7 @@ criterion_group!(
     statstack,
     exact_stack,
     predictor,
-    watchpoints
+    watchpoints,
+    line_tables
 );
 criterion_main!(benches);

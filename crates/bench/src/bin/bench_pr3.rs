@@ -1,0 +1,273 @@
+//! Probe-loop perf harness: writes `BENCH_PR3.json`, the second point of
+//! the repository's perf trajectory.
+//!
+//! Measures, per workload and key/vicinity density, the accesses/second
+//! of the explorer hot loop on the two lookup substrates (pre-PR 3
+//! `std::collections` probes vs the fused interest filter + flat line
+//! tables), and the end-to-end wall time of each sampling strategy at
+//! demo scale — a full step up from the tiny-scale runs of
+//! `BENCH_PR2.json`.
+//!
+//! Flags: `--quick` (CI smoke: best of two repeats, with relaxed
+//! regression gates against both the std-map baseline and the PR 2
+//! indexed-generation rate), `--out PATH` (default `BENCH_PR3.json`).
+
+use delorean_bench::probeloop::{
+    assert_outcomes_equivalent, measure_explorer_loop, ExplorerLoopCase, ProbePath,
+};
+use delorean_bench::warmloop::{measure, AccessPath};
+use delorean_core::explorer::{pending_from_keyset, run_explorer, PendingKey};
+use delorean_core::scout::scout_region;
+use delorean_core::{DeLoreanConfig, DeLoreanRunner};
+use delorean_sampling::{
+    CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, Region, SamplingConfig,
+    SamplingStrategy, SmartsRunner,
+};
+use delorean_trace::{spec_workload, Scale, Workload};
+use delorean_virt::{CostModel, HostClock};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct LoopRow {
+    workload: String,
+    stage: &'static str,
+    keys: usize,
+    window_instrs: u64,
+    vicinity_period: u64,
+    std_rate: f64,
+    flat_rate: f64,
+}
+
+fn strategies(scale: Scale) -> Vec<Box<dyn SamplingStrategy>> {
+    let machine = delorean_cache::MachineConfig::for_scale(scale);
+    vec![
+        Box::new(SmartsRunner::new(machine)),
+        Box::new(CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale))),
+        Box::new(MrrlRunner::new(machine)),
+        Box::new(CheckpointWarmingRunner::new(machine)),
+        Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(scale),
+        )),
+    ]
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The real key/watch densities of the explorer chain: run the Scout
+/// for `region`, then functional Explorer-1 over its window. Returns the
+/// full Scout key set (what Explorer-1 profiles) and the keys still
+/// unresolved after Explorer-1 (what the VDP Explorer-2 watches).
+fn chain_densities(
+    w: &dyn Workload,
+    scale: Scale,
+    region: &Region,
+    e1_window: u64,
+) -> (Vec<PendingKey>, Vec<PendingKey>) {
+    let machine = delorean_cache::MachineConfig::for_scale(scale);
+    let cost = CostModel::paper_host();
+    let mut clock = HostClock::new();
+    let scout = scout_region(w, &machine, &cost, &mut clock, region, 0, 1);
+    let all = pending_from_keyset(&scout.keyset);
+    let e1 = run_explorer(
+        w, &cost, &mut clock, 0, e1_window, 0, region, &all, 5_000, 7, 1,
+    );
+    (all, e1.remaining)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+
+    // Even quick mode takes the best of 2 repeats: the gates below are
+    // wall-clock ratios and a single preempted sample on a shared runner
+    // should not fail the job.
+    let repeats: u32 = if quick { 2 } else { 5 };
+
+    // --- Explorer-loop rates: std maps vs fused filter + flat tables. ---
+    // Densities come from the real chain: the Scout's key set (what a
+    // hypothetical VDP Explorer-1 would watch — the dense stress case)
+    // and the keys left unresolved after the functional Explorer-1 (what
+    // the VDP Explorer-2 actually watches — the paper's sparse,
+    // no-match-dominated regime). The vicinity period sweeps the arm/
+    // disarm churn on top.
+    let scale = Scale::demo();
+    let config = DeLoreanConfig::for_scale(scale);
+    let w1 = config.explorer_windows_instrs[0];
+    let w2 = config.explorer_windows_instrs[1];
+    let periods: &[u64] = if quick { &[2_000] } else { &[500, 5_000] };
+    let mut rows: Vec<LoopRow> = Vec::new();
+    for name in ["hmmer", "povray", "mcf"] {
+        let w = spec_workload(name, scale, 1).unwrap();
+        let plan = SamplingConfig::for_scale(scale).with_regions(2).plan();
+        let region = plan.regions[1].clone();
+        let (all_keys, remaining) = chain_densities(&w, scale, &region, w1);
+        // If Explorer-1 resolved everything (hmmer's hot keys), fall back
+        // to a thinned slice of the Scout keys so the sparse row still
+        // measures real key probes and watch traffic instead of an empty
+        // table.
+        let sparse: Vec<PendingKey> = if remaining.is_empty() {
+            all_keys.iter().copied().step_by(16).collect()
+        } else {
+            remaining
+        };
+        let stages: [(&'static str, &[PendingKey], u64); 2] = [
+            ("explorer2-vdp", &sparse, w2.min(region.start_instr)),
+            ("explorer1-dense", &all_keys, w1.min(region.start_instr)),
+        ];
+        for (stage, pending, window) in stages {
+            for &period in periods {
+                let case = ExplorerLoopCase {
+                    workload: &w,
+                    region: &region,
+                    pending,
+                    vicinity_period_accesses: period,
+                    window_instrs: window,
+                    explorer_index: 1, // VDP: watch + key + vicinity probes
+                };
+                let std = measure_explorer_loop(&case, ProbePath::StdMaps, repeats);
+                let flat = measure_explorer_loop(&case, ProbePath::FlatFused, repeats);
+                assert_outcomes_equivalent(&std.outcome, &flat.outcome);
+                eprintln!(
+                    "{:<8} {:<16} keys {:>5} period {:>6}: {:>7.1} Macc/s std   {:>7.1} Macc/s flat   ({:.2}x)",
+                    name,
+                    stage,
+                    pending.len(),
+                    period,
+                    std.accesses_per_sec / 1e6,
+                    flat.accesses_per_sec / 1e6,
+                    flat.accesses_per_sec / std.accesses_per_sec,
+                );
+                rows.push(LoopRow {
+                    workload: name.to_string(),
+                    stage,
+                    keys: pending.len(),
+                    window_instrs: window,
+                    vicinity_period: period,
+                    std_rate: std.accesses_per_sec,
+                    flat_rate: flat.accesses_per_sec,
+                });
+            }
+        }
+    }
+    let speedups: Vec<f64> = rows.iter().map(|r| r.flat_rate / r.std_rate).collect();
+    let loop_geomean = geomean(&speedups);
+
+    // --- PR 2 reference point: indexed-generation throughput. ---
+    // The north-star check: the classify-per-access explorer loop should
+    // cost no more than the PR 2 *indexed* access-generation baseline,
+    // i.e. the lookups are cheaper than regenerating the access was.
+    let ref_workload = spec_workload("hmmer", scale, 1).unwrap();
+    let gen_range = 1_000..1_000 + if quick { 200_000 } else { 2_000_000 };
+    let indexed = measure(&ref_workload, AccessPath::Indexed, gen_range, repeats);
+    let hmmer_sparse_flat = rows
+        .iter()
+        .filter(|r| r.workload == "hmmer")
+        .map(|r| r.flat_rate)
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "indexed generation {:.1} Macc/s, best hmmer flat explorer loop {:.1} Macc/s",
+        indexed.accesses_per_sec / 1e6,
+        hmmer_sparse_flat / 1e6,
+    );
+
+    // --- End-to-end strategy wall times at demo scale. ---
+    let e2e_scale = Scale::demo();
+    let plan = SamplingConfig::for_scale(e2e_scale)
+        .with_regions(if quick { 1 } else { 3 })
+        .plan();
+    let strategy_workload = spec_workload("hmmer", e2e_scale, 1).unwrap();
+    let mut strategy_rows = Vec::new();
+    for s in strategies(e2e_scale) {
+        let t = Instant::now();
+        let report = s.run(&strategy_workload, &plan);
+        let wall = t.elapsed().as_secs_f64();
+        eprintln!(
+            "{:<12} end-to-end {:>8.3} s (cpi {:.3}, demo scale)",
+            s.name(),
+            wall,
+            report.cpi()
+        );
+        strategy_rows.push((s.name().to_string(), wall, report.cpi()));
+    }
+
+    // --- Emit JSON (hand-rolled: the serde shim has no serializer). ---
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"pr\": 3,");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    j.push_str("  \"explorer_loop\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"stage\": \"{}\", \"keys\": {}, \"window_instrs\": {}, \"vicinity_period_accesses\": {}, \"std_accesses_per_sec\": {:.0}, \"flat_accesses_per_sec\": {:.0}, \"speedup\": {:.3}}}{}",
+            json_escape(&r.workload),
+            r.stage,
+            r.keys,
+            r.window_instrs,
+            r.vicinity_period,
+            r.std_rate,
+            r.flat_rate,
+            r.flat_rate / r.std_rate,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(j, "  \"explorer_loop_geomean_speedup\": {loop_geomean:.3},");
+    let _ = writeln!(
+        j,
+        "  \"indexed_generation_accesses_per_sec\": {:.0},",
+        indexed.accesses_per_sec
+    );
+    j.push_str("  \"strategy_end_to_end\": [\n");
+    for (i, (name, wall, cpi)) in strategy_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"strategy\": \"{}\", \"workload\": \"hmmer\", \"scale\": \"demo\", \"wall_seconds\": {:.4}, \"cpi\": {:.4}}}{}",
+            json_escape(name),
+            wall,
+            cpi,
+            if i + 1 < strategy_rows.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &j).expect("write BENCH_PR3.json");
+    eprintln!("explorer-loop geomean speedup: {loop_geomean:.2}x");
+    eprintln!("wrote {out_path}");
+
+    // Acceptance gates. Quick (CI) mode tolerates noisy shared runners
+    // with a lower bar; the full run enforces the PR's 2x target.
+    let bar = if quick { 1.2 } else { 2.0 };
+    if loop_geomean < bar {
+        eprintln!("ERROR: explorer-loop geomean speedup {loop_geomean:.2}x below the {bar}x bar");
+        std::process::exit(1);
+    }
+    // Quick mode's samples are a few milliseconds each on a shared
+    // runner, so the generation-baseline gate gets the same noise
+    // allowance as the geomean gate above.
+    let gen_bar = if quick { 0.6 } else { 1.0 } * indexed.accesses_per_sec;
+    if hmmer_sparse_flat < gen_bar {
+        eprintln!(
+            "ERROR: flat explorer loop ({:.1} Macc/s) regressed below the PR 2 indexed-generation baseline ({:.1} Macc/s, gate {:.1})",
+            hmmer_sparse_flat / 1e6,
+            indexed.accesses_per_sec / 1e6,
+            gen_bar / 1e6,
+        );
+        std::process::exit(1);
+    }
+}

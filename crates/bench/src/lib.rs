@@ -33,6 +33,7 @@
 
 pub mod experiments;
 mod options;
+pub mod probeloop;
 mod runs;
 mod table;
 pub mod warmloop;

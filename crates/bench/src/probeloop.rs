@@ -1,0 +1,362 @@
+//! Explorer-loop perf measurement: std-map probes vs the fused interest
+//! filter + flat line tables (PR 3).
+//!
+//! PR 2 made access *generation* fast; after it, the explorer loop's wall
+//! clock is dominated by the per-access lookups that classify each access
+//! against the watch set, the key table and the armed vicinity samples.
+//! This module measures exactly that loop both ways: through a faithful
+//! replica of the pre-PR 3 implementation (nested `std::collections`
+//! probes per access) and through the production [`run_explorer`]
+//! (interest filter + `LineMap`/refcounted `WatchSet`). Both paths run the same
+//! streaming cursor, charge the same cost model and must produce the same
+//! resolved keys and vicinity samples — only the lookup substrate
+//! differs, so the rate ratio isolates the probe cost.
+
+use delorean_core::explorer::{run_explorer, ExplorerOutcome, PendingKey};
+use delorean_sampling::Region;
+use delorean_statmodel::ReuseProfile;
+use delorean_trace::{CounterRng, LineAddr, PageAddr, Workload, WorkloadExt};
+use delorean_virt::{CostModel, HostClock, WatchScanStats, WorkKind};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Which lookup substrate an explorer-loop measurement exercised.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ProbePath {
+    /// Pre-PR 3 replica: nested `std` hash probes per access.
+    StdMaps,
+    /// The production loop: interest filter + flat tables.
+    FlatFused,
+}
+
+/// Replica of the pre-PR 3 `WatchSet`: nested std maps, no refcounts.
+#[derive(Default)]
+struct StdWatchSet {
+    pages: HashMap<PageAddr, HashSet<LineAddr>>,
+}
+
+impl StdWatchSet {
+    fn watch_line(&mut self, line: LineAddr) {
+        self.pages.entry(line.page()).or_default().insert(line);
+    }
+
+    fn unwatch_line(&mut self, line: LineAddr) -> bool {
+        let page = line.page();
+        let Some(lines) = self.pages.get_mut(&page) else {
+            return false;
+        };
+        let removed = lines.remove(&line);
+        if lines.is_empty() {
+            self.pages.remove(&page);
+        }
+        removed
+    }
+
+    /// 0 = no trap, 1 = false positive, 2 = hit.
+    #[inline]
+    fn classify(&self, line: LineAddr) -> u8 {
+        match self.pages.get(&line.page()) {
+            None => 0,
+            Some(lines) => {
+                if lines.contains(&line) {
+                    2
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+/// The pre-PR 3 explorer loop, verbatim: per-access probes of the nested
+/// watch map, the key-line map and the vicinity map, all on
+/// `std::collections`. Kept as the measurement baseline (and equivalence
+/// oracle) for [`measure_explorer_loop`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_explorer_std_baseline(
+    workload: &dyn Workload,
+    cost: &CostModel,
+    clock: &mut HostClock,
+    index: usize,
+    window_instrs: u64,
+    prev_window_instrs: u64,
+    region: &Region,
+    pending: &[PendingKey],
+    vicinity_period_accesses: u64,
+    seed: u64,
+    work_multiplier: u64,
+) -> ExplorerOutcome {
+    let start_instr = region.start_instr.saturating_sub(window_instrs);
+    let end_instr = region.start_instr.saturating_sub(prev_window_instrs);
+    let first = workload.access_index_at_instr(start_instr);
+    let end = workload.access_index_at_instr(end_instr);
+    let p = workload.mem_period();
+    let functional = index == 0;
+
+    let span_accesses = end.saturating_sub(first);
+    clock.charge(cost.instr_seconds(
+        if functional {
+            WorkKind::Functional
+        } else {
+            WorkKind::Vff
+        },
+        span_accesses * p * work_multiplier,
+    ));
+
+    let mut last_seen: HashMap<LineAddr, u64> = HashMap::with_capacity(pending.len());
+    let mut watch = StdWatchSet::default();
+    if !functional {
+        for k in pending {
+            watch.watch_line(k.line);
+        }
+    }
+    let key_lines: HashMap<LineAddr, u64> = pending
+        .iter()
+        .map(|k| (k.line, k.first_access_index))
+        .collect();
+
+    let rng = CounterRng::new(seed ^ ((index as u64 + 1) << 48) ^ region.index as u64);
+    let mut vicinity = ReuseProfile::new();
+    let mut vicinity_count = 0u64;
+    let mut vicinity_pending: HashMap<LineAddr, u64> = HashMap::new();
+    let mut scan = WatchScanStats {
+        accesses_scanned: span_accesses,
+        ..Default::default()
+    };
+
+    workload.for_each_access(first..end, |a| {
+        let line = a.line();
+        if !functional {
+            match watch.classify(line) {
+                0 => {}
+                1 => {
+                    scan.false_positives += 1;
+                    clock.charge(cost.trap_seconds);
+                }
+                _ => {
+                    scan.true_hits += 1;
+                    clock.charge(cost.trap_seconds);
+                }
+            }
+        }
+        if key_lines.contains_key(&line) {
+            last_seen.insert(line, a.index);
+        }
+        if let Some(set_at) = vicinity_pending.remove(&line) {
+            vicinity.record(a.index - set_at - 1, 1.0);
+            vicinity_count += 1;
+            if !functional {
+                watch.unwatch_line(line);
+            }
+        }
+        if rng.chance_one_in(a.index, vicinity_period_accesses)
+            && !vicinity_pending.contains_key(&line)
+        {
+            vicinity_pending.insert(line, a.index);
+            if !functional {
+                watch.watch_line(line);
+            }
+        }
+    });
+    for (_, set_at) in vicinity_pending.drain() {
+        vicinity.record(end.saturating_sub(set_at + 1).max(1), 1.0);
+    }
+
+    let mut resolved = Vec::new();
+    let mut remaining = Vec::new();
+    for k in pending {
+        match last_seen.get(&k.line) {
+            Some(&pos) if pos < k.first_access_index => {
+                resolved.push((k.line, k.first_access_index - pos - 1));
+            }
+            _ => remaining.push(*k),
+        }
+    }
+    ExplorerOutcome {
+        resolved,
+        remaining,
+        vicinity,
+        vicinity_count,
+        scan,
+    }
+}
+
+/// One measured explorer-loop rate.
+#[derive(Clone, Debug)]
+pub struct ExplorerLoopRate {
+    /// Accesses scanned per wall-clock second (best of the repeats).
+    pub accesses_per_sec: f64,
+    /// The outcome of the last run (for equivalence checks).
+    pub outcome: ExplorerOutcome,
+}
+
+/// Parameters of one explorer-loop measurement point.
+#[derive(Clone, Debug)]
+pub struct ExplorerLoopCase<'a> {
+    /// The workload to scan.
+    pub workload: &'a dyn Workload,
+    /// The region whose pre-history is profiled.
+    pub region: &'a Region,
+    /// Pending key watchpoints (density axis 1).
+    pub pending: &'a [PendingKey],
+    /// Vicinity sampling period in accesses (density axis 2).
+    pub vicinity_period_accesses: u64,
+    /// Explorer window in instructions.
+    pub window_instrs: u64,
+    /// Explorer index (0 = functional, ≥ 1 = VDP).
+    pub explorer_index: usize,
+}
+
+/// Measure accesses/second of the explorer loop through `path`, best of
+/// `repeats` runs.
+pub fn measure_explorer_loop(
+    case: &ExplorerLoopCase<'_>,
+    path: ProbePath,
+    repeats: u32,
+) -> ExplorerLoopRate {
+    let cost = CostModel::paper_host();
+    let span = {
+        let first = case
+            .workload
+            .access_index_at_instr(case.region.start_instr.saturating_sub(case.window_instrs));
+        let end = case.workload.access_index_at_instr(case.region.start_instr);
+        end.saturating_sub(first)
+    };
+    let mut best = f64::MAX;
+    let mut outcome = None;
+    for _ in 0..repeats.max(1) {
+        let mut clock = HostClock::new();
+        let t = Instant::now();
+        let out = match path {
+            ProbePath::StdMaps => run_explorer_std_baseline(
+                case.workload,
+                &cost,
+                &mut clock,
+                case.explorer_index,
+                case.window_instrs,
+                0,
+                case.region,
+                case.pending,
+                case.vicinity_period_accesses,
+                7,
+                1,
+            ),
+            ProbePath::FlatFused => run_explorer(
+                case.workload,
+                &cost,
+                &mut clock,
+                case.explorer_index,
+                case.window_instrs,
+                0,
+                case.region,
+                case.pending,
+                case.vicinity_period_accesses,
+                7,
+                1,
+            ),
+        };
+        best = best.min(t.elapsed().as_secs_f64());
+        outcome = Some(out);
+    }
+    ExplorerLoopRate {
+        accesses_per_sec: span as f64 / best.max(1e-12),
+        outcome: outcome.expect("at least one repeat"),
+    }
+}
+
+/// Assert that two explorer outcomes agree on everything the analyst
+/// consumes: resolved keys, remaining keys and vicinity sample count.
+/// (Trap statistics may legitimately differ: the std baseline carries the
+/// pre-PR 3 key/vicinity watchpoint clash.)
+pub fn assert_outcomes_equivalent(std: &ExplorerOutcome, flat: &ExplorerOutcome) {
+    let sort = |v: &[(LineAddr, u64)]| {
+        let mut v = v.to_vec();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        sort(&std.resolved),
+        sort(&flat.resolved),
+        "resolved keys diverged between std and flat explorer loops"
+    );
+    assert_eq!(
+        std.remaining.len(),
+        flat.remaining.len(),
+        "remaining keys diverged"
+    );
+    assert_eq!(
+        std.vicinity_count, flat.vicinity_count,
+        "vicinity sample count diverged"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_sampling::SamplingConfig;
+    use delorean_trace::{spec_workload, Scale};
+
+    fn case_setup() -> (impl Workload, Region, Vec<PendingKey>) {
+        let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
+        let plan = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(2)
+            .plan();
+        let region = plan.regions[1].clone();
+        let region_first = w.access_index_at_instr(region.detailed.start);
+        let pending: Vec<PendingKey> = (0..32)
+            .map(|i| w.access_at(region_first + i * 3))
+            .map(|a| PendingKey {
+                line: a.line(),
+                first_access_index: a.index,
+            })
+            .collect();
+        (w, region, pending)
+    }
+
+    #[test]
+    fn std_and_flat_loops_agree_functionally() {
+        let (w, region, pending) = case_setup();
+        for explorer_index in [0usize, 1] {
+            let case = ExplorerLoopCase {
+                workload: &w,
+                region: &region,
+                pending: &pending,
+                vicinity_period_accesses: 500,
+                window_instrs: 30_000,
+                explorer_index,
+            };
+            let std = measure_explorer_loop(&case, ProbePath::StdMaps, 1);
+            let flat = measure_explorer_loop(&case, ProbePath::FlatFused, 1);
+            assert_outcomes_equivalent(&std.outcome, &flat.outcome);
+            assert!(std.accesses_per_sec > 0.0 && flat.accesses_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn vicinity_profiles_match_exactly() {
+        // The recorded vicinity distributions (resolved + censored) must
+        // be bit-identical — same distances, same weights.
+        let (w, region, pending) = case_setup();
+        let case = ExplorerLoopCase {
+            workload: &w,
+            region: &region,
+            pending: &pending,
+            vicinity_period_accesses: 200,
+            window_instrs: 25_000,
+            explorer_index: 1,
+        };
+        let std = measure_explorer_loop(&case, ProbePath::StdMaps, 1);
+        let flat = measure_explorer_loop(&case, ProbePath::FlatFused, 1);
+        assert_eq!(
+            std.outcome.vicinity.total_weight(),
+            flat.outcome.vicinity.total_weight()
+        );
+        for lines in [64u64, 1024, 65_536] {
+            assert_eq!(
+                std.outcome.vicinity.stack_distance(lines),
+                flat.outcome.vicinity.stack_distance(lines),
+                "stack distance diverged at {lines}"
+            );
+        }
+    }
+}

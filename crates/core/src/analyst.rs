@@ -17,16 +17,15 @@ use delorean_cpu::{DetailedResult, TimingConfig};
 use delorean_sampling::{run_region_detailed, Region};
 use delorean_statmodel::assoc::LimitedAssocModel;
 use delorean_statmodel::ReuseProfile;
-use delorean_trace::{LineAddr, MemAccess, Workload};
+use delorean_trace::{LineMap, MemAccess, Workload};
 use delorean_virt::{CostModel, HostClock, WorkKind};
-use std::collections::HashMap;
 
 /// Everything the analyst needs for one region, assembled from the Scout
 /// and Explorer outputs.
 #[derive(Clone, Debug)]
 pub struct AnalystInput {
     /// Exact backward reuse distances of the resolved keys.
-    pub key_rds: HashMap<LineAddr, u64>,
+    pub key_rds: LineMap<u64>,
     /// Pooled vicinity profile from all engaged explorers.
     pub vicinity: ReuseProfile,
     /// Stride model trained by the Scout.
@@ -42,7 +41,7 @@ pub struct AnalystInput {
 impl Default for AnalystInput {
     fn default() -> Self {
         AnalystInput {
-            key_rds: HashMap::new(),
+            key_rds: LineMap::new(),
             vicinity: ReuseProfile::new(),
             assoc: LimitedAssocModel::new(),
             warming_miss_as_hit: true,
@@ -101,7 +100,7 @@ pub fn run_analyst(
     let mut prefetcher = machine.prefetch.then(StridePrefetcher::paper_default);
     // Last in-region access index of every line seen in the region: DSW
     // knows the *exact* backward reuse distance of re-accesses.
-    let mut seen: HashMap<LineAddr, u64> = HashMap::new();
+    let mut seen: LineMap<u64> = LineMap::new();
     let mut counts = DswCounts::default();
     let region_start = region.detailed.start;
 

@@ -20,9 +20,8 @@
 use delorean_cache::ReplacementPolicy;
 use delorean_statmodel::assoc::LimitedAssocModel;
 use delorean_statmodel::{ReuseProfile, StatCacheModel};
-use delorean_trace::{LineAddr, Pc};
+use delorean_trace::{LineAddr, LineMap, Pc};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Verdict for a lukewarm-missing access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -93,7 +92,7 @@ impl DswCounts {
 #[derive(Clone, Debug, Default)]
 pub struct DswModel {
     /// Exact backward reuse distance (in accesses) of each resolved key.
-    key_rds: HashMap<LineAddr, u64>,
+    key_rds: LineMap<u64>,
     /// Vicinity reuse-distance profile (drives StatStack).
     vicinity: ReuseProfile,
     /// Dominant-stride detection per PC.
@@ -114,7 +113,7 @@ pub struct DswModel {
 impl DswModel {
     /// Build a model for an LRU cache of `llc_sets × llc_ways` lines.
     pub fn new(
-        key_rds: HashMap<LineAddr, u64>,
+        key_rds: LineMap<u64>,
         vicinity: ReuseProfile,
         assoc: LimitedAssocModel,
         llc_sets: u64,
@@ -138,7 +137,7 @@ impl DswModel {
     /// `m`, then classify an access as a capacity miss when its survival
     /// probability `(1 − 1/L)^{m·rd}` drops below one half.
     pub fn with_replacement(
-        key_rds: HashMap<LineAddr, u64>,
+        key_rds: LineMap<u64>,
         vicinity: ReuseProfile,
         assoc: LimitedAssocModel,
         llc_sets: u64,
@@ -209,7 +208,7 @@ impl DswModel {
         if lukewarm_set_full {
             return DswVerdict::ConflictSetFull;
         }
-        let Some(&rd) = self.key_rds.get(&line) else {
+        let Some(&rd) = self.key_rds.get(line) else {
             // No reuse found within the deepest explorer window: the reuse
             // distance is censored at the window length. If even that
             // lower bound misses the cache, this is a (cold-like) miss;
@@ -374,7 +373,7 @@ mod tests {
         let mut vicinity = ReuseProfile::new();
         vicinity.record(1_000, 100.0);
         vicinity.record_cold(5.0);
-        let keys: HashMap<LineAddr, u64> = [(LineAddr(1), 1_000u64)].into_iter().collect();
+        let keys: LineMap<u64> = [(LineAddr(1), 1_000u64)].into_iter().collect();
         let lru = DswModel::with_replacement(
             keys.clone(),
             vicinity.clone(),

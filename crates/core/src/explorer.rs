@@ -17,13 +17,19 @@
 //!   which is what keeps trap counts tolerable. Key watchpoints stay armed
 //!   for the whole window (the *last* access is wanted); vicinity
 //!   watchpoints disarm on first reuse.
+//!
+//! The hot loop runs on the flat lookup substrate: a fused
+//! [`InterestFilter`] decides the dominant "nothing interesting here"
+//! access with a single hashed bit probe (watched pages for VDP, exact
+//! key/vicinity lines for the functional pass), and only filter hits fall
+//! through to the exact [`LineMap`] tables and the refcounted
+//! [`WatchSet`].
 
 use crate::keyset::KeySet;
 use delorean_sampling::Region;
 use delorean_statmodel::ReuseProfile;
-use delorean_trace::{CounterRng, LineAddr, Workload, WorkloadExt};
+use delorean_trace::{CounterRng, InterestFilter, LineAddr, LineMap, Workload, WorkloadExt};
 use delorean_virt::{CostModel, HostClock, Trap, WatchScanStats, WatchSet, WorkKind};
-use std::collections::HashMap;
 
 /// A key cacheline still waiting for its last prior access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -33,6 +39,9 @@ pub struct PendingKey {
     /// Global access index of its first access in the region.
     pub first_access_index: u64,
 }
+
+/// Sentinel for "no access to this key seen yet" in the fused key table.
+const NOT_SEEN: u64 = u64::MAX;
 
 /// What one explorer produced for one region.
 #[derive(Clone, Debug, Default)]
@@ -95,22 +104,34 @@ pub fn run_explorer(
         span_accesses * p * work_multiplier,
     ));
 
-    let mut last_seen: HashMap<LineAddr, u64> = HashMap::with_capacity(pending.len());
+    // Fused interest filter: one counting bitmap covering watched pages ∪
+    // key lines ∪ vicinity-pending lines, so the dominant "nothing
+    // interesting here" access is decided by a single hashed bit probe.
+    // One probe suffices because the two explorer kinds each need only
+    // one domain: a VDP explorer watches every key and armed vicinity
+    // line, so the watched *pages* already cover all three sets (and the
+    // page test must fire on false-positive traps anyway); the
+    // functional Explorer-1 has no watchpoints, so only exact *line*
+    // membership matters.
+    let mut filter = InterestFilter::with_capacity_for(pending.len() + 1024);
+    // Key membership and last-seen tracking fused into one table: the
+    // cold path pays a single probe for both.
+    let mut keys: LineMap<u64> = LineMap::with_capacity(pending.len());
     let mut watch = WatchSet::new();
-    if !functional {
-        for k in pending {
+    for k in pending {
+        keys.insert(k.line, NOT_SEEN);
+        if functional {
+            filter.insert_line(k.line);
+        } else {
             watch.watch_line(k.line);
+            filter.insert_page(k.line.page());
         }
     }
-    let key_lines: HashMap<LineAddr, u64> = pending
-        .iter()
-        .map(|k| (k.line, k.first_access_index))
-        .collect();
 
     let rng = CounterRng::new(seed ^ ((index as u64 + 1) << 48) ^ region.index as u64);
     let mut vicinity = ReuseProfile::new();
     let mut vicinity_count = 0u64;
-    let mut vicinity_pending: HashMap<LineAddr, u64> = HashMap::new();
+    let mut vicinity_pending: LineMap<u64> = LineMap::new();
     let mut scan = WatchScanStats {
         accesses_scanned: span_accesses,
         ..Default::default()
@@ -118,40 +139,55 @@ pub fn run_explorer(
 
     workload.for_each_access(first..end, |a| {
         let line = a.line();
-        // Trap accounting (VDP explorers only): any access to a watched
-        // page costs a trap, watched line or not.
-        if !functional {
-            match watch.classify(a) {
-                Trap::None => {}
-                Trap::FalsePositive => {
-                    scan.false_positives += 1;
-                    clock.charge(cost.trap_seconds);
-                }
-                Trap::Hit(_) => {
-                    scan.true_hits += 1;
-                    clock.charge(cost.trap_seconds);
-                }
-            }
-        }
-        // Key tracking: remember the latest access to each pending key.
-        if key_lines.contains_key(&line) {
-            last_seen.insert(line, a.index);
-        }
-        // Vicinity: resolve an armed sample on reuse...
-        if let Some(set_at) = vicinity_pending.remove(&line) {
-            vicinity.record(a.index - set_at - 1, 1.0);
-            vicinity_count += 1;
+        let interesting = if functional {
+            filter.contains_line(line)
+        } else {
+            filter.contains_page(line.page())
+        };
+        if interesting {
+            // Trap accounting (VDP explorers only): any access to a
+            // watched page costs a trap, watched line or not.
             if !functional {
-                watch.unwatch_line(line);
+                match watch.classify_line(line) {
+                    Trap::None => {}
+                    Trap::FalsePositive => {
+                        scan.false_positives += 1;
+                        clock.charge(cost.trap_seconds);
+                    }
+                    Trap::Hit(_) => {
+                        scan.true_hits += 1;
+                        clock.charge(cost.trap_seconds);
+                    }
+                }
+            }
+            // Key tracking: remember the latest access to each pending key.
+            if let Some(seen) = keys.get_mut(line) {
+                *seen = a.index;
+            }
+            // Vicinity: resolve an armed sample on reuse. The key
+            // watchpoint (if any) on the same line stays armed: watch
+            // references are refcounted, so disarming the vicinity side
+            // never drops a key that must live for the whole window.
+            if let Some(set_at) = vicinity_pending.remove(line) {
+                vicinity.record(a.index - set_at - 1, 1.0);
+                vicinity_count += 1;
+                if functional {
+                    filter.remove_line(line);
+                } else {
+                    watch.unwatch_line(line);
+                    filter.remove_page(line.page());
+                }
             }
         }
-        // ...and arm new samples at the configured rate.
-        if rng.chance_one_in(a.index, vicinity_period_accesses)
-            && !vicinity_pending.contains_key(&line)
+        // Arm new vicinity samples at the configured rate.
+        if rng.chance_one_in(a.index, vicinity_period_accesses) && !vicinity_pending.contains(line)
         {
             vicinity_pending.insert(line, a.index);
-            if !functional {
+            if functional {
+                filter.insert_line(line);
+            } else {
                 watch.watch_line(line);
+                filter.insert_page(line.page());
             }
         }
     });
@@ -168,8 +204,8 @@ pub fn run_explorer(
     let mut resolved = Vec::new();
     let mut remaining = Vec::new();
     for k in pending {
-        match last_seen.get(&k.line) {
-            Some(&pos) if pos < k.first_access_index => {
+        match keys.get(k.line) {
+            Some(&pos) if pos != NOT_SEEN && pos < k.first_access_index => {
                 resolved.push((k.line, k.first_access_index - pos - 1));
             }
             _ => remaining.push(*k),
@@ -287,6 +323,54 @@ mod tests {
         vr.sort_unstable_by_key(|&(l, _)| l);
         assert_eq!(fr, vr, "VDP and functional must agree on key rds");
         assert!(v.scan.traps() > 0, "VDP should trap on key pages");
+    }
+
+    #[test]
+    fn key_watchpoints_survive_vicinity_overlap() {
+        // Regression for the key/vicinity watchpoint clash: with a
+        // vicinity period of 1 every access arms a sample, so the key
+        // lines themselves are armed and later disarmed as vicinity
+        // samples. The key watchpoints must stay armed for the whole
+        // window — every access to a key line keeps trapping as a hit.
+        let (w, region) = setup();
+        let cost = CostModel::paper_host();
+        let region_first = w.access_index_at_instr(region.detailed.start);
+        let pending: Vec<PendingKey> = (0..10)
+            .map(|i| w.access_at(region_first + i * 7))
+            .map(|a| PendingKey {
+                line: a.line(),
+                first_access_index: a.index,
+            })
+            .collect();
+        let window = 20_000u64;
+        let mut c1 = HostClock::new();
+        let mut c2 = HostClock::new();
+        let f = run_explorer(&w, &cost, &mut c1, 0, window, 0, &region, &pending, 1, 7, 1);
+        let v = run_explorer(&w, &cost, &mut c2, 1, window, 0, &region, &pending, 1, 7, 1);
+        // Functional and VDP still agree on the resolved reuse distances.
+        let mut fr = f.resolved.clone();
+        let mut vr = v.resolved.clone();
+        fr.sort_unstable_by_key(|&(l, _)| l);
+        vr.sort_unstable_by_key(|&(l, _)| l);
+        assert_eq!(fr, vr);
+        // Every scanned access to a key line must be a true hit: the key
+        // stays watched even after an overlapping vicinity sample
+        // resolves. (The pre-refcount WatchSet dropped the key watch on
+        // vicinity resolution and undercounted these.)
+        let first = w.access_index_at_instr(region.start_instr.saturating_sub(window));
+        let end = w.access_index_at_instr(region.start_instr);
+        let key_lines: Vec<LineAddr> = pending.iter().map(|k| k.line).collect();
+        let key_accesses = w
+            .iter_range(first..end)
+            .filter(|a| key_lines.contains(&a.line()))
+            .count() as u64;
+        assert!(key_accesses > 0, "degenerate window");
+        assert!(
+            v.scan.true_hits >= key_accesses,
+            "true hits {} < key-line accesses {}: a key watchpoint was dropped",
+            v.scan.true_hits,
+            key_accesses
+        );
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! Key cachelines: the Scout's output.
 
-use delorean_trace::{LineAddr, Pc};
+use delorean_trace::{LineAddr, LineMap, Pc};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Metadata of one key cacheline.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -21,7 +20,7 @@ pub struct KeyInfo {
 /// 151 on average).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct KeySet {
-    keys: HashMap<LineAddr, KeyInfo>,
+    keys: LineMap<KeyInfo>,
 }
 
 impl KeySet {
@@ -33,7 +32,7 @@ impl KeySet {
     /// Register a key cacheline; the first registration wins (later
     /// accesses to the same line in the region are not key accesses).
     pub fn insert_first(&mut self, line: LineAddr, info: KeyInfo) {
-        self.keys.entry(line).or_insert(info);
+        self.keys.or_insert_with(line, || info);
     }
 
     /// Number of key cachelines.
@@ -48,17 +47,17 @@ impl KeySet {
 
     /// Metadata of a key line.
     pub fn get(&self, line: LineAddr) -> Option<&KeyInfo> {
-        self.keys.get(&line)
+        self.keys.get(line)
     }
 
-    /// Iterate over `(line, info)` pairs (arbitrary order).
+    /// Iterate over `(line, info)` pairs (deterministic table order).
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &KeyInfo)> {
-        self.keys.iter().map(|(l, i)| (*l, i))
+        self.keys.iter()
     }
 
-    /// The lines themselves (arbitrary order).
+    /// The lines themselves (deterministic table order).
     pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.keys.keys().copied()
+        self.keys.keys()
     }
 }
 

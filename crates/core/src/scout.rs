@@ -22,7 +22,7 @@ use crate::keyset::{KeyInfo, KeySet};
 use delorean_cache::{Cache, MachineConfig, MshrFile, MshrOutcome};
 use delorean_sampling::Region;
 use delorean_statmodel::assoc::LimitedAssocModel;
-use delorean_trace::{Workload, WorkloadExt};
+use delorean_trace::{LineSet, Workload, WorkloadExt};
 use delorean_virt::{CostModel, HostClock, WorkKind};
 
 /// Everything the Scout learns about one region.
@@ -76,7 +76,7 @@ pub fn scout_region(
     // Walk the region: first access per line decides key-ness.
     let mut keyset = KeySet::new();
     let mut assoc = LimitedAssocModel::new();
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = LineSet::new();
     workload.for_each_access(region_first..region_end, |a| {
         let line = a.line();
         assoc.observe(a.pc, line);

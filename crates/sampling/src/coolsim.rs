@@ -24,10 +24,11 @@ use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig, MemLevel};
 use delorean_cpu::TimingConfig;
 use delorean_statmodel::per_pc::{PcPrediction, PcProfiles};
-use delorean_trace::{CounterRng, LineAddr, MemAccess, Scale, Workload, WorkloadExt};
+use delorean_trace::{
+    CounterRng, InterestFilter, LineMap, MemAccess, Scale, Workload, WorkloadExt,
+};
 use delorean_virt::{CostModel, Trap, WatchSet, WorkKind};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// One phase of the adaptive sampling schedule.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -145,32 +146,40 @@ impl SamplingStrategy for CoolSimRunner {
             let len = last.saturating_sub(first);
             let mut profiles = PcProfiles::new();
             let mut watch = WatchSet::new();
-            let mut pending: HashMap<LineAddr, u64> = HashMap::new();
+            let mut pending: LineMap<u64> = LineMap::new();
+            // Interest prefilter over the watched pages: the dominant
+            // unwatched access is one hashed bit probe; the exact page
+            // table decides only on a filter hit.
+            let mut filter = InterestFilter::with_capacity_for(1024);
 
             // The interval runs under VFF (charged at represented
             // magnitude); traps are charged per event at face value.
             driver.charge_work(WorkKind::Vff, len * p * mult);
             workload.for_each_access(first..last, |a| {
                 let k = a.index;
-                match watch.classify(a) {
-                    Trap::None => {}
-                    Trap::FalsePositive => driver.charge_seconds(trap_seconds),
-                    Trap::Hit(line) => {
-                        driver.charge_seconds(trap_seconds);
-                        if let Some(set_at) = pending.remove(&line) {
-                            // Reuse found: distance is the accesses strictly
-                            // between; attributed to the reusing PC.
-                            profiles.record(a.pc, k - set_at - 1, 1.0);
-                            driver.record_collected(1);
-                            watch.unwatch_line(line);
+                if filter.contains_page(a.page()) {
+                    match watch.classify(a) {
+                        Trap::None => {}
+                        Trap::FalsePositive => driver.charge_seconds(trap_seconds),
+                        Trap::Hit(line) => {
+                            driver.charge_seconds(trap_seconds);
+                            if let Some(set_at) = pending.remove(line) {
+                                // Reuse found: distance is the accesses strictly
+                                // between; attributed to the reusing PC.
+                                profiles.record(a.pc, k - set_at - 1, 1.0);
+                                driver.record_collected(1);
+                                watch.unwatch_line(line);
+                                filter.remove_page(line.page());
+                            }
                         }
                     }
                 }
                 // Random sampling decision at the schedule's current rate.
                 let period = self.config.period_at(k - first, len, p);
-                if rng.chance_one_in(k, period) && !pending.contains_key(&a.line()) {
+                if rng.chance_one_in(k, period) && !pending.contains(a.line()) {
                     pending.insert(a.line(), k);
                     watch.watch_line(a.line());
+                    filter.insert_page(a.page());
                 }
             });
             // Unresolved samples: reuse longer than the remaining interval.

@@ -20,9 +20,8 @@ use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig};
 use delorean_cpu::TimingConfig;
 use delorean_statmodel::LogHistogram;
-use delorean_trace::{MemAccess, Workload, WorkloadExt};
+use delorean_trace::{LineMap, MemAccess, Workload, WorkloadExt};
 use delorean_virt::{CostModel, WorkKind};
-use std::collections::HashMap;
 
 /// The MRRL adaptive-functional-warming runner.
 #[derive(Clone, Debug)]
@@ -66,7 +65,7 @@ impl MrrlRunner {
         let p = workload.mem_period();
         let start = around_access.saturating_sub(self.profile_accesses);
         let mut hist = LogHistogram::new();
-        let mut last: HashMap<_, u64> = HashMap::new();
+        let mut last: LineMap<u64> = LineMap::new();
         workload.for_each_access(start..around_access, |a| {
             if let Some(prev) = last.insert(a.line(), a.index) {
                 hist.add((a.index - prev) * p, 1.0);

@@ -8,9 +8,8 @@
 //! conflict misses. DeLorean inherits this model from CoolSim (reference
 //! \[23\] of the paper).
 
-use delorean_trace::{LineAddr, Pc};
+use delorean_trace::{FlatMap, LineAddr, Pc, PcMap};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Effective number of cachelines usable by an access stream with a
 /// dominant stride of `stride_lines` lines, in a cache of `sets` sets ×
@@ -45,7 +44,7 @@ const DOMINANCE_PERMILLE: u32 = 600;
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct StrideDetector {
     last_line: Option<u64>,
-    deltas: HashMap<i64, u32>,
+    deltas: FlatMap<i64, u32>,
     total_deltas: u32,
 }
 
@@ -59,7 +58,7 @@ impl StrideDetector {
     pub fn observe(&mut self, line: LineAddr) {
         if let Some(prev) = self.last_line {
             let delta = line.0 as i64 - prev as i64;
-            *self.deltas.entry(delta).or_default() += 1;
+            *self.deltas.or_default(delta) += 1;
             self.total_deltas += 1;
         }
         self.last_line = Some(line.0);
@@ -77,7 +76,7 @@ impl StrideDetector {
         if self.total_deltas < MIN_OBSERVATIONS {
             return None;
         }
-        let (&delta, &count) = self.deltas.iter().max_by_key(|(_, &c)| c)?;
+        let (delta, &count) = self.deltas.iter().max_by_key(|&(_, &c)| c)?;
         if count * 1000 < self.total_deltas * DOMINANCE_PERMILLE {
             return None;
         }
@@ -93,7 +92,7 @@ impl StrideDetector {
 /// the effective cache size used by capacity classification.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct LimitedAssocModel {
-    per_pc: HashMap<Pc, StrideDetector>,
+    per_pc: PcMap<StrideDetector>,
 }
 
 impl LimitedAssocModel {
@@ -105,12 +104,12 @@ impl LimitedAssocModel {
     /// Observe an access (typically key-cacheline first accesses or
     /// sampled vicinity accesses).
     pub fn observe(&mut self, pc: Pc, line: LineAddr) {
-        self.per_pc.entry(pc).or_default().observe(line);
+        self.per_pc.or_default(pc).observe(line);
     }
 
     /// The dominant stride of `pc`, if detected.
     pub fn dominant_stride(&self, pc: Pc) -> Option<u64> {
-        self.per_pc.get(&pc).and_then(|d| d.dominant_stride())
+        self.per_pc.get(pc).and_then(|d| d.dominant_stride())
     }
 
     /// Effective cache size (in lines) available to accesses from `pc` in

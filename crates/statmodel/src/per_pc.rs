@@ -10,9 +10,8 @@
 //! directed warming closes, so this module models it faithfully.
 
 use crate::reuse::ReuseProfile;
-use delorean_trace::Pc;
+use delorean_trace::{Pc, PcMap};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Outcome of a per-PC miss prediction.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -32,7 +31,7 @@ pub enum PcPrediction {
 /// drive the per-access hit/miss verdicts.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct PcProfiles {
-    per_pc: HashMap<Pc, ReuseProfile>,
+    per_pc: PcMap<ReuseProfile>,
     global: ReuseProfile,
 }
 
@@ -44,16 +43,13 @@ impl PcProfiles {
 
     /// Record a sampled reuse distance for `pc`.
     pub fn record(&mut self, pc: Pc, reuse_distance: u64, weight: f64) {
-        self.per_pc
-            .entry(pc)
-            .or_default()
-            .record(reuse_distance, weight);
+        self.per_pc.or_default(pc).record(reuse_distance, weight);
         self.global.record(reuse_distance, weight);
     }
 
     /// Record a cold (never-before-seen) sample for `pc`.
     pub fn record_cold(&mut self, pc: Pc, weight: f64) {
-        self.per_pc.entry(pc).or_default().record_cold(weight);
+        self.per_pc.or_default(pc).record_cold(weight);
         self.global.record_cold(weight);
     }
 
@@ -64,7 +60,7 @@ impl PcProfiles {
 
     /// The profile of one PC, if any samples were recorded for it.
     pub fn pc(&self, pc: Pc) -> Option<&ReuseProfile> {
-        self.per_pc.get(&pc)
+        self.per_pc.get(pc)
     }
 
     /// Number of PCs with at least one sample.
@@ -85,7 +81,7 @@ impl PcProfiles {
     /// distance fits the cache): the access is predicted to miss when more
     /// than half of the PC's sampled weight lies beyond it.
     pub fn predict(&self, pc: Pc, cache_lines: u64) -> PcPrediction {
-        let Some(profile) = self.per_pc.get(&pc) else {
+        let Some(profile) = self.per_pc.get(pc) else {
             return PcPrediction::NoData;
         };
         if profile.total_weight() == 0.0 {
@@ -107,8 +103,8 @@ impl PcProfiles {
 
     /// Merge another profile set into this one.
     pub fn merge(&mut self, other: &PcProfiles) {
-        for (pc, prof) in &other.per_pc {
-            self.per_pc.entry(*pc).or_default().merge(prof);
+        for (pc, prof) in other.per_pc.iter() {
+            self.per_pc.or_default(pc).merge(prof);
         }
         self.global.merge(&other.global);
     }

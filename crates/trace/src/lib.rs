@@ -38,6 +38,12 @@
 //! can share work between neighbouring indices — see the [`cursor`
 //! module](AccessCursor) docs for guidance.
 //!
+//! The crate also hosts the **flat lookup substrate** shared by every
+//! per-access hot loop: open-addressing [`FlatMap`]/[`FlatSet`] (aliases
+//! [`LineMap`], [`LineSet`], [`PageMap`], [`PcMap`]) and the
+//! [`InterestFilter`] counting-bitmap prefilter — see the collection
+//! types' docs for the probing and fusion rules.
+//!
 //! # Quick example
 //!
 //! ```
@@ -54,6 +60,7 @@
 #![warn(missing_debug_implementations)]
 
 mod branch;
+mod collections;
 mod cursor;
 mod iter;
 mod pattern;
@@ -65,6 +72,9 @@ mod spec;
 mod types;
 
 pub use branch::{BranchEvent, BranchModel};
+pub use collections::{
+    FlatKey, FlatMap, FlatSet, InterestFilter, LineMap, LineSet, PageMap, PageSet, PcMap,
+};
 pub use cursor::{AccessCursor, IndexedCursor, CURSOR_BATCH};
 pub use iter::AccessIter;
 pub use pattern::{Pattern, PatternCursor};
