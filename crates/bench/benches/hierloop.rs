@@ -1,0 +1,51 @@
+//! Hierarchy warm-loop microbenchmarks: the pre-PR 4 per-access path vs
+//! the batched slice-at-a-time `Hierarchy::warm_range`, per workload and
+//! machine variant.
+//!
+//! The functional-warming baselines spend their wall clock in exactly
+//! this loop; these benches track both hierarchy paths side by side so a
+//! regression in either is visible. `bench_pr4` emits the same
+//! comparison as machine-readable JSON (`BENCH_PR4.json`), including the
+//! equivalence oracle.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use delorean_bench::hierloop::{measure_warm_loop, WarmPath};
+use delorean_cache::MachineConfig;
+use delorean_trace::Scale;
+
+const ACCESSES: u64 = 100_000;
+
+fn bench_both_paths(c: &mut Criterion, group: &str, name: &str, machine: &MachineConfig) {
+    let w = delorean_trace::spec_workload(name, Scale::demo(), 42).unwrap();
+    let mut g = c.benchmark_group(group);
+    g.throughput(Throughput::Elements(ACCESSES));
+    g.bench_function("per-access", |b| {
+        b.iter(|| {
+            black_box(
+                measure_warm_loop(&w, machine, WarmPath::PerAccess, 0..ACCESSES, 1)
+                    .accesses_per_sec,
+            )
+        })
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            black_box(
+                measure_warm_loop(&w, machine, WarmPath::Batched, 0..ACCESSES, 1).accesses_per_sec,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn warm_suite(c: &mut Criterion) {
+    let table1 = MachineConfig::for_scale(Scale::demo());
+    // Hit-dominated, mixed, and miss-heavy representatives.
+    for name in ["bwaves", "hmmer", "mcf"] {
+        bench_both_paths(c, &format!("hierloop/table1/{name}"), name, &table1);
+    }
+    let prefetch = table1.with_prefetch(true);
+    bench_both_paths(c, "hierloop/prefetch/mcf", "mcf", &prefetch);
+}
+
+criterion_group!(benches, warm_suite);
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! Warm-loop perf harness: writes `BENCH_PR4.json`, the third point of
+//! the repository's perf trajectory.
+//!
+//! Measures, per workload and machine variant, the accesses/second of
+//! simulating the functional-warming hot loop through the cache
+//! hierarchy on the two paths (the retained pre-PR 4 per-access baseline
+//! vs the batched slice-at-a-time `warm_range`), asserting the
+//! equivalence oracle on every case, plus the end-to-end wall time of
+//! each sampling strategy at demo scale — directly comparable with the
+//! same table in `BENCH_PR3.json`.
+//!
+//! Flags: `--quick` (CI smoke: best of two repeats, with relaxed
+//! regression gates), `--out PATH` (default `BENCH_PR4.json`).
+
+use delorean_bench::hierloop::{
+    assert_hierarchies_agree, measure_warm_loop, WarmLoopRate, WarmOutcome, WarmPath,
+};
+use delorean_cache::MachineConfig;
+use delorean_core::{DeLoreanConfig, DeLoreanRunner};
+use delorean_sampling::{
+    CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, SamplingConfig,
+    SamplingStrategy, SmartsRunner,
+};
+use delorean_trace::{spec_workload, Scale};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct LoopRow {
+    workload: String,
+    machine: &'static str,
+    accesses: u64,
+    per_access_rate: f64,
+    batched_rate: f64,
+}
+
+fn strategies(scale: Scale) -> Vec<Box<dyn SamplingStrategy>> {
+    let machine = MachineConfig::for_scale(scale);
+    vec![
+        Box::new(SmartsRunner::new(machine)),
+        Box::new(CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale))),
+        Box::new(MrrlRunner::new(machine)),
+        Box::new(CheckpointWarmingRunner::new(machine)),
+        Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(scale),
+        )),
+    ]
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+
+    // Even quick mode takes the best of 2 repeats: the gates below are
+    // wall-clock ratios and a single preempted sample on a shared runner
+    // should not fail the job.
+    let repeats: u32 = if quick { 2 } else { 5 };
+    let warm_accesses: u64 = if quick { 400_000 } else { 4_000_000 };
+
+    // --- Warm-loop rates: per-access baseline vs batched warm_range. ---
+    // Machine variants cover the regimes that stress different parts of
+    // the access core: the Table 1 default (hit-dominated, MSHR-quiet),
+    // the prefetcher on (miss path + LLC fills), and a quarter-size LLC
+    // (heavier MSHR churn and eviction traffic).
+    let scale = Scale::demo();
+    let machines: [(&'static str, MachineConfig); 3] = [
+        ("table1", MachineConfig::for_scale(scale)),
+        (
+            "prefetch",
+            MachineConfig::for_scale(scale).with_prefetch(true),
+        ),
+        (
+            "llc-2mb",
+            MachineConfig::for_scale(scale).with_llc_paper_bytes(scale, 2 << 20),
+        ),
+    ];
+    let mut rows: Vec<LoopRow> = Vec::new();
+    for name in ["hmmer", "povray", "mcf"] {
+        let w = spec_workload(name, scale, 1).unwrap();
+        for (label, machine) in &machines {
+            let range = 0..warm_accesses;
+            let base = measure_warm_loop(&w, machine, WarmPath::PerAccess, range.clone(), repeats);
+            let batched = measure_warm_loop(&w, machine, WarmPath::Batched, range.clone(), repeats);
+            oracle(&w, warm_accesses, &base, &batched);
+            eprintln!(
+                "{:<8} {:<10} {:>9} accesses: {:>6.1} Macc/s per-access   {:>6.1} Macc/s batched   ({:.2}x)",
+                name,
+                label,
+                warm_accesses,
+                base.accesses_per_sec / 1e6,
+                batched.accesses_per_sec / 1e6,
+                batched.accesses_per_sec / base.accesses_per_sec,
+            );
+            rows.push(LoopRow {
+                workload: name.to_string(),
+                machine: label,
+                accesses: warm_accesses,
+                per_access_rate: base.accesses_per_sec,
+                batched_rate: batched.accesses_per_sec,
+            });
+        }
+    }
+    let speedups: Vec<f64> = rows
+        .iter()
+        .map(|r| r.batched_rate / r.per_access_rate)
+        .collect();
+    let loop_geomean = geomean(&speedups);
+
+    // --- End-to-end strategy wall times at demo scale (same table as
+    // BENCH_PR3.json for direct trajectory comparison). ---
+    let plan = SamplingConfig::for_scale(scale)
+        .with_regions(if quick { 1 } else { 3 })
+        .plan();
+    let strategy_workload = spec_workload("hmmer", scale, 1).unwrap();
+    let mut strategy_rows = Vec::new();
+    for s in strategies(scale) {
+        let t = Instant::now();
+        let report = s.run(&strategy_workload, &plan);
+        let wall = t.elapsed().as_secs_f64();
+        eprintln!(
+            "{:<12} end-to-end {:>8.3} s (cpi {:.3}, demo scale)",
+            s.name(),
+            wall,
+            report.cpi()
+        );
+        strategy_rows.push((s.name().to_string(), wall, report.cpi()));
+    }
+
+    // --- Emit JSON (hand-rolled: the serde shim has no serializer). ---
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"pr\": 4,");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    j.push_str("  \"warm_loop\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"machine\": \"{}\", \"accesses\": {}, \"per_access_accesses_per_sec\": {:.0}, \"batched_accesses_per_sec\": {:.0}, \"speedup\": {:.3}}}{}",
+            json_escape(&r.workload),
+            r.machine,
+            r.accesses,
+            r.per_access_rate,
+            r.batched_rate,
+            r.batched_rate / r.per_access_rate,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(j, "  \"warm_loop_geomean_speedup\": {loop_geomean:.3},");
+    // The issue's aspirational target. The measured geomean on the
+    // 1-vCPU reference host lands well short of it: the per-access
+    // baseline's removable overhead (allocating MSHR retires, duplicated
+    // scans, per-access closure) is ~25% of the loop there, the rest
+    // being access generation and the equivalence-constrained simulation
+    // work both paths share. Recorded so the trajectory stays honest.
+    let _ = writeln!(j, "  \"warm_loop_target_speedup\": 2.0,");
+    j.push_str("  \"strategy_end_to_end\": [\n");
+    for (i, (name, wall, cpi)) in strategy_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"strategy\": \"{}\", \"workload\": \"hmmer\", \"scale\": \"demo\", \"wall_seconds\": {:.4}, \"cpi\": {:.4}}}{}",
+            json_escape(name),
+            wall,
+            cpi,
+            if i + 1 < strategy_rows.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &j).expect("write BENCH_PR4.json");
+    eprintln!("warm-loop geomean speedup: {loop_geomean:.2}x");
+    eprintln!("wrote {out_path}");
+
+    // Regression gates: lock in the speedup the batched path actually
+    // delivers on the reference host (~1.25x geomean; the 2x aspiration
+    // is recorded in the JSON as `warm_loop_target_speedup`). Quick (CI)
+    // mode tolerates noisy shared runners with a lower bar.
+    let bar = if quick { 1.05 } else { 1.15 };
+    if loop_geomean < bar {
+        eprintln!("ERROR: warm-loop geomean speedup {loop_geomean:.2}x below the {bar}x bar");
+        std::process::exit(1);
+    }
+}
+
+/// Unpack the two measured outcomes and assert the equivalence oracle.
+fn oracle(
+    workload: &dyn delorean_trace::Workload,
+    accesses: u64,
+    base: &WarmLoopRate,
+    batched: &WarmLoopRate,
+) {
+    let (WarmOutcome::PerAccess(b), WarmOutcome::Batched(n)) = (&base.outcome, &batched.outcome)
+    else {
+        panic!("outcome variants mismatched the measured paths");
+    };
+    assert_hierarchies_agree(workload, 0..accesses, b, n);
+}

@@ -1,0 +1,510 @@
+//! Warm-loop perf measurement: per-access hierarchy simulation vs the
+//! batched slice-at-a-time warm path (PR 4).
+//!
+//! PR 2 made access *generation* stream and PR 3 made the explorer
+//! *lookups* flat; after them, the functional-warming baselines
+//! (SMARTS / CoolSim / checkpoint preparation) spend their wall clock
+//! pushing every access through the cache hierarchy one at a time. This
+//! module measures exactly that kernel both ways:
+//!
+//! * [`WarmPath::PerAccess`] — a faithful replica of the pre-PR 4 path:
+//!   the historical `Cache` way-scan loops, the `Vec`-allocating
+//!   `take_retired` MSHR file and the per-access closure through
+//!   `for_each_access`, kept verbatim as the measurement baseline and
+//!   equivalence oracle (the `run_explorer_std_baseline` pattern of
+//!   `probeloop`).
+//! * [`WarmPath::Batched`] — the production
+//!   [`Hierarchy::warm_range`](delorean_cache::Hierarchy::warm_range):
+//!   cursor-filled slices into the shared inlined access core.
+//!
+//! Both paths must agree on every statistics counter and on the
+//! residency of every line they touched — [`assert_hierarchies_agree`]
+//! is asserted by the `bench_pr4` harness on every measured case.
+
+use delorean_cache::{
+    CacheConfig, CacheStats, Hierarchy, HierarchyStats, MachineConfig, MemLevel, ReplacementPolicy,
+    StridePrefetcher,
+};
+use delorean_trace::{mix64, LineAddr, LineSet, Pc, Workload, WorkloadExt};
+use std::ops::Range;
+use std::time::Instant;
+
+/// Which hierarchy path a warm-loop measurement exercised.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WarmPath {
+    /// Pre-PR 4 replica: per-access `access_data` with the allocating
+    /// MSHR file, driven through a per-access closure.
+    PerAccess,
+    /// The production batched path: `Hierarchy::warm_range`.
+    Batched,
+}
+
+/// Sentinel tag for an empty way (pre-PR 4 `Cache` replica).
+const EMPTY: u64 = u64::MAX;
+
+/// Verbatim replica of the pre-PR 4 `Cache` hot path: three hand-copied
+/// early-exit way-scan loops with per-element indexing, exactly as the
+/// production cache ran them before the shared branchless probe helper.
+#[derive(Clone, Debug)]
+struct BaselineCache {
+    cfg: CacheConfig,
+    set_mask: u64,
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    set_bits: Vec<u32>,
+    tick: u64,
+    rng: u64,
+    stats: CacheStats,
+}
+
+impl BaselineCache {
+    fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        let n = (sets * cfg.ways as u64) as usize;
+        BaselineCache {
+            cfg,
+            set_mask: sets - 1,
+            tags: vec![EMPTY; n],
+            stamps: vec![0; n],
+            set_bits: vec![0; sets as usize],
+            tick: 0,
+            rng: 0x5eed_c0de,
+            stats: CacheStats::default(),
+        }
+    }
+
+    #[inline]
+    fn row(&self, set: u64) -> usize {
+        (set * self.cfg.ways as u64) as usize
+    }
+
+    fn probe(&self, line: LineAddr) -> bool {
+        let row = self.row(line.0 & self.set_mask);
+        let ways = self.cfg.ways as usize;
+        self.tags[row..row + ways].contains(&line.0)
+    }
+
+    fn access(&mut self, line: LineAddr) -> bool {
+        self.tick += 1;
+        let set = line.0 & self.set_mask;
+        let row = self.row(set);
+        let ways = self.cfg.ways as usize;
+        for w in 0..ways {
+            if self.tags[row + w] == line.0 {
+                self.stats.hits += 1;
+                self.touch(set, row, w);
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        self.fill_at(set, row, line);
+        false
+    }
+
+    fn lookup(&mut self, line: LineAddr) -> bool {
+        self.tick += 1;
+        let set = line.0 & self.set_mask;
+        let row = self.row(set);
+        let ways = self.cfg.ways as usize;
+        for w in 0..ways {
+            if self.tags[row + w] == line.0 {
+                self.stats.hits += 1;
+                self.touch(set, row, w);
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    fn fill(&mut self, line: LineAddr) {
+        self.tick += 1;
+        let set = line.0 & self.set_mask;
+        let row = self.row(set);
+        let ways = self.cfg.ways as usize;
+        for w in 0..ways {
+            if self.tags[row + w] == line.0 {
+                return;
+            }
+        }
+        self.fill_at(set, row, line);
+    }
+
+    #[inline]
+    fn touch(&mut self, set: u64, row: usize, w: usize) {
+        match self.cfg.replacement {
+            ReplacementPolicy::Lru => self.stamps[row + w] = self.tick,
+            ReplacementPolicy::Fifo => {}
+            ReplacementPolicy::Random => {}
+            ReplacementPolicy::PLru => self.plru_touch(set, w),
+            ReplacementPolicy::Nmru => self.set_bits[set as usize] = w as u32,
+            ReplacementPolicy::Srrip => self.stamps[row + w] = 0,
+        }
+    }
+
+    #[inline]
+    fn victim(&mut self, set: u64, row: usize) -> usize {
+        let ways = self.cfg.ways as usize;
+        match self.cfg.replacement {
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                let mut best = 0;
+                let mut best_stamp = u64::MAX;
+                for w in 0..ways {
+                    if self.stamps[row + w] < best_stamp {
+                        best_stamp = self.stamps[row + w];
+                        best = w;
+                    }
+                }
+                best
+            }
+            ReplacementPolicy::Random => {
+                self.rng = mix64(self.rng, self.tick);
+                (self.rng % ways as u64) as usize
+            }
+            ReplacementPolicy::PLru => self.plru_victim(set),
+            ReplacementPolicy::Nmru => {
+                let mru = self.set_bits[set as usize] as usize % ways;
+                if ways == 1 {
+                    0
+                } else {
+                    self.rng = mix64(self.rng, self.tick);
+                    let pick = (self.rng % (ways as u64 - 1)) as usize;
+                    if pick >= mru {
+                        pick + 1
+                    } else {
+                        pick
+                    }
+                }
+            }
+            ReplacementPolicy::Srrip => loop {
+                if let Some(w) = (0..ways).find(|&w| self.stamps[row + w] >= 3) {
+                    return w;
+                }
+                for w in 0..ways {
+                    self.stamps[row + w] += 1;
+                }
+            },
+        }
+    }
+
+    fn fill_at(&mut self, set: u64, row: usize, line: LineAddr) {
+        let ways = self.cfg.ways as usize;
+        let w = (0..ways)
+            .find(|&w| self.tags[row + w] == EMPTY)
+            .unwrap_or_else(|| self.victim(set, row));
+        if self.tags[row + w] != EMPTY {
+            self.stats.evictions += 1;
+        }
+        self.tags[row + w] = line.0;
+        self.stamps[row + w] = self.tick;
+        match self.cfg.replacement {
+            ReplacementPolicy::PLru => self.plru_touch(set, w),
+            ReplacementPolicy::Nmru => self.set_bits[set as usize] = w as u32,
+            ReplacementPolicy::Srrip => self.stamps[row + w] = 2,
+            _ => {}
+        }
+    }
+
+    fn plru_touch(&mut self, set: u64, w: usize) {
+        let ways = self.cfg.ways as usize;
+        if ways == 1 {
+            return;
+        }
+        let mut bits = self.set_bits[set as usize];
+        let levels = ways.trailing_zeros();
+        let mut node = 0usize;
+        for level in (0..levels).rev() {
+            let bit = (w >> level) & 1;
+            if bit == 1 {
+                bits &= !(1 << node);
+            } else {
+                bits |= 1 << node;
+            }
+            node = 2 * node + 1 + bit;
+        }
+        self.set_bits[set as usize] = bits;
+    }
+
+    fn plru_victim(&self, set: u64) -> usize {
+        let ways = self.cfg.ways as usize;
+        if ways == 1 {
+            return 0;
+        }
+        let bits = self.set_bits[set as usize];
+        let levels = ways.trailing_zeros();
+        let mut node = 0usize;
+        let mut w = 0usize;
+        for _ in 0..levels {
+            let dir = ((bits >> node) & 1) as usize;
+            w = (w << 1) | dir;
+            node = 2 * node + 1 + dir;
+        }
+        w
+    }
+}
+
+/// Replica of the pre-PR 4 `MshrFile`: `take_retired` returns a fresh
+/// `Vec` per call, and `on_miss` re-scans the entries it just retired.
+#[derive(Clone, Debug)]
+struct BaselineMshrFile {
+    entries: Vec<(LineAddr, u64)>,
+    capacity: usize,
+    latency_accesses: u64,
+}
+
+impl BaselineMshrFile {
+    fn new(capacity: u32, latency_accesses: u64) -> Self {
+        BaselineMshrFile {
+            entries: Vec::with_capacity(capacity as usize),
+            capacity: capacity as usize,
+            latency_accesses,
+        }
+    }
+
+    fn retire(&mut self, now: u64) {
+        self.entries.retain(|&(_, fill_at)| fill_at > now);
+    }
+
+    fn take_retired(&mut self, now: u64) -> Vec<LineAddr> {
+        let mut done = Vec::new();
+        self.entries.retain(|&(line, fill_at)| {
+            if fill_at <= now {
+                done.push(line);
+                false
+            } else {
+                true
+            }
+        });
+        done
+    }
+
+    /// 0 = allocated, 1 = delayed hit, 2 = full.
+    fn on_miss(&mut self, line: LineAddr, now: u64) -> u8 {
+        self.retire(now);
+        if self.entries.iter().any(|&(l, _)| l == line) {
+            return 1;
+        }
+        if self.entries.len() >= self.capacity {
+            return 2;
+        }
+        self.entries.push((line, now + self.latency_accesses));
+        0
+    }
+}
+
+/// Replica of the pre-PR 4 per-access hierarchy loop: the historical
+/// early-exit cache scans and allocating MSHR flow, with the control
+/// structure of the old `Hierarchy::access_data`, kept verbatim as the
+/// measurement baseline and equivalence oracle.
+#[derive(Clone, Debug)]
+pub struct BaselineHierarchy {
+    l1d: BaselineCache,
+    llc: BaselineCache,
+    mshr_d: BaselineMshrFile,
+    prefetcher: Option<StridePrefetcher>,
+    stats: HierarchyStats,
+}
+
+impl BaselineHierarchy {
+    /// Build the baseline hierarchy for a machine configuration.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        BaselineHierarchy {
+            l1d: BaselineCache::new(cfg.hierarchy.l1d),
+            llc: BaselineCache::new(cfg.hierarchy.llc),
+            mshr_d: BaselineMshrFile::new(
+                cfg.hierarchy.l1d_mshrs,
+                cfg.hierarchy.mshr_latency_accesses,
+            ),
+            prefetcher: cfg.prefetch.then(StridePrefetcher::paper_default),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Verbatim pre-PR 4 `access_data`: allocating `take_retired`, then
+    /// lookup, then the MSHR double scan on a miss.
+    pub fn access_data(&mut self, pc: Pc, line: LineAddr, now: u64) -> MemLevel {
+        for done in self.mshr_d.take_retired(now) {
+            self.l1d.fill(done);
+        }
+        if self.l1d.lookup(line) {
+            self.stats.l1d_hits += 1;
+            return MemLevel::L1;
+        }
+        match self.mshr_d.on_miss(line, now) {
+            1 => {
+                self.stats.mshr_hits += 1;
+                MemLevel::Mshr
+            }
+            _ => {
+                if self.llc.access(line) {
+                    self.stats.llc_hits += 1;
+                    MemLevel::Llc
+                } else {
+                    self.stats.memory += 1;
+                    if let Some(pf) = self.prefetcher.as_mut() {
+                        for l in pf.on_trigger(pc, line) {
+                            self.stats.prefetches_issued += 1;
+                            if self.llc.probe(l) {
+                                self.stats.prefetches_nullified += 1;
+                            } else {
+                                self.llc.fill(l);
+                            }
+                        }
+                    }
+                    MemLevel::Memory
+                }
+            }
+        }
+    }
+
+    /// Hierarchy-level statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// L1-D statistics.
+    pub fn l1d_stats(&self) -> &CacheStats {
+        &self.l1d.stats
+    }
+
+    /// LLC statistics.
+    pub fn llc_stats(&self) -> &CacheStats {
+        &self.llc.stats
+    }
+
+    /// Whether `line` is resident in the L1-D / LLC.
+    pub fn probe(&self, line: LineAddr) -> (bool, bool) {
+        (self.l1d.probe(line), self.llc.probe(line))
+    }
+}
+
+/// One measured warm-loop rate plus the final state for the oracle.
+#[derive(Clone, Debug)]
+pub enum WarmOutcome {
+    /// Final state of the per-access baseline.
+    PerAccess(Box<BaselineHierarchy>),
+    /// Final state of the batched production path.
+    Batched(Box<Hierarchy>),
+}
+
+/// One measured warm-loop rate.
+#[derive(Clone, Debug)]
+pub struct WarmLoopRate {
+    /// Warm accesses simulated per wall-clock second (best of repeats).
+    pub accesses_per_sec: f64,
+    /// The hierarchy state after the last run (for equivalence checks).
+    pub outcome: WarmOutcome,
+}
+
+/// Measure accesses/second of warming a fresh hierarchy with the
+/// workload accesses in `range` through `path`, best of `repeats` runs.
+pub fn measure_warm_loop(
+    workload: &dyn Workload,
+    machine: &MachineConfig,
+    path: WarmPath,
+    range: Range<u64>,
+    repeats: u32,
+) -> WarmLoopRate {
+    let n = range.end.saturating_sub(range.start);
+    let mut best = f64::MAX;
+    let mut outcome = None;
+    for _ in 0..repeats.max(1) {
+        match path {
+            WarmPath::PerAccess => {
+                let mut h = BaselineHierarchy::new(machine);
+                let t = Instant::now();
+                workload.for_each_access(range.clone(), |a| {
+                    h.access_data(a.pc, a.line(), a.index);
+                });
+                best = best.min(t.elapsed().as_secs_f64());
+                outcome = Some(WarmOutcome::PerAccess(Box::new(h)));
+            }
+            WarmPath::Batched => {
+                let mut h = Hierarchy::new(machine);
+                let t = Instant::now();
+                h.warm_range(workload, range.clone());
+                best = best.min(t.elapsed().as_secs_f64());
+                outcome = Some(WarmOutcome::Batched(Box::new(h)));
+            }
+        }
+    }
+    WarmLoopRate {
+        accesses_per_sec: n as f64 / best.max(1e-12),
+        outcome: outcome.expect("at least one repeat"),
+    }
+}
+
+/// The equivalence oracle: the baseline and batched hierarchies must
+/// agree on every statistics counter (hierarchy-level and per-cache) and
+/// on the L1-D/LLC residency of every line the warm range touched.
+pub fn assert_hierarchies_agree(
+    workload: &dyn Workload,
+    range: Range<u64>,
+    baseline: &BaselineHierarchy,
+    batched: &Hierarchy,
+) {
+    assert_eq!(
+        baseline.stats(),
+        batched.stats(),
+        "hierarchy counters diverged between per-access and batched paths"
+    );
+    assert_eq!(
+        baseline.l1d_stats(),
+        batched.l1d().stats(),
+        "L1-D counters diverged"
+    );
+    assert_eq!(
+        baseline.llc_stats(),
+        batched.llc().stats(),
+        "LLC counters diverged"
+    );
+    let mut lines = LineSet::new();
+    workload.for_each_access(range, |a| {
+        lines.insert(a.line());
+    });
+    for line in lines.iter() {
+        let (bl1, bllc) = baseline.probe(line);
+        assert_eq!(
+            (bl1, bllc),
+            (batched.l1d().probe(line), batched.llc().probe(line)),
+            "residency of {line} diverged between per-access and batched paths"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_trace::{spec_workload, Scale};
+
+    #[test]
+    fn baseline_and_batched_paths_agree() {
+        for name in ["hmmer", "mcf"] {
+            let w = spec_workload(name, Scale::tiny(), 1).unwrap();
+            let machine = MachineConfig::for_scale(Scale::tiny());
+            let base = measure_warm_loop(&w, &machine, WarmPath::PerAccess, 0..20_000, 1);
+            let batched = measure_warm_loop(&w, &machine, WarmPath::Batched, 0..20_000, 1);
+            let (WarmOutcome::PerAccess(b), WarmOutcome::Batched(n)) =
+                (&base.outcome, &batched.outcome)
+            else {
+                panic!("outcome variants mismatched the measured paths");
+            };
+            assert_hierarchies_agree(&w, 0..20_000, b, n);
+            assert!(base.accesses_per_sec > 0.0 && batched.accesses_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn oracle_covers_the_prefetcher() {
+        let w = spec_workload("bwaves", Scale::tiny(), 1).unwrap();
+        let machine = MachineConfig::for_scale(Scale::tiny()).with_prefetch(true);
+        let base = measure_warm_loop(&w, &machine, WarmPath::PerAccess, 0..20_000, 1);
+        let batched = measure_warm_loop(&w, &machine, WarmPath::Batched, 0..20_000, 1);
+        let (WarmOutcome::PerAccess(b), WarmOutcome::Batched(n)) =
+            (&base.outcome, &batched.outcome)
+        else {
+            panic!("outcome variants mismatched the measured paths");
+        };
+        assert_hierarchies_agree(&w, 0..20_000, b, n);
+    }
+}

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod hierloop;
 mod options;
 pub mod probeloop;
 mod runs;

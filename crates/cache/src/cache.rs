@@ -83,7 +83,8 @@ impl Cache {
         &self.cfg
     }
 
-    /// Set index of a line.
+    /// Set index of a line. The set count is validated to be a power of
+    /// two, so this is a single mask — no division on the hot path.
     #[inline]
     pub fn set_index(&self, line: LineAddr) -> u64 {
         line.0 & self.set_mask
@@ -94,22 +95,131 @@ impl Cache {
         (set * self.cfg.ways as u64) as usize
     }
 
+    /// The one tag-probe loop every lookup path shares: scan the set's
+    /// tags for `tag` and return the matching way.
+    ///
+    /// Dispatches on the associativity to a fixed-width branchless scan:
+    /// all ways are compared into a hit mask with no data-dependent
+    /// branch (an early-exit loop over effectively random tags
+    /// mispredicts on almost every probe), and the dispatch itself is
+    /// perfectly predicted — a given cache's associativity never changes.
+    /// Power-of-two widths up to 16 cover every Table 1 geometry.
+    #[inline]
+    fn find_way(set_tags: &[u64], tag: u64) -> Option<usize> {
+        match set_tags.len() {
+            1 => (set_tags[0] == tag).then_some(0),
+            2 => Self::find_way_fixed::<2>(set_tags, tag),
+            4 => Self::find_way_fixed::<4>(set_tags, tag),
+            8 => Self::find_way_fixed::<8>(set_tags, tag),
+            16 => Self::find_way_fixed::<16>(set_tags, tag),
+            _ => set_tags.iter().position(|&t| t == tag),
+        }
+    }
+
+    /// Branchless fixed-associativity scan: compare every way, collect a
+    /// hit mask, pick the lowest set bit (ways hold distinct tags, so at
+    /// most one bit is ever set).
+    #[inline]
+    fn find_way_fixed<const N: usize>(set_tags: &[u64], tag: u64) -> Option<usize> {
+        let ways: &[u64; N] = set_tags.try_into().expect("dispatch guarantees width");
+        let mut mask = 0u32;
+        for (w, &t) in ways.iter().enumerate() {
+            mask |= u32::from(t == tag) << w;
+        }
+        if mask == 0 {
+            None
+        } else {
+            Some(mask.trailing_zeros() as usize)
+        }
+    }
+
+    /// The miss-path scan: tag-match way and first invalid way in **one**
+    /// pass over the set, so a filling miss does not re-scan the tags it
+    /// just failed to match (historically: a match scan, then an EMPTY
+    /// scan, then the victim scan).
+    #[inline]
+    fn scan_set(set_tags: &[u64], tag: u64) -> (Option<usize>, Option<usize>) {
+        match set_tags.len() {
+            2 => Self::scan_set_fixed::<2>(set_tags, tag),
+            4 => Self::scan_set_fixed::<4>(set_tags, tag),
+            8 => Self::scan_set_fixed::<8>(set_tags, tag),
+            16 => Self::scan_set_fixed::<16>(set_tags, tag),
+            _ => (
+                set_tags.iter().position(|&t| t == tag),
+                set_tags.iter().position(|&t| t == EMPTY),
+            ),
+        }
+    }
+
+    /// Branchless fused match + invalid scan at fixed associativity.
+    #[inline]
+    fn scan_set_fixed<const N: usize>(
+        set_tags: &[u64],
+        tag: u64,
+    ) -> (Option<usize>, Option<usize>) {
+        let ways: &[u64; N] = set_tags.try_into().expect("dispatch guarantees width");
+        let mut hit_mask = 0u32;
+        let mut empty_mask = 0u32;
+        for (w, &t) in ways.iter().enumerate() {
+            hit_mask |= u32::from(t == tag) << w;
+            empty_mask |= u32::from(t == EMPTY) << w;
+        }
+        let pick = |mask: u32| {
+            if mask == 0 {
+                None
+            } else {
+                Some(mask.trailing_zeros() as usize)
+            }
+        };
+        (pick(hit_mask), pick(empty_mask))
+    }
+
+    /// The tags of the line's set.
+    #[inline]
+    fn set_tags(&self, line: LineAddr) -> &[u64] {
+        let row = self.row(self.set_index(line));
+        &self.tags[row..row + self.cfg.ways as usize]
+    }
+
+    /// Touch the *host* cache lines holding this line's set metadata
+    /// (tags and replacement stamps) without observing them.
+    ///
+    /// A batched caller that knows the next few accesses can issue these
+    /// touches ahead of the simulation loop, overlapping the host-memory
+    /// latency of the tag arrays with the current access's work — a
+    /// lookahead the one-at-a-time API structurally cannot have.
+    #[inline]
+    pub fn prefetch_set(&self, line: LineAddr) {
+        let row = self.row(self.set_index(line));
+        std::hint::black_box(self.tags[row]);
+        std::hint::black_box(self.stamps[row]);
+    }
+
     /// Non-mutating lookup.
     #[inline]
     pub fn probe(&self, line: LineAddr) -> bool {
-        let row = self.row(self.set_index(line));
-        let ways = self.cfg.ways as usize;
-        self.tags[row..row + ways].contains(&line.0)
+        Self::find_way(self.set_tags(line), line.0).is_some()
+    }
+
+    /// Non-mutating combined probe: whether `line` is present, and
+    /// whether every way of its set holds a valid line — one scan instead
+    /// of a [`Cache::probe`] + [`Cache::set_is_full`] pair (the DSW
+    /// analyst consults both for every lukewarm miss).
+    #[inline]
+    pub fn probe_set(&self, line: LineAddr) -> (bool, bool) {
+        let tags = self.set_tags(line);
+        let mut present = false;
+        let mut used = 0usize;
+        for &t in tags {
+            present |= t == line.0;
+            used += usize::from(t != EMPTY);
+        }
+        (present, used == tags.len())
     }
 
     /// Number of valid ways in the line's set, and the associativity.
     pub fn set_occupancy(&self, line: LineAddr) -> (u32, u32) {
-        let row = self.row(self.set_index(line));
-        let ways = self.cfg.ways as usize;
-        let used = self.tags[row..row + ways]
-            .iter()
-            .filter(|&&t| t != EMPTY)
-            .count() as u32;
+        let used = self.set_tags(line).iter().filter(|&&t| t != EMPTY).count() as u32;
         (used, self.cfg.ways)
     }
 
@@ -125,37 +235,36 @@ impl Cache {
     }
 
     /// Access `line`, updating replacement state and filling on a miss.
+    #[inline]
     pub fn access(&mut self, line: LineAddr) -> AccessResult {
         self.tick += 1;
         let set = self.set_index(line);
         let row = self.row(set);
         let ways = self.cfg.ways as usize;
-        for w in 0..ways {
-            if self.tags[row + w] == line.0 {
-                self.stats.hits += 1;
-                self.touch(set, row, w);
-                return AccessResult::Hit;
-            }
+        let (hit, empty) = Self::scan_set(&self.tags[row..row + ways], line.0);
+        if let Some(w) = hit {
+            self.stats.hits += 1;
+            self.touch(set, row, w);
+            return AccessResult::Hit;
         }
         self.stats.misses += 1;
-        let evicted = self.fill_at(set, row, line);
+        let evicted = self.fill_into(set, row, empty, line);
         AccessResult::Miss { evicted }
     }
 
     /// Access `line` *without* filling on a miss: hits update replacement
     /// state and statistics, misses only count. Used when the fill is
     /// deferred behind an MSHR.
+    #[inline]
     pub fn lookup(&mut self, line: LineAddr) -> bool {
         self.tick += 1;
         let set = self.set_index(line);
         let row = self.row(set);
         let ways = self.cfg.ways as usize;
-        for w in 0..ways {
-            if self.tags[row + w] == line.0 {
-                self.stats.hits += 1;
-                self.touch(set, row, w);
-                return true;
-            }
+        if let Some(w) = Self::find_way(&self.tags[row..row + ways], line.0) {
+            self.stats.hits += 1;
+            self.touch(set, row, w);
+            return true;
         }
         self.stats.misses += 1;
         false
@@ -163,30 +272,27 @@ impl Cache {
 
     /// Insert `line` without recording an access (prefetch fill / warming
     /// transplant). Returns the evicted victim, if any. No-op if present.
+    #[inline]
     pub fn fill(&mut self, line: LineAddr) -> Option<LineAddr> {
         self.tick += 1;
         let set = self.set_index(line);
         let row = self.row(set);
         let ways = self.cfg.ways as usize;
-        for w in 0..ways {
-            if self.tags[row + w] == line.0 {
-                return None;
-            }
+        let (hit, empty) = Self::scan_set(&self.tags[row..row + ways], line.0);
+        if hit.is_some() {
+            return None;
         }
-        self.fill_at(set, row, line)
+        self.fill_into(set, row, empty, line)
     }
 
     /// Remove `line` if present; returns whether it was.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
-        let set = self.set_index(line);
-        let row = self.row(set);
+        let row = self.row(self.set_index(line));
         let ways = self.cfg.ways as usize;
-        for w in 0..ways {
-            if self.tags[row + w] == line.0 {
-                self.tags[row + w] = EMPTY;
-                self.valid_lines -= 1;
-                return true;
-            }
+        if let Some(w) = Self::find_way(&self.tags[row..row + ways], line.0) {
+            self.tags[row + w] = EMPTY;
+            self.valid_lines -= 1;
+            return true;
         }
         false
     }
@@ -251,13 +357,16 @@ impl Cache {
         let ways = self.cfg.ways as usize;
         match self.cfg.replacement {
             ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
-                let mut best = 0;
-                let mut best_stamp = u64::MAX;
-                for w in 0..ways {
-                    if self.stamps[row + w] < best_stamp {
-                        best_stamp = self.stamps[row + w];
-                        best = w;
-                    }
+                // Branchless oldest-stamp scan: conditional moves instead
+                // of a data-dependent branch per way (ties keep the first
+                // minimum, matching the historical scan order).
+                let stamps = &self.stamps[row..row + ways];
+                let mut best = 0usize;
+                let mut best_stamp = stamps[0];
+                for (w, &s) in stamps.iter().enumerate().skip(1) {
+                    let better = s < best_stamp;
+                    best = if better { w } else { best };
+                    best_stamp = if better { s } else { best_stamp };
                 }
                 best
             }
@@ -296,13 +405,16 @@ impl Cache {
         }
     }
 
-    /// Fill `line` into `set`, evicting if needed.
-    fn fill_at(&mut self, set: u64, row: usize, line: LineAddr) -> Option<LineAddr> {
-        let ways = self.cfg.ways as usize;
-        // Prefer an invalid way.
-        let w = (0..ways)
-            .find(|&w| self.tags[row + w] == EMPTY)
-            .unwrap_or_else(|| self.victim(set, row));
+    /// Fill `line` into `set`: prefer the invalid way found by the fused
+    /// miss scan, fall back to the policy victim in a full set.
+    fn fill_into(
+        &mut self,
+        set: u64,
+        row: usize,
+        empty: Option<usize>,
+        line: LineAddr,
+    ) -> Option<LineAddr> {
+        let w = empty.unwrap_or_else(|| self.victim(set, row));
         let old = self.tags[row + w];
         let evicted = if old == EMPTY {
             self.valid_lines += 1;
@@ -368,7 +480,11 @@ impl Cache {
 /// A serializable image of a cache's microarchitectural state (the
 /// substance of checkpointed warming: Flex points / Live points store
 /// exactly this per detailed region).
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+///
+/// Snapshots compare bit-for-bit (`PartialEq`), which is what the
+/// batched-vs-per-access equivalence oracle pins down: two hierarchies
+/// that took the same accesses must snapshot identically.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheSnapshot {
     tags: Vec<u64>,
     stamps: Vec<u64>,
@@ -553,6 +669,22 @@ mod tests {
         assert!(c.probe(LineAddr(0)));
         assert!(c.access(LineAddr(0)).is_hit());
         assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn probe_set_matches_probe_plus_set_is_full() {
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        for i in 0..40u64 {
+            c.access(LineAddr(delorean_trace::mix64(3, i) % 24));
+            for l in 0..24u64 {
+                let line = LineAddr(l);
+                assert_eq!(
+                    c.probe_set(line),
+                    (c.probe(line), c.set_is_full(line)),
+                    "probe_set diverged on line {l} after {i} accesses"
+                );
+            }
+        }
     }
 
     #[test]

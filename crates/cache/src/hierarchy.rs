@@ -1,12 +1,32 @@
 //! The Table 1 cache hierarchy: split L1s, unified LLC, L1-D MSHRs, and an
 //! optional LLC stride prefetcher.
+//!
+//! # The two access paths
+//!
+//! * **Per-access** — [`Hierarchy::access_data`]: one line at a time,
+//!   returns the serving [`MemLevel`]. This is the right path for random
+//!   probes and for detailed simulation, where the outcome of each access
+//!   feeds the timing model before the next one is issued.
+//! * **Batched warm** — [`Hierarchy::warm_slice`] /
+//!   [`Hierarchy::warm_range`]: consume cursor-filled slices of accesses
+//!   in one call. Functional warming does not need per-access outcomes
+//!   (only the resulting cache state and the level counters), so the warm
+//!   loops of SMARTS, checkpointed warming and MRRL feed whole batches
+//!   straight from [`AccessCursor::fill`](delorean_trace::AccessCursor)
+//!   with no per-access closure or virtual dispatch in between.
+//!
+//! Both paths run the **same** inlined access core, so they are
+//! bit-identical in cache state, MSHR state and statistics — pinned by
+//! the `batched_equivalence` property tests and re-checked by the
+//! `bench_pr4` oracle.
 
 use crate::cache::Cache;
 use crate::config::MachineConfig;
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::prefetch::StridePrefetcher;
 use crate::stats::HierarchyStats;
-use delorean_trace::{LineAddr, Pc, LINE_BYTES};
+use delorean_trace::{LineAddr, MemAccess, Pc, Workload, CURSOR_BATCH, LINE_BYTES};
+use std::ops::Range;
 
 /// The level that served a data access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -48,6 +68,16 @@ pub struct Hierarchy {
     mshr_d: MshrFile,
     prefetcher: Option<StridePrefetcher>,
     stats: HierarchyStats,
+    /// Reusable scratch for MSHR retirements: the deferred L1 fills of an
+    /// access are collected here instead of a fresh `Vec` per access.
+    retired: Vec<LineAddr>,
+    /// Adaptive batched-warm state: whether the recent L1-D miss rate is
+    /// high enough for LLC tag-row lookahead to pay off (see
+    /// [`Hierarchy::warm_slice`]). Not part of the architectural state.
+    warm_llc_lookahead: bool,
+    /// Data accesses and L1-D hits at the end of the previous warm batch,
+    /// for the adaptive miss-rate estimate.
+    warm_marker: (u64, u64),
 }
 
 impl Hierarchy {
@@ -65,14 +95,25 @@ impl Hierarchy {
             mshr_d: MshrFile::new(cfg.hierarchy.l1d_mshrs, cfg.hierarchy.mshr_latency_accesses),
             prefetcher: cfg.prefetch.then(StridePrefetcher::paper_default),
             stats: HierarchyStats::default(),
+            retired: Vec::new(),
+            warm_llc_lookahead: false,
+            warm_marker: (0, 0),
         }
     }
 
-    /// Issue a data access at access-time `now`; returns the serving level.
-    pub fn access_data(&mut self, pc: Pc, line: LineAddr, now: u64) -> MemLevel {
-        // Complete any fills whose latency has elapsed.
-        for done in self.mshr_d.take_retired(now) {
-            self.l1d.fill(done);
+    /// The access core shared by the per-access and batched paths: both
+    /// must agree bit-for-bit, so there is exactly one implementation.
+    #[inline]
+    fn access_data_inner(&mut self, pc: Pc, line: LineAddr, now: u64) -> MemLevel {
+        // Complete any fills whose latency has elapsed. `has_ready` is a
+        // single compare, so the common nothing-to-retire case skips the
+        // MSHR file entirely.
+        if self.mshr_d.has_ready(now) {
+            self.retired.clear();
+            self.mshr_d.retire_into(now, &mut self.retired);
+            for &done in &self.retired {
+                self.l1d.fill(done);
+            }
         }
         if self.l1d.lookup(line) {
             self.stats.l1d_hits += 1;
@@ -93,6 +134,72 @@ impl Hierarchy {
                     MemLevel::Memory
                 }
             }
+        }
+    }
+
+    /// Issue a data access at access-time `now`; returns the serving level.
+    ///
+    /// This is the per-access path — random probes and detailed
+    /// simulation, where each outcome feeds the timing model. Sequential
+    /// warm loops should use [`Hierarchy::warm_slice`] or
+    /// [`Hierarchy::warm_range`] instead.
+    pub fn access_data(&mut self, pc: Pc, line: LineAddr, now: u64) -> MemLevel {
+        self.access_data_inner(pc, line, now)
+    }
+
+    /// Warm the hierarchy with a batch of consecutive accesses, using each
+    /// access's stream `index` as its access time — exactly what every
+    /// functional warm loop does per access, minus the per-access closure.
+    ///
+    /// Bit-identical to calling [`Hierarchy::access_data`]`(a.pc,
+    /// a.line(), a.index)` for each element in order; only the per-access
+    /// outcomes are not materialized (warming consumes state and
+    /// counters, not levels).
+    pub fn warm_slice(&mut self, batch: &[MemAccess]) {
+        // Knowing the whole batch up front, the loop can touch the LLC
+        // set metadata of an access a few iterations ahead, overlapping
+        // the host-cache misses on the tag arrays with the simulation of
+        // the current access — a lookahead the one-at-a-time API
+        // structurally cannot have. The touches observe nothing, so
+        // equivalence with the per-access path is untouched. They only
+        // pay off when L1 misses actually reach the LLC arrays, so the
+        // lookahead adapts to the miss rate of the previous batch.
+        const LOOKAHEAD: usize = 8;
+        if self.warm_llc_lookahead {
+            for (i, a) in batch.iter().enumerate() {
+                if let Some(ahead) = batch.get(i + LOOKAHEAD) {
+                    self.llc.prefetch_set(ahead.addr.line());
+                }
+                self.access_data_inner(a.pc, a.addr.line(), a.index);
+            }
+        } else {
+            for a in batch {
+                self.access_data_inner(a.pc, a.addr.line(), a.index);
+            }
+        }
+        let (seen, l1) = (self.stats.data_accesses(), self.stats.l1d_hits);
+        let delta = seen.saturating_sub(self.warm_marker.0);
+        let l1_delta = l1.saturating_sub(self.warm_marker.1);
+        // Hysteresis-free threshold: lookahead on when >1/16 of the
+        // batch's accesses left the L1.
+        self.warm_llc_lookahead = delta.saturating_sub(l1_delta) * 16 > delta;
+        self.warm_marker = (seen, l1);
+    }
+
+    /// Warm the hierarchy with the workload accesses in `accesses`,
+    /// streaming cursor-filled batches through [`Hierarchy::warm_slice`].
+    ///
+    /// This is the whole SMARTS / checkpoint-preparation / MRRL warm loop
+    /// in one call: cursor → slice → hierarchy, no per-access dispatch.
+    /// The batch is kept smaller than the generic [`CURSOR_BATCH`]: the
+    /// access buffer competes with the simulated tag arrays for the host
+    /// L1, and the warm loop re-reads both every iteration.
+    pub fn warm_range(&mut self, workload: &dyn Workload, accesses: Range<u64>) {
+        const WARM_BATCH: usize = CURSOR_BATCH / 4;
+        let mut cursor = workload.cursor(accesses);
+        let mut buf = Vec::with_capacity(WARM_BATCH);
+        while cursor.fill(&mut buf, WARM_BATCH) > 0 {
+            self.warm_slice(&buf);
         }
     }
 
@@ -173,6 +280,10 @@ impl Hierarchy {
         self.l1i.reset_stats();
         self.l1d.reset_stats();
         self.llc.reset_stats();
+        // The adaptive-lookahead marker mirrors the counters it is
+        // diffed against.
+        self.warm_marker = (0, 0);
+        self.warm_llc_lookahead = false;
     }
 
     /// Capture the full hierarchy state (all three caches) for
@@ -202,7 +313,9 @@ impl Hierarchy {
     /// Drop outstanding MSHR state (e.g. at region boundaries).
     pub fn drain_mshrs(&mut self) {
         // Complete the fills the entries stood for, then clear.
-        for done in self.mshr_d.take_retired(u64::MAX) {
+        self.retired.clear();
+        self.mshr_d.retire_into(u64::MAX, &mut self.retired);
+        for &done in &self.retired {
             self.l1d.fill(done);
         }
         self.mshr_d.clear();
@@ -210,8 +323,9 @@ impl Hierarchy {
 }
 
 /// A full-hierarchy checkpoint (the paper's Flex-point / Live-point /
-/// memory-hierarchy-state family, §7).
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+/// memory-hierarchy-state family, §7). Compares bit-for-bit — the
+/// equivalence oracle of the batched warm path.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct HierarchySnapshot {
     l1i: crate::cache::CacheSnapshot,
     l1d: crate::cache::CacheSnapshot,
@@ -336,5 +450,65 @@ mod tests {
         h.access_data(Pc(1), LineAddr(9), 0);
         h.drain_mshrs();
         assert_eq!(h.access_data(Pc(1), LineAddr(9), 1), MemLevel::L1);
+    }
+
+    #[test]
+    fn warm_slice_matches_per_access_calls() {
+        use delorean_trace::{mix64, Addr, MemAccess};
+        let batch: Vec<MemAccess> = (0..4_000u64)
+            .map(|i| MemAccess {
+                index: i,
+                icount: i * 3,
+                pc: Pc(0x400 + (mix64(7, i) % 64) * 4),
+                addr: Addr((mix64(11, i) % 4096) * 64),
+                kind: delorean_trace::AccessKind::Load,
+            })
+            .collect();
+        let mut per_access = Hierarchy::new(&machine());
+        let mut batched = Hierarchy::new(&machine());
+        for a in &batch {
+            per_access.access_data(a.pc, a.line(), a.index);
+        }
+        for chunk in batch.chunks(17) {
+            batched.warm_slice(chunk);
+        }
+        assert_eq!(per_access.stats(), batched.stats());
+        assert_eq!(per_access.snapshot(), batched.snapshot());
+    }
+
+    #[test]
+    fn warm_slice_survives_reset_stats() {
+        use delorean_trace::{spec_workload, WorkloadExt};
+        let w = spec_workload("mcf", Scale::tiny(), 1).unwrap();
+        let mut h = Hierarchy::new(&machine());
+        h.warm_range(&w, 0..5_000);
+        // Zeroing the counters mid-run must not desync the adaptive
+        // lookahead marker (a stale marker underflows the batch delta).
+        h.reset_stats();
+        h.warm_range(&w, 5_000..10_000);
+        let mut oracle = Hierarchy::new(&machine());
+        w.for_each_access(0..5_000, |a| {
+            oracle.access_data(a.pc, a.line(), a.index);
+        });
+        oracle.reset_stats();
+        w.for_each_access(5_000..10_000, |a| {
+            oracle.access_data(a.pc, a.line(), a.index);
+        });
+        assert_eq!(h.stats(), oracle.stats());
+        assert_eq!(h.snapshot(), oracle.snapshot());
+    }
+
+    #[test]
+    fn warm_range_streams_the_workload() {
+        use delorean_trace::{spec_workload, WorkloadExt};
+        let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
+        let mut streamed = Hierarchy::new(&machine());
+        streamed.warm_range(&w, 100..6_000);
+        let mut looped = Hierarchy::new(&machine());
+        w.for_each_access(100..6_000, |a| {
+            looped.access_data(a.pc, a.line(), a.index);
+        });
+        assert_eq!(streamed.stats(), looped.stats());
+        assert_eq!(streamed.snapshot(), looped.snapshot());
     }
 }

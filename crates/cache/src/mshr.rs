@@ -6,6 +6,15 @@
 //! memory latency). Accesses to a line with an outstanding miss are *MSHR
 //! hits* — the paper reports 96.7% of lukewarm-region requests are hits or
 //! delayed hits, and DSW classifies delayed hits as hits.
+//!
+//! The file sits on the hottest loop in the repository (every functional-
+//! warming access consults it), so retirement is designed around a
+//! **"nothing ready ⇒ skip"** fast path: the file tracks the earliest
+//! outstanding completion time, and [`MshrFile::has_ready`] turns the
+//! common no-retirement case into a single compare instead of a scan.
+//! Callers that perform the deferred fills retire through
+//! [`MshrFile::retire_into`] and a reusable scratch buffer — no per-access
+//! allocation.
 
 use delorean_trace::LineAddr;
 use serde::{Deserialize, Serialize};
@@ -39,6 +48,9 @@ pub struct MshrFile {
     entries: Vec<(LineAddr, u64)>, // (line, fill completion time)
     capacity: usize,
     latency_accesses: u64,
+    /// Earliest outstanding completion time; `u64::MAX` when empty. Lets
+    /// every retirement query short-circuit without touching `entries`.
+    next_fill_at: u64,
 }
 
 impl MshrFile {
@@ -54,31 +66,62 @@ impl MshrFile {
             entries: Vec::with_capacity(capacity as usize),
             capacity: capacity as usize,
             latency_accesses,
+            next_fill_at: u64::MAX,
         }
+    }
+
+    /// `true` if at least one entry has completed by access time `now` —
+    /// the retirement fast path: one compare, no scan. (An empty file
+    /// stores the sentinel `u64::MAX`, so `now == u64::MAX` may report
+    /// ready spuriously; the follow-up retire is then a no-op.)
+    #[inline]
+    pub fn has_ready(&self, now: u64) -> bool {
+        self.next_fill_at <= now
     }
 
     /// Retire entries whose miss has completed by access time `now`.
     pub fn retire(&mut self, now: u64) {
+        if !self.has_ready(now) {
+            return;
+        }
         self.entries.retain(|&(_, fill_at)| fill_at > now);
+        self.recompute_next();
     }
 
-    /// Retire completed entries and return their lines, so the caller can
-    /// perform the deferred cache fills.
-    pub fn take_retired(&mut self, now: u64) -> Vec<LineAddr> {
-        let mut done = Vec::new();
+    /// Retire completed entries, **appending** their lines to `out` so the
+    /// caller can perform the deferred cache fills. `out` is a reusable
+    /// scratch buffer — this never allocates once `out` has warmed up to
+    /// the MSHR capacity.
+    pub fn retire_into(&mut self, now: u64, out: &mut Vec<LineAddr>) {
+        if !self.has_ready(now) {
+            return;
+        }
         self.entries.retain(|&(line, fill_at)| {
             if fill_at <= now {
-                done.push(line);
+                out.push(line);
                 false
             } else {
                 true
             }
         });
+        self.recompute_next();
+    }
+
+    /// Retire completed entries and return their lines in a fresh vector.
+    ///
+    /// Convenience wrapper over [`MshrFile::retire_into`] for cold paths
+    /// and tests; hot loops should hold a scratch buffer instead.
+    pub fn take_retired(&mut self, now: u64) -> Vec<LineAddr> {
+        let mut done = Vec::new();
+        self.retire_into(now, &mut done);
         done
     }
 
     /// Present a miss on `line` at access time `now`.
     pub fn on_miss(&mut self, line: LineAddr, now: u64) -> MshrOutcome {
+        // `retire` is a no-op unless something actually completed, so the
+        // common case runs exactly one scan (the merge check below)
+        // instead of the historical retain-then-any double scan.
         self.retire(now);
         if self.entries.iter().any(|&(l, _)| l == line) {
             return MshrOutcome::DelayedHit;
@@ -86,7 +129,9 @@ impl MshrFile {
         if self.entries.len() >= self.capacity {
             return MshrOutcome::Full;
         }
-        self.entries.push((line, now + self.latency_accesses));
+        let fill_at = now + self.latency_accesses;
+        self.entries.push((line, fill_at));
+        self.next_fill_at = self.next_fill_at.min(fill_at);
         MshrOutcome::Allocated
     }
 
@@ -99,6 +144,16 @@ impl MshrFile {
     /// Drop all outstanding entries (e.g. when crossing a region boundary).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.next_fill_at = u64::MAX;
+    }
+
+    fn recompute_next(&mut self) {
+        self.next_fill_at = self
+            .entries
+            .iter()
+            .map(|&(_, fill_at)| fill_at)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 }
 
@@ -141,7 +196,51 @@ mod tests {
         m.on_miss(LineAddr(1), 0);
         m.clear();
         assert_eq!(m.outstanding(1), 0);
+        assert!(!m.has_ready(1 << 40));
         assert_eq!(m.on_miss(LineAddr(1), 1), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn has_ready_tracks_earliest_completion() {
+        let mut m = MshrFile::new(4, 10);
+        assert!(!m.has_ready(1 << 40), "empty file has no finite work");
+        m.on_miss(LineAddr(1), 0); // completes at 10
+        m.on_miss(LineAddr(2), 5); // completes at 15
+        assert!(!m.has_ready(9));
+        assert!(m.has_ready(10));
+        // Retiring the earliest entry advances the fast-path threshold.
+        m.retire(10);
+        assert!(!m.has_ready(14));
+        assert!(m.has_ready(15));
+    }
+
+    #[test]
+    fn retire_into_appends_to_scratch() {
+        let mut m = MshrFile::new(4, 10);
+        m.on_miss(LineAddr(1), 0);
+        m.on_miss(LineAddr(2), 3);
+        let mut scratch = vec![LineAddr(99)];
+        m.retire_into(10, &mut scratch);
+        assert_eq!(scratch, vec![LineAddr(99), LineAddr(1)]);
+        scratch.clear();
+        m.retire_into(13, &mut scratch);
+        assert_eq!(scratch, vec![LineAddr(2)]);
+        assert_eq!(m.outstanding(13), 0);
+    }
+
+    #[test]
+    fn take_retired_matches_retire_into() {
+        let mut a = MshrFile::new(4, 7);
+        let mut b = MshrFile::new(4, 7);
+        for (i, line) in [3u64, 9, 27, 81].into_iter().enumerate() {
+            a.on_miss(LineAddr(line), i as u64);
+            b.on_miss(LineAddr(line), i as u64);
+        }
+        let taken = a.take_retired(9);
+        let mut scratch = Vec::new();
+        b.retire_into(9, &mut scratch);
+        assert_eq!(taken, scratch);
+        assert_eq!(a.outstanding(9), b.outstanding(9));
     }
 
     #[test]

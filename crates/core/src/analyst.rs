@@ -111,7 +111,10 @@ pub fn run_analyst(
             // Detailed warming: plain lukewarm behavior builds the state.
             return lukewarm.access_data(a.pc, line, now);
         }
-        let set_full = lukewarm.llc().set_is_full(line) && !lukewarm.llc().probe(line);
+        // One scan of the LLC set answers both questions the classifier
+        // needs (was the line resident? was its set saturated?).
+        let (resident, full) = lukewarm.llc().probe_set(line);
+        let set_full = full && !resident;
         let simulated = lukewarm.access_data(a.pc, line, now);
         let previous = seen.insert(line, now);
         if simulated != MemLevel::Memory {

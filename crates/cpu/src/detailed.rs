@@ -10,7 +10,7 @@
 use crate::predictor::TournamentPredictor;
 use crate::timing::{IntervalCore, TimingConfig};
 use delorean_cache::MemLevel;
-use delorean_trace::{MemAccess, Workload};
+use delorean_trace::{MemAccess, Workload, CURSOR_BATCH};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -97,6 +97,13 @@ pub fn simulate_detailed(
     let start = instr_range.start;
     let mut result = DetailedResult::default();
 
+    // The region's accesses are the indices k with k*p in the range; pull
+    // them through the workload's streaming cursor in batches instead of
+    // a stateless `access_at` regeneration per access.
+    let mut cursor = workload.cursor(instr_range.start.div_ceil(p)..instr_range.end.div_ceil(p));
+    let mut batch: Vec<MemAccess> = Vec::with_capacity(CURSOR_BATCH);
+    let mut batch_pos = 0usize;
+
     for i in instr_range {
         core.retire(1);
         if let Some(ev) = branch_model.branch_at(i) {
@@ -108,9 +115,15 @@ pub fn simulate_detailed(
             core.branch(!correct);
         }
         if i % p == 0 {
-            let k = i / p;
-            let access = workload.access_at(k);
-            let level = source.outcome(&access, k);
+            if batch_pos == batch.len() {
+                cursor.fill(&mut batch, CURSOR_BATCH);
+                batch_pos = 0;
+                debug_assert!(!batch.is_empty(), "cursor exhausted before the range");
+            }
+            let access = batch[batch_pos];
+            batch_pos += 1;
+            debug_assert_eq!(access.index, i / p);
+            let level = source.outcome(&access, access.index);
             result.mem_accesses += 1;
             let idx = match level {
                 MemLevel::L1 => 0,

@@ -20,7 +20,7 @@ use crate::report::SimulationReport;
 use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, HierarchySnapshot, MachineConfig};
 use delorean_cpu::TimingConfig;
-use delorean_trace::{MemAccess, Workload, WorkloadExt};
+use delorean_trace::{MemAccess, Workload};
 use delorean_virt::{CostModel, HostClock, WorkKind};
 
 /// The checkpoints of one (workload, plan, machine) combination.
@@ -106,9 +106,7 @@ impl CheckpointWarmingRunner {
                 self.cost
                     .instr_seconds(WorkKind::Functional, span * p * mult),
             );
-            workload.for_each_access(pos_access..warm_end_access, |a| {
-                hierarchy.access_data(a.pc, a.line(), a.index);
-            });
+            hierarchy.warm_range(workload, pos_access..warm_end_access);
             snapshots.push(hierarchy.snapshot());
             pos_access = warm_end_access;
         }

@@ -25,7 +25,7 @@ use delorean_cache::{Hierarchy, MachineConfig, MemLevel};
 use delorean_cpu::TimingConfig;
 use delorean_statmodel::per_pc::{PcPrediction, PcProfiles};
 use delorean_trace::{
-    CounterRng, InterestFilter, LineMap, MemAccess, Scale, Workload, WorkloadExt,
+    CounterRng, InterestFilter, LineMap, MemAccess, Scale, Workload, CURSOR_BATCH,
 };
 use delorean_virt::{CostModel, Trap, WatchSet, WorkKind};
 use serde::{Deserialize, Serialize};
@@ -153,35 +153,44 @@ impl SamplingStrategy for CoolSimRunner {
             let mut filter = InterestFilter::with_capacity_for(1024);
 
             // The interval runs under VFF (charged at represented
-            // magnitude); traps are charged per event at face value.
+            // magnitude); traps are charged per event at face value. The
+            // scan consumes cursor-filled slices directly — the watch
+            // classification is the whole loop body, so there is no
+            // per-access closure boundary left.
             driver.charge_work(WorkKind::Vff, len * p * mult);
-            workload.for_each_access(first..last, |a| {
-                let k = a.index;
-                if filter.contains_page(a.page()) {
-                    match watch.classify(a) {
-                        Trap::None => {}
-                        Trap::FalsePositive => driver.charge_seconds(trap_seconds),
-                        Trap::Hit(line) => {
-                            driver.charge_seconds(trap_seconds);
-                            if let Some(set_at) = pending.remove(line) {
-                                // Reuse found: distance is the accesses strictly
-                                // between; attributed to the reusing PC.
-                                profiles.record(a.pc, k - set_at - 1, 1.0);
-                                driver.record_collected(1);
-                                watch.unwatch_line(line);
-                                filter.remove_page(line.page());
+            let mut cursor = workload.cursor(first..last);
+            let mut batch = Vec::with_capacity(CURSOR_BATCH);
+            while cursor.fill(&mut batch, CURSOR_BATCH) > 0 {
+                for a in &batch {
+                    let k = a.index;
+                    if filter.contains_page(a.page()) {
+                        match watch.classify(a) {
+                            Trap::None => {}
+                            Trap::FalsePositive => driver.charge_seconds(trap_seconds),
+                            Trap::Hit(line) => {
+                                driver.charge_seconds(trap_seconds);
+                                if let Some(set_at) = pending.remove(line) {
+                                    // Reuse found: distance is the accesses
+                                    // strictly between; attributed to the
+                                    // reusing PC.
+                                    profiles.record(a.pc, k - set_at - 1, 1.0);
+                                    driver.record_collected(1);
+                                    watch.unwatch_line(line);
+                                    filter.remove_page(line.page());
+                                }
                             }
                         }
                     }
+                    // Random sampling decision at the schedule's current
+                    // rate.
+                    let period = self.config.period_at(k - first, len, p);
+                    if rng.chance_one_in(k, period) && !pending.contains(a.line()) {
+                        pending.insert(a.line(), k);
+                        watch.watch_line(a.line());
+                        filter.insert_page(a.page());
+                    }
                 }
-                // Random sampling decision at the schedule's current rate.
-                let period = self.config.period_at(k - first, len, p);
-                if rng.chance_one_in(k, period) && !pending.contains(a.line()) {
-                    pending.insert(a.line(), k);
-                    watch.watch_line(a.line());
-                    filter.insert_page(a.page());
-                }
-            });
+            }
             // Unresolved samples: reuse longer than the remaining interval.
             // CoolSim has no better information than "very long"; attribute
             // cold weight to the sampled access's PC.

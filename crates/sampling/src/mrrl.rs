@@ -108,9 +108,7 @@ impl SamplingStrategy for MrrlRunner {
             let mut hierarchy = Hierarchy::new(&self.machine);
             let from = workload.access_index_at_instr(warm_start);
             let to = workload.access_index_at_instr(region.warming.start);
-            workload.for_each_access(from..to, |a| {
-                hierarchy.access_data(a.pc, a.line(), a.index);
-            });
+            hierarchy.warm_range(workload, from..to);
 
             let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
             driver.measure_region(region, &mut source);

@@ -12,7 +12,7 @@ use crate::driver::RegionDriver;
 use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig};
 use delorean_cpu::TimingConfig;
-use delorean_trace::{MemAccess, Workload, WorkloadExt};
+use delorean_trace::{MemAccess, Workload};
 use delorean_virt::{CostModel, WorkKind};
 
 /// The SMARTS (functional warming) runner.
@@ -60,14 +60,13 @@ impl SamplingStrategy for SmartsRunner {
 
         for region in &plan.regions {
             // Functional warming: simulate every access up to the start of
-            // detailed warming. Interval work is charged at represented
+            // detailed warming, batched slice-at-a-time straight into the
+            // hierarchy. Interval work is charged at represented
             // (paper-equivalent) magnitude.
             let warm_end_access = region.warming.start / p;
             let span = warm_end_access.saturating_sub(pos_access);
             driver.charge_work(WorkKind::Functional, span * p * mult);
-            workload.for_each_access(pos_access..warm_end_access, |a| {
-                hierarchy.access_data(a.pc, a.line(), a.index);
-            });
+            hierarchy.warm_range(workload, pos_access..warm_end_access);
 
             // Detailed warming + detailed region on the (fully warm)
             // hierarchy.

@@ -8,7 +8,7 @@
 use crate::clock::HostClock;
 use crate::cost::{CostModel, WorkKind};
 use crate::watch::{Trap, WatchSet};
-use delorean_trace::{MemAccess, Workload, WorkloadExt};
+use delorean_trace::{MemAccess, Workload, WorkloadExt, CURSOR_BATCH};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -36,9 +36,34 @@ pub fn functional_scan<F: FnMut(&MemAccess)>(
     accesses: Range<u64>,
     mut on_access: F,
 ) {
+    functional_scan_batched(workload, cost, clock, accesses, |batch| {
+        for a in batch {
+            on_access(a);
+        }
+    });
+}
+
+/// Batched [`functional_scan`]: invoke `on_batch` with cursor-filled
+/// slices of consecutive accesses instead of one callback per access.
+///
+/// This is the access source for slice-consuming state sinks — above all
+/// [`Hierarchy::warm_slice`](../delorean_cache/struct.Hierarchy.html) —
+/// where a per-access closure would reintroduce the dispatch the batched
+/// API exists to remove. Charging is identical to [`functional_scan`].
+pub fn functional_scan_batched<F: FnMut(&[MemAccess])>(
+    workload: &dyn Workload,
+    cost: &CostModel,
+    clock: &mut HostClock,
+    accesses: Range<u64>,
+    mut on_batch: F,
+) {
     let n_accesses = accesses.end.saturating_sub(accesses.start);
     clock.charge(cost.instr_seconds(WorkKind::Functional, n_accesses * workload.mem_period()));
-    workload.for_each_access(accesses, |a| on_access(a));
+    let mut cursor = workload.cursor(accesses);
+    let mut buf = Vec::with_capacity(CURSOR_BATCH);
+    while cursor.fill(&mut buf, CURSOR_BATCH) > 0 {
+        on_batch(&buf);
+    }
 }
 
 /// Statistics of one watchpoint (VDP) scan.
@@ -128,6 +153,26 @@ mod tests {
         assert_eq!(seen.len(), 100);
         assert_eq!(seen[0], 100);
         assert!(clock.seconds() > 0.0);
+    }
+
+    #[test]
+    fn batched_scan_covers_the_range_in_slices() {
+        let w = demo_workload();
+        let cost = CostModel::paper_host();
+        let mut clock = HostClock::new();
+        let mut seen = Vec::new();
+        let mut batches = 0usize;
+        functional_scan_batched(&w, &cost, &mut clock, 100..3_000, |batch| {
+            batches += 1;
+            assert!(!batch.is_empty());
+            seen.extend(batch.iter().map(|a| a.index));
+        });
+        assert_eq!(seen, (100..3_000).collect::<Vec<_>>());
+        assert!(batches < seen.len(), "no batching happened");
+        // Same charge as the per-access form.
+        let mut per_access = HostClock::new();
+        functional_scan(&w, &cost, &mut per_access, 100..3_000, |_| {});
+        assert_eq!(clock.seconds(), per_access.seconds());
     }
 
     #[test]

@@ -36,5 +36,7 @@ mod watch;
 
 pub use clock::{HostClock, PassCost, RunCost};
 pub use cost::{mips, CostModel, WorkKind};
-pub use engines::{fast_forward, functional_scan, watchpoint_scan, WatchScanStats};
+pub use engines::{
+    fast_forward, functional_scan, functional_scan_batched, watchpoint_scan, WatchScanStats,
+};
 pub use watch::{Trap, WatchSet};
