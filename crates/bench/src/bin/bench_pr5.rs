@@ -1,0 +1,296 @@
+//! Region-parallel runtime harness: writes `BENCH_PR5.json`, the fourth
+//! point of the repository's perf trajectory.
+//!
+//! For every strategy × workload cell at demo scale, this harness:
+//!
+//! 1. runs the **pre-PR 5 sequential driver** (verbatim replicas in
+//!    `delorean_bench::seqdriver`; `DeLoreanRunner::run_serial` for
+//!    DeLorean) as the baseline, timing its host wall;
+//! 2. runs the region scheduler at 1/2/4/8 workers, timing each;
+//! 3. asserts the **equivalence oracle**: identical CPI, identical
+//!    per-region detailed counters and identical collected-reuse counts
+//!    against the sequential baseline, and bitwise-identical reports
+//!    across all worker counts;
+//! 4. records the **modeled** wallclock curve
+//!    (`RunCost::region_parallel_wallclock`) — the host-independent
+//!    estimate the repository's cost model assigns to region-parallel
+//!    execution, which is the headline speedup (the reference host has a
+//!    single vCPU, so measured walls cannot show thread scaling; they
+//!    are recorded as context).
+//!
+//! Flags: `--quick` (CI smoke: fewer regions/workloads), `--out PATH`
+//! (default `BENCH_PR5.json`).
+
+use delorean_bench::seqdriver;
+use delorean_cache::MachineConfig;
+use delorean_core::{DeLoreanConfig, DeLoreanRunner};
+use delorean_sampling::{
+    CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, SamplingConfig,
+    SamplingStrategy, SimulationReport, SmartsRunner,
+};
+use delorean_trace::{spec_workload, Scale, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const TARGET_SPEEDUP_4W: f64 = 1.7;
+
+struct Cell {
+    strategy: String,
+    workload: String,
+    cpi: f64,
+    collected: u64,
+    seq_host_seconds: f64,
+    host_seconds: [f64; WORKERS.len()],
+    modeled_seq_seconds: f64,
+    modeled_seconds: [f64; WORKERS.len()],
+    modeled_speedup: [f64; WORKERS.len()],
+}
+
+fn strategies(scale: Scale, machine: MachineConfig) -> Vec<Box<dyn SamplingStrategy>> {
+    vec![
+        Box::new(SmartsRunner::new(machine)),
+        Box::new(CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale))),
+        Box::new(MrrlRunner::new(machine)),
+        Box::new(CheckpointWarmingRunner::new(machine)),
+        Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(scale),
+        )),
+    ]
+}
+
+fn sequential_baseline(
+    name: &str,
+    scale: Scale,
+    machine: &MachineConfig,
+    workload: &dyn Workload,
+    plan: &delorean_sampling::RegionPlan,
+) -> SimulationReport {
+    match name {
+        "smarts" => seqdriver::smarts_sequential(machine, workload, plan),
+        "coolsim" => {
+            seqdriver::coolsim_sequential(machine, &CoolSimConfig::for_scale(scale), workload, plan)
+        }
+        "mrrl" => seqdriver::mrrl_sequential(machine, workload, plan),
+        "checkpoint" => seqdriver::checkpoint_sequential(machine, workload, plan),
+        "delorean" => {
+            DeLoreanRunner::new(*machine, DeLoreanConfig::for_scale(scale))
+                .run_serial(workload, plan)
+                .report
+        }
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+
+    let scale = Scale::demo();
+    let machine = MachineConfig::for_scale(scale);
+    let regions = if quick { 4 } else { 10 };
+    let plan = SamplingConfig::for_scale(scale)
+        .with_regions(regions)
+        .plan();
+    let workload_names: &[&str] = if quick {
+        &["hmmer"]
+    } else {
+        &["hmmer", "mcf", "povray"]
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for name in workload_names {
+        let w = spec_workload(name, scale, 1).unwrap();
+        for s in strategies(scale, machine) {
+            // --- Pre-PR 5 sequential driver: the baseline. ---
+            let t = Instant::now();
+            let baseline = sequential_baseline(s.name(), scale, &machine, &w, &plan);
+            let seq_host_seconds = t.elapsed().as_secs_f64();
+
+            // --- Region scheduler at each worker count. ---
+            let mut host_seconds = [0.0; WORKERS.len()];
+            let mut reports = Vec::with_capacity(WORKERS.len());
+            for (i, &workers) in WORKERS.iter().enumerate() {
+                let t = Instant::now();
+                let report = s.run_with_workers(&w, &plan, workers);
+                host_seconds[i] = t.elapsed().as_secs_f64();
+                reports.push(report);
+            }
+
+            // --- Equivalence oracle. ---
+            // (a) Worker count never changes the report, bit for bit.
+            for (report, &workers) in reports.iter().zip(&WORKERS[1..]) {
+                assert_eq!(
+                    reports[0].report,
+                    report.report,
+                    "{}/{name}: workers={workers} changed the report",
+                    s.name()
+                );
+            }
+            // (b) The scheduler reproduces the sequential driver's CPI,
+            // per-region counters and collected-reuse counts exactly.
+            let new = &reports[0].report;
+            assert_eq!(
+                baseline.total(),
+                new.total(),
+                "{}/{name}: scheduler diverged from the sequential driver",
+                s.name()
+            );
+            assert!(
+                baseline.cpi() == new.cpi(),
+                "{}/{name}: CPI mismatch ({} vs {})",
+                s.name(),
+                baseline.cpi(),
+                new.cpi()
+            );
+            assert_eq!(
+                baseline.collected_reuse_distances,
+                new.collected_reuse_distances,
+                "{}/{name}: collected-reuse mismatch",
+                s.name()
+            );
+            for (b, n) in baseline.regions.iter().zip(&new.regions) {
+                assert_eq!(b, n, "{}/{name}: region result diverged", s.name());
+            }
+
+            // --- Modeled wallclock curve. ---
+            let modeled_seq_seconds = baseline.cost.serial_wallclock();
+            let mut modeled_seconds = [0.0; WORKERS.len()];
+            let mut modeled_speedup = [0.0; WORKERS.len()];
+            for (i, &workers) in WORKERS.iter().enumerate() {
+                modeled_seconds[i] = new.cost.region_parallel_wallclock(workers);
+                modeled_speedup[i] = modeled_seq_seconds / modeled_seconds[i];
+            }
+            eprintln!(
+                "{:<11} {:<7} cpi {:>6.3}  seq {:>6.3}s host | modeled speedup x{:.2}/x{:.2}/x{:.2}/x{:.2} at {:?} workers",
+                s.name(),
+                name,
+                new.cpi(),
+                seq_host_seconds,
+                modeled_speedup[0],
+                modeled_speedup[1],
+                modeled_speedup[2],
+                modeled_speedup[3],
+                WORKERS,
+            );
+            cells.push(Cell {
+                strategy: s.name().to_string(),
+                workload: name.to_string(),
+                cpi: new.cpi(),
+                collected: new.collected_reuse_distances,
+                seq_host_seconds,
+                host_seconds,
+                modeled_seq_seconds,
+                modeled_seconds,
+                modeled_speedup,
+            });
+        }
+    }
+
+    let idx4 = WORKERS.iter().position(|&w| w == 4).unwrap();
+    let mut geomeans = [0.0; WORKERS.len()];
+    for (i, slot) in geomeans.iter_mut().enumerate() {
+        let speedups: Vec<f64> = cells.iter().map(|c| c.modeled_speedup[i]).collect();
+        *slot = geomean(&speedups);
+    }
+    let host_speedups_4w: Vec<f64> = cells
+        .iter()
+        .map(|c| c.seq_host_seconds / c.host_seconds[idx4].max(f64::MIN_POSITIVE))
+        .collect();
+    let host_geomean_4w = geomean(&host_speedups_4w);
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- Emit JSON (hand-rolled: the serde shim has no serializer). ---
+    let fmt_curve = |vals: &[f64; WORKERS.len()], digits: usize| -> String {
+        WORKERS
+            .iter()
+            .zip(vals)
+            .map(|(w, v)| format!("\"{w}\": {v:.digits$}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"pr\": 5,");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    let _ = writeln!(j, "  \"regions\": {regions},");
+    let _ = writeln!(j, "  \"host_available_parallelism\": {parallelism},");
+    let _ = writeln!(
+        j,
+        "  \"oracle\": \"CPI, per-region detailed counters and collected-reuse counts identical to the sequential PR 4 driver for every strategy x workload cell, and reports bitwise identical across 1/2/4/8 workers\","
+    );
+    j.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"strategy\": \"{}\", \"workload\": \"{}\", \"scale\": \"demo\", \"cpi\": {:.4}, \"collected_reuse_distances\": {}, \"seq_pr4_host_seconds\": {:.4}, \"host_seconds\": {{{}}}, \"modeled_seq_seconds\": {:.4}, \"modeled_wall_seconds\": {{{}}}, \"modeled_speedup\": {{{}}}}}{}",
+            json_escape(&c.strategy),
+            json_escape(&c.workload),
+            c.cpi,
+            c.collected,
+            c.seq_host_seconds,
+            fmt_curve(&c.host_seconds, 4),
+            c.modeled_seq_seconds,
+            fmt_curve(&c.modeled_seconds, 4),
+            fmt_curve(&c.modeled_speedup, 3),
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(
+        j,
+        "  \"geomean_modeled_speedup\": {{{}}},",
+        fmt_curve(&geomeans, 3)
+    );
+    let _ = writeln!(
+        j,
+        "  \"geomean_end_to_end_speedup_4_threads\": {:.3},",
+        geomeans[idx4]
+    );
+    let _ = writeln!(j, "  \"target_speedup_4_threads\": {TARGET_SPEEDUP_4W},");
+    let _ = writeln!(
+        j,
+        "  \"geomean_host_wall_speedup_4_threads\": {host_geomean_4w:.3},"
+    );
+    let _ = writeln!(
+        j,
+        "  \"host_note\": \"modeled speedups come from the cost model's per-worker schedule (deterministic, host-independent); the reference host has {parallelism} vCPU, so measured walls cannot show thread scaling and are recorded as context only\""
+    );
+    j.push_str("}\n");
+    std::fs::write(&out_path, &j).expect("write BENCH_PR5.json");
+    eprintln!(
+        "modeled geomean speedup at 4 workers: {:.2}x (host-wall geomean {:.2}x on {} vCPU)",
+        geomeans[idx4], host_geomean_4w, parallelism
+    );
+    eprintln!("wrote {out_path}");
+
+    // Regression gate: the modeled curve is deterministic, so the gate
+    // holds in quick mode too.
+    if geomeans[idx4] < TARGET_SPEEDUP_4W {
+        eprintln!(
+            "ERROR: modeled geomean speedup {:.2}x at 4 workers below the {TARGET_SPEEDUP_4W}x bar",
+            geomeans[idx4]
+        );
+        std::process::exit(1);
+    }
+}

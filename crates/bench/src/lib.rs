@@ -36,6 +36,7 @@ pub mod hierloop;
 mod options;
 pub mod probeloop;
 mod runs;
+pub mod seqdriver;
 mod table;
 pub mod warmloop;
 

@@ -22,17 +22,24 @@ use rayon::ThreadPoolBuilder;
 /// Executes (strategy × workload) batches on a worker pool.
 ///
 /// The default executor sizes its pool to the machine divided by the
-/// batch's maximum [`internal_parallelism`] — a DeLorean cell spawns
-/// its own pipeline threads (Scout, Explorers, Analyst), so running one
-/// cell per core would oversubscribe the host. [`with_threads`] bounds
-/// the pool explicitly (1 = serial reference execution, used by the
-/// determinism tests).
+/// batch's maximum [`internal_parallelism`] — a scheduler-backed cell
+/// fans its regions across its own workers, so running one cell per
+/// core would oversubscribe the host. [`with_threads`] bounds the pool
+/// explicitly (1 = serial reference execution, used by the determinism
+/// tests), and [`with_region_workers`] composes **region parallelism
+/// under the cell fan-out**: every cell runs its plan's region units on
+/// `n` workers via [`SamplingStrategy::run_with_workers`], and the cell
+/// pool shrinks by the same factor so `cells × region workers` never
+/// exceeds the budget. Both knobs are pure scheduling — results are
+/// byte-identical whatever the composition.
 ///
 /// [`internal_parallelism`]: SamplingStrategy::internal_parallelism
 /// [`with_threads`]: BatchExecutor::with_threads
+/// [`with_region_workers`]: BatchExecutor::with_region_workers
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchExecutor {
     threads: Option<usize>,
+    region_workers: Option<usize>,
 }
 
 impl BatchExecutor {
@@ -45,7 +52,16 @@ impl BatchExecutor {
     pub fn with_threads(threads: usize) -> Self {
         BatchExecutor {
             threads: Some(threads.max(1)),
+            region_workers: None,
         }
+    }
+
+    /// Run every cell's region units on `workers` region-scheduler
+    /// workers (overriding each strategy's own configuration); the cell
+    /// pool divides by the same factor to avoid oversubscription.
+    pub fn with_region_workers(mut self, workers: usize) -> Self {
+        self.region_workers = Some(workers.max(1));
+        self
     }
 
     /// Run every strategy over every workload; `result[w][s]` is strategy
@@ -98,21 +114,27 @@ impl BatchExecutor {
         plan: &RegionPlan,
     ) -> Vec<StrategyReport> {
         let workers = self.threads.unwrap_or_else(|| {
-            // Leave room for each cell's own threads (the TT pipeline).
-            let nested = jobs
-                .iter()
-                .map(|&(s, _)| s.internal_parallelism())
-                .max()
-                .unwrap_or(1);
+            // Leave room for each cell's own threads (its region-scheduler
+            // workers, or whatever nested parallelism it reports).
+            let nested = self.region_workers.unwrap_or_else(|| {
+                jobs.iter()
+                    .map(|&(s, _)| s.internal_parallelism())
+                    .max()
+                    .unwrap_or(1)
+            });
             (rayon::current_num_threads() / nested).max(1)
         });
+        let region_workers = self.region_workers;
         ThreadPoolBuilder::new()
             .num_threads(workers)
             .build()
             .expect("worker pool")
             .install(|| {
                 jobs.par_iter()
-                    .map(|&(strategy, workload)| strategy.run(workload, plan))
+                    .map(|&(strategy, workload)| match region_workers {
+                        Some(n) => strategy.run_with_workers(workload, plan, n),
+                        None => strategy.run(workload, plan),
+                    })
                     .collect()
             })
     }
@@ -247,6 +269,36 @@ mod tests {
         let rows = compare_all(&opts, 8 << 20);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].name, "lbm");
+    }
+
+    #[test]
+    fn region_workers_compose_without_changing_results() {
+        let opts = ExpOptions {
+            filter: Some("bwaves".into()),
+            ..ExpOptions::tiny()
+        };
+        let plan = plan_for(&opts);
+        let machine = MachineConfig::for_scale(opts.scale);
+        let strategies = headline_strategies(opts.scale, machine);
+        let workloads: Vec<_> = spec2006(opts.scale, opts.seed)
+            .into_iter()
+            .filter(|w| opts.selected(w.name()))
+            .collect();
+        let reference = BatchExecutor::with_threads(1).run_matrix(&strategies, &workloads, &plan);
+        for (threads, region_workers) in [(1, 4), (2, 2), (4, 1)] {
+            let composed = BatchExecutor::with_threads(threads)
+                .with_region_workers(region_workers)
+                .run_matrix(&strategies, &workloads, &plan);
+            for (rrow, crow) in reference.iter().zip(&composed) {
+                for (r, c) in rrow.iter().zip(crow) {
+                    assert_eq!(
+                        r.report, c.report,
+                        "{}×{} changed {}/{}",
+                        threads, region_workers, r.workload, r.strategy
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Verbatim replicas of the **pre-PR 5 sequential strategy drivers** —
+//! the equivalence-oracle baseline for the region-parallel runtime.
+//!
+//! Until PR 5, every strategy walked its plan in one sequential loop:
+//! a single running host clock, one hierarchy carried in place across
+//! regions, per-region results appended in order. The region scheduler
+//! replaced those loops; these functions preserve them, exactly as they
+//! were, so `bench_pr5` can (a) measure the old driver's host wall time
+//! as the speedup baseline and (b) assert the oracle: the scheduler —
+//! at **any** worker count — must reproduce the old drivers' CPI,
+//! per-region detailed counters and collected-reuse counts bit for bit.
+//!
+//! DeLorean's pre-PR 5 serial driver survives as
+//! [`DeLoreanRunner::run_serial`] (same per-region computations, now
+//! reduced through the scheduler at one worker), so it needs no replica
+//! here; the oracle compares against it directly.
+//!
+//! [`DeLoreanRunner::run_serial`]: delorean_core::DeLoreanRunner::run_serial
+
+use delorean_cache::{Hierarchy, MachineConfig, MemLevel};
+use delorean_cpu::TimingConfig;
+use delorean_sampling::{
+    run_region_detailed, CoolSimConfig, RegionPlan, RegionReport, SimulationReport,
+};
+use delorean_statmodel::per_pc::{PcPrediction, PcProfiles};
+use delorean_statmodel::LogHistogram;
+use delorean_trace::{
+    CounterRng, InterestFilter, LineMap, MemAccess, Workload, WorkloadExt, CURSOR_BATCH,
+};
+use delorean_virt::{CostModel, HostClock, RunCost, Trap, WatchSet, WorkKind};
+
+/// The sequential region loop's shared scaffolding: one running clock,
+/// regions appended in order — the pre-PR 5 `RegionDriver`, verbatim.
+struct SeqDriver<'a> {
+    workload: &'a dyn Workload,
+    plan: &'a RegionPlan,
+    timing: TimingConfig,
+    cost: CostModel,
+    clock: HostClock,
+    regions: Vec<RegionReport>,
+    collected: u64,
+}
+
+impl<'a> SeqDriver<'a> {
+    fn new(workload: &'a dyn Workload, plan: &'a RegionPlan) -> Self {
+        SeqDriver {
+            workload,
+            plan,
+            timing: TimingConfig::table1(),
+            cost: CostModel::paper_host(),
+            clock: HostClock::new(),
+            regions: Vec::with_capacity(plan.regions.len()),
+            collected: 0,
+        }
+    }
+
+    fn charge_work(&mut self, kind: WorkKind, instrs: u64) {
+        self.clock.charge(self.cost.instr_seconds(kind, instrs));
+    }
+
+    fn measure_region(
+        &mut self,
+        region: &delorean_sampling::Region,
+        source: &mut dyn delorean_cpu::OutcomeSource,
+    ) {
+        let span = region.detailed.end.saturating_sub(region.warming.start);
+        self.clock
+            .charge(self.cost.instr_seconds(WorkKind::Detailed, span));
+        let result = run_region_detailed(self.workload, region, &self.timing, source);
+        self.regions.push(RegionReport {
+            region: region.index,
+            detailed: result,
+        });
+    }
+
+    fn finish(self, strategy: &str) -> SimulationReport {
+        let mut cost = RunCost::new(self.plan.regions.len() as u64);
+        cost.push(strategy, self.clock);
+        SimulationReport {
+            workload: self.workload.name().to_string(),
+            strategy: strategy.into(),
+            regions: self.regions,
+            collected_reuse_distances: self.collected,
+            cost,
+            covered_instrs: self.plan.represented_instrs(),
+        }
+    }
+}
+
+/// The pre-PR 5 SMARTS driver: one hierarchy functionally warmed in
+/// place, measured in place, region after region.
+pub fn smarts_sequential(
+    machine: &MachineConfig,
+    workload: &dyn Workload,
+    plan: &RegionPlan,
+) -> SimulationReport {
+    let mut driver = SeqDriver::new(workload, plan);
+    let mut hierarchy = Hierarchy::new(machine);
+    let p = workload.mem_period();
+    let mult = plan.config.work_multiplier();
+    let mut pos_access: u64 = 0;
+    for region in &plan.regions {
+        let warm_end_access = region.warming.start / p;
+        let span = warm_end_access.saturating_sub(pos_access);
+        driver.charge_work(WorkKind::Functional, span * p * mult);
+        hierarchy.warm_range(workload, pos_access..warm_end_access);
+        let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
+        driver.measure_region(region, &mut source);
+        pos_access = region.detailed.end / p;
+    }
+    driver.finish("smarts")
+}
+
+/// The pre-PR 5 CoolSim driver: per-region watchpoint profiling and a
+/// lukewarm measure, one region after another on a single clock.
+pub fn coolsim_sequential(
+    machine: &MachineConfig,
+    config: &CoolSimConfig,
+    workload: &dyn Workload,
+    plan: &RegionPlan,
+) -> SimulationReport {
+    // CoolSimConfig::period_at is private to the sampling crate; the
+    // replica reimplements the same schedule arithmetic.
+    let period_at = |offset: u64, len: u64, mem_period: u64| -> u64 {
+        let mut acc = 0u64;
+        let pos_permille = (offset * 1000).checked_div(len).unwrap_or(0);
+        for ph in &config.schedule {
+            acc += ph.span_permille as u64;
+            if pos_permille < acc {
+                return (ph.period_instrs / mem_period).max(1);
+            }
+        }
+        config
+            .schedule
+            .last()
+            .map(|p| (p.period_instrs / mem_period).max(1))
+            .unwrap_or(1)
+    };
+
+    let mut driver = SeqDriver::new(workload, plan);
+    let p = workload.mem_period();
+    let mult = plan.config.work_multiplier();
+    let rng = CounterRng::new(config.seed);
+    let spacing = plan.config.spacing_instrs;
+    let llc_lines = machine.hierarchy.llc.lines();
+    let trap_seconds = driver.cost.trap_seconds;
+
+    for region in &plan.regions {
+        let interval = region.warmup_interval(spacing);
+        let first = interval.start.div_ceil(p);
+        let last = interval.end / p;
+        let len = last.saturating_sub(first);
+        let mut profiles = PcProfiles::new();
+        let mut watch = WatchSet::new();
+        let mut pending: LineMap<u64> = LineMap::new();
+        let mut filter = InterestFilter::with_capacity_for(1024);
+
+        driver.charge_work(WorkKind::Vff, len * p * mult);
+        let mut cursor = workload.cursor(first..last);
+        let mut batch = Vec::with_capacity(CURSOR_BATCH);
+        while cursor.fill(&mut batch, CURSOR_BATCH) > 0 {
+            for a in &batch {
+                let k = a.index;
+                if filter.contains_page(a.page()) {
+                    match watch.classify(a) {
+                        Trap::None => {}
+                        Trap::FalsePositive => driver.clock.charge(trap_seconds),
+                        Trap::Hit(line) => {
+                            driver.clock.charge(trap_seconds);
+                            if let Some(set_at) = pending.remove(line) {
+                                profiles.record(a.pc, k - set_at - 1, 1.0);
+                                driver.collected += 1;
+                                watch.unwatch_line(line);
+                                filter.remove_page(line.page());
+                            }
+                        }
+                    }
+                }
+                let period = period_at(k - first, len, p);
+                if rng.chance_one_in(k, period) && !pending.contains(a.line()) {
+                    pending.insert(a.line(), k);
+                    watch.watch_line(a.line());
+                    filter.insert_page(a.page());
+                }
+            }
+        }
+        for (line, set_at) in pending.drain() {
+            let pc = workload.access_at(set_at).pc;
+            profiles.record_cold(pc, 1.0);
+            watch.unwatch_line(line);
+        }
+
+        let mut lukewarm = Hierarchy::new(machine);
+        let mut source = |a: &MemAccess, now: u64| {
+            let simulated = lukewarm.access_data(a.pc, a.line(), now);
+            if simulated != MemLevel::Memory {
+                return simulated;
+            }
+            match profiles.predict(a.pc, llc_lines) {
+                PcPrediction::Hit => MemLevel::Llc,
+                PcPrediction::Miss | PcPrediction::NoData => MemLevel::Memory,
+            }
+        };
+        driver.measure_region(region, &mut source);
+    }
+    driver.finish("coolsim")
+}
+
+/// The pre-PR 5 MRRL driver (99.9% coverage, 50 k profile accesses —
+/// the `MrrlRunner::new` defaults).
+pub fn mrrl_sequential(
+    machine: &MachineConfig,
+    workload: &dyn Workload,
+    plan: &RegionPlan,
+) -> SimulationReport {
+    let percentile = 0.999f64;
+    let profile_accesses = 50_000u64;
+    let p = workload.mem_period();
+    let warming_window = |around_access: u64| -> u64 {
+        let start = around_access.saturating_sub(profile_accesses);
+        let mut hist = LogHistogram::new();
+        let mut last: LineMap<u64> = LineMap::new();
+        workload.for_each_access(start..around_access, |a| {
+            if let Some(prev) = last.insert(a.line(), a.index) {
+                hist.add((a.index - prev) * p, 1.0);
+            }
+        });
+        if hist.is_empty() {
+            return profile_accesses * p;
+        }
+        hist.quantile(percentile)
+    };
+
+    let mut driver = SeqDriver::new(workload, plan);
+    let mult = plan.config.work_multiplier();
+    let mut prev_end = 0u64;
+    for region in &plan.regions {
+        let region_first = workload.access_index_at_instr(region.detailed.start);
+        driver.charge_work(WorkKind::Functional, profile_accesses * p);
+        let window = warming_window(region_first).clamp(p, region.warming.start);
+        let warm_start = region.warming.start.saturating_sub(window);
+        let skip = warm_start.saturating_sub(prev_end);
+        driver.charge_work(WorkKind::Vff, skip * mult);
+        driver.charge_work(WorkKind::Functional, window * mult);
+        let mut hierarchy = Hierarchy::new(machine);
+        let from = workload.access_index_at_instr(warm_start);
+        let to = workload.access_index_at_instr(region.warming.start);
+        hierarchy.warm_range(workload, from..to);
+        let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
+        driver.measure_region(region, &mut source);
+        prev_end = region.detailed.end;
+    }
+    driver.finish("mrrl")
+}
+
+/// The pre-PR 5 checkpointed-warming driver: a sequential preparation
+/// pass snapshotting one cumulatively warmed hierarchy, then a
+/// sequential evaluation loop restoring into one reused hierarchy.
+/// Returns the evaluation report (PR 4 semantics: preparation cost is
+/// excluded from it).
+pub fn checkpoint_sequential(
+    machine: &MachineConfig,
+    workload: &dyn Workload,
+    plan: &RegionPlan,
+) -> SimulationReport {
+    let load_bytes_per_second = 100.0e6;
+    let p = workload.mem_period();
+
+    // Preparation (its clock went to the extras in PR 4, not to the
+    // evaluation report replicated here).
+    let mut hierarchy = Hierarchy::new(machine);
+    let mut pos_access = 0u64;
+    let mut snapshots = Vec::with_capacity(plan.regions.len());
+    for region in &plan.regions {
+        let warm_end_access = region.warming.start / p;
+        hierarchy.warm_range(workload, pos_access..warm_end_access);
+        snapshots.push(hierarchy.snapshot());
+        pos_access = warm_end_access;
+    }
+
+    // Evaluation.
+    let mut driver = SeqDriver::new(workload, plan);
+    let mut eval = Hierarchy::new(machine);
+    for (region, snap) in plan.regions.iter().zip(&snapshots) {
+        driver
+            .clock
+            .charge(snap.storage_bytes() as f64 / load_bytes_per_second);
+        eval.restore(snap);
+        let mut source = |a: &MemAccess, now: u64| eval.access_data(a.pc, a.line(), now);
+        driver.measure_region(region, &mut source);
+    }
+    driver.finish("checkpoint")
+}

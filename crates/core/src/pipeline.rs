@@ -238,7 +238,7 @@ fn explorer_stage(
 mod tests {
     use super::*;
     use crate::DeLoreanRunner;
-    use delorean_sampling::{SamplingConfig, SamplingStrategy};
+    use delorean_sampling::SamplingConfig;
     use delorean_trace::{spec_workload, Scale};
 
     fn runner() -> DeLoreanRunner {
@@ -246,6 +246,10 @@ mod tests {
             MachineConfig::for_scale(Scale::tiny()),
             DeLoreanConfig::for_scale(Scale::tiny()),
         )
+    }
+
+    fn pipelined(r: &DeLoreanRunner, w: &dyn Workload, plan: &RegionPlan) -> DeLoreanOutput {
+        run_pipelined(w, r.machine(), r.timing(), r.cost_model(), r.config(), plan)
     }
 
     #[test]
@@ -256,7 +260,7 @@ mod tests {
             .plan();
         let r = runner();
         let serial = r.run_serial(&w, &plan);
-        let piped: DeLoreanOutput = r.run(&w, &plan).try_into().unwrap();
+        let piped = pipelined(&r, &w, &plan);
         assert_eq!(serial.report.cpi(), piped.report.cpi());
         assert_eq!(serial.report.total(), piped.report.total());
         assert_eq!(serial.stats, piped.stats);
@@ -287,7 +291,7 @@ mod tests {
             .plan();
         for name in ["bwaves", "mcf", "povray"] {
             let w = spec_workload(name, Scale::tiny(), 1).unwrap();
-            let out = runner().run(&w, &plan);
+            let out = pipelined(&runner(), &w, &plan);
             assert_eq!(out.report.regions.len(), 2, "{name}");
             assert!(out.report.cpi() > 0.0, "{name}");
         }
@@ -299,7 +303,7 @@ mod tests {
         let plan = SamplingConfig::for_scale(Scale::tiny())
             .with_regions(5)
             .plan();
-        let out = runner().run(&w, &plan);
+        let out = pipelined(&runner(), &w, &plan);
         let order: Vec<u32> = out.report.regions.iter().map(|r| r.region).collect();
         assert_eq!(order, vec![0, 1, 2, 3, 4]);
     }

@@ -10,7 +10,8 @@ use crate::MAX_EXPLORERS;
 use delorean_cache::MachineConfig;
 use delorean_cpu::TimingConfig;
 use delorean_sampling::{
-    Region, RegionPlan, RegionReport, SamplingStrategy, SimulationReport, StrategyReport,
+    Region, RegionPlan, RegionReport, RegionScheduler, SamplingStrategy, SimulationReport,
+    StrategyReport,
 };
 use delorean_trace::Workload;
 use delorean_virt::{CostModel, HostClock, RunCost, WorkKind};
@@ -182,6 +183,7 @@ pub struct DeLoreanRunner {
     timing: TimingConfig,
     cost: CostModel,
     config: DeLoreanConfig,
+    workers: usize,
 }
 
 impl DeLoreanRunner {
@@ -192,12 +194,34 @@ impl DeLoreanRunner {
     /// Panics if `config` is invalid.
     pub fn new(machine: MachineConfig, config: DeLoreanConfig) -> Self {
         config.validate().expect("invalid DeLorean config");
+        // DeLorean has always run multi-threaded by default (the TT pass
+        // pipeline before PR 5 used one thread per pass); the region
+        // scheduler keeps that default with the same thread footprint —
+        // explorers + Scout + Analyst — capped by the host. Safe because
+        // worker count never changes results, and bounded so batch
+        // executors dividing their pools by `internal_parallelism` keep
+        // running cells in parallel.
+        let workers = RegionScheduler::host()
+            .workers()
+            .min(config.explorer_windows_instrs.len() + 2);
         DeLoreanRunner {
             machine,
             timing: TimingConfig::table1(),
             cost: CostModel::paper_host(),
             config,
+            workers,
         }
+    }
+
+    /// Set the region-scheduler worker count [`SamplingStrategy::run`]
+    /// uses (default: the host's available parallelism, capped at the
+    /// pass-pipeline footprint of explorers + 2). Time-traveling makes
+    /// every region's Scout → Explorers → Analyst chain an independent
+    /// unit (the paper's core claim), so the whole plan fans out;
+    /// results are byte-identical for every value.
+    pub fn with_region_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Override the timing configuration.
@@ -232,21 +256,40 @@ impl DeLoreanRunner {
         &self.cost
     }
 
-    /// Run all passes serially in one thread (identical results to the
-    /// pipelined [`SamplingStrategy::run`]; useful for debugging and as
-    /// the test oracle for the pipeline).
+    /// Run all passes serially in one thread: the region scheduler at
+    /// one worker, and the reference execution every other mode —
+    /// region-parallel at any worker count, pass-pipelined
+    /// ([`run_pipelined`](crate::pipeline::run_pipelined)) — must
+    /// reproduce.
     pub fn run_serial(&self, workload: &dyn Workload, plan: &RegionPlan) -> DeLoreanOutput {
+        self.run_at(workload, plan, 1)
+    }
+
+    /// Run region-parallel at an explicit worker count. Time-traveling
+    /// makes each region's Scout → Explorer chain → Analyst an
+    /// independent unit (`prev_end` — the previous region's detailed
+    /// end — comes from the *plan*, not from execution state), so units
+    /// fan out across workers and reduce in plan order. The report,
+    /// statistics and DSW counts are byte-identical for every
+    /// `workers` value.
+    pub fn run_at(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+    ) -> DeLoreanOutput {
         let mult = plan.config.work_multiplier();
         let n_explorers = self.config.explorer_windows_instrs.len();
-        let mut scout_clock = HostClock::new();
-        let mut explorer_clocks = vec![HostClock::new(); n_explorers];
-        let mut analyst_clock = HostClock::new();
-        let mut stats = TtStats::default();
-        let mut dsw_counts = DswCounts::default();
-        let mut regions = Vec::with_capacity(plan.regions.len());
-        let mut prev_end = 0u64;
 
-        for region in &plan.regions {
+        let units = RegionScheduler::new(workers).run_units(&plan.regions, |i, region| {
+            let prev_end = if i == 0 {
+                0
+            } else {
+                plan.regions[i as usize - 1].detailed.end
+            };
+            let mut scout_clock = HostClock::new();
+            let mut explorer_clocks = vec![HostClock::new(); n_explorers];
+            let mut analyst_clock = HostClock::new();
             let artifacts = warm_region(
                 workload,
                 &self.machine,
@@ -268,16 +311,47 @@ impl DeLoreanRunner {
                 &artifacts.input,
                 mult,
             );
-            accumulate(&mut stats, &artifacts);
-            dsw_counts.merge(&analyst.counts);
-            regions.push(RegionReport {
-                region: region.index,
-                detailed: analyst.detailed,
-            });
-            prev_end = region.detailed.end;
+            RegionOutput {
+                report: RegionReport {
+                    region: region.index,
+                    detailed: analyst.detailed,
+                },
+                artifacts,
+                counts: analyst.counts,
+                scout_seconds: scout_clock.seconds(),
+                explorer_seconds: explorer_clocks.iter().map(|c| c.seconds()).collect(),
+                analyst_seconds: analyst_clock.seconds(),
+            }
+        });
+
+        // Input-ordered reduction: fold per-pass clocks, statistics and
+        // DSW counts region by region, so the assembled output (f64
+        // sums included) has one fixed shape for every worker count.
+        let mut scout_clock = HostClock::new();
+        let mut explorer_clocks = vec![HostClock::new(); n_explorers];
+        let mut analyst_clock = HostClock::new();
+        let mut stats = TtStats::default();
+        let mut dsw_counts = DswCounts::default();
+        let mut regions = Vec::with_capacity(plan.regions.len());
+        let mut cost = RunCost::new(plan.regions.len() as u64);
+        for unit in units {
+            scout_clock.charge(unit.scout_seconds);
+            for (clock, s) in explorer_clocks.iter_mut().zip(&unit.explorer_seconds) {
+                clock.charge(*s);
+            }
+            analyst_clock.charge(unit.analyst_seconds);
+            let mut unit_clock = HostClock::new();
+            unit_clock.charge(unit.scout_seconds);
+            for s in &unit.explorer_seconds {
+                unit_clock.charge(*s);
+            }
+            unit_clock.charge(unit.analyst_seconds);
+            cost.push_unit(unit.report.region, 0.0, unit_clock.seconds());
+            accumulate(&mut stats, &unit.artifacts);
+            dsw_counts.merge(&unit.counts);
+            regions.push(unit.report);
         }
 
-        let mut cost = RunCost::new(plan.regions.len() as u64);
         cost.push("scout", scout_clock);
         for (k, c) in explorer_clocks.into_iter().enumerate() {
             cost.push(format!("explorer-{}", k + 1), c);
@@ -299,30 +373,45 @@ impl DeLoreanRunner {
     }
 }
 
+/// One region unit's complete output, reduced in plan order by
+/// [`DeLoreanRunner::run_at`].
+struct RegionOutput {
+    report: RegionReport,
+    artifacts: RegionArtifacts,
+    counts: DswCounts,
+    scout_seconds: f64,
+    explorer_seconds: Vec<f64>,
+    analyst_seconds: f64,
+}
+
 impl SamplingStrategy for DeLoreanRunner {
     fn name(&self) -> &str {
         "delorean"
     }
 
-    /// Run the multi-threaded pipelined TT implementation. The
-    /// time-traveling statistics and DSW counters ride along as
-    /// [`DeLoreanExtras`]; recover the full [`DeLoreanOutput`] with
-    /// `TryFrom<StrategyReport>`.
+    /// Run region-parallel at the configured worker count (see
+    /// [`DeLoreanRunner::with_region_workers`]). The time-traveling
+    /// statistics and DSW counters ride along as [`DeLoreanExtras`];
+    /// recover the full [`DeLoreanOutput`] with
+    /// `TryFrom<StrategyReport>`. The §3.2-faithful pass pipeline is
+    /// still available as
+    /// [`run_pipelined`](crate::pipeline::run_pipelined).
     fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
-        crate::pipeline::run_pipelined(
-            workload,
-            &self.machine,
-            &self.timing,
-            &self.cost,
-            &self.config,
-            plan,
-        )
-        .into()
+        self.run_at(workload, plan, self.workers).into()
     }
 
-    /// One thread per TT pass: Scout + the explorer chain + Analyst.
+    fn run_with_workers(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+    ) -> StrategyReport {
+        self.run_at(workload, plan, workers).into()
+    }
+
+    /// The configured region-scheduler worker count.
     fn internal_parallelism(&self) -> usize {
-        self.config.explorer_windows_instrs.len() + 2
+        self.workers
     }
 }
 

@@ -15,8 +15,9 @@
 //! evaluation-run speed including checkpoint load time.
 
 use crate::config::RegionPlan;
-use crate::driver::RegionDriver;
+use crate::driver::{reduce_units, UnitDriver};
 use crate::report::SimulationReport;
+use crate::scheduler::RegionScheduler;
 use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, HierarchySnapshot, MachineConfig};
 use delorean_cpu::TimingConfig;
@@ -66,6 +67,7 @@ pub struct CheckpointWarmingRunner {
     machine: MachineConfig,
     timing: TimingConfig,
     cost: CostModel,
+    workers: usize,
     /// Modeled checkpoint-load bandwidth (2009-era disk, bytes/second).
     pub load_bytes_per_second: f64,
 }
@@ -77,6 +79,7 @@ impl CheckpointWarmingRunner {
             machine,
             timing: TimingConfig::table1(),
             cost: CostModel::paper_host(),
+            workers: 1,
             load_bytes_per_second: 100.0e6,
         }
     }
@@ -84,6 +87,16 @@ impl CheckpointWarmingRunner {
     /// Override the host cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Set the region-scheduler worker count evaluation runs use.
+    /// Checkpoint **evaluation** is embarrassingly region-parallel —
+    /// each unit restores its own snapshot — while the preparation pass
+    /// stays a sequential warm chain; results are byte-identical for
+    /// every value.
+    pub fn with_region_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
         self
     }
 
@@ -129,22 +142,40 @@ impl CheckpointWarmingRunner {
         workload: &dyn Workload,
         plan: &RegionPlan,
     ) -> SimulationReport {
+        self.run_with_at(checkpoints, workload, plan, self.workers)
+    }
+
+    /// [`run_with`](CheckpointWarmingRunner::run_with) at an explicit
+    /// region-scheduler worker count: every region unit restores its own
+    /// snapshot into its own hierarchy, so evaluation fans out freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint count does not match the plan.
+    pub fn run_with_at(
+        &self,
+        checkpoints: &CheckpointSet,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+    ) -> SimulationReport {
         assert_eq!(
             checkpoints.len(),
             plan.regions.len(),
             "checkpoint/plan mismatch"
         );
-        let mut driver = RegionDriver::new(workload, plan, &self.timing, &self.cost);
-        let mut hierarchy = Hierarchy::new(&self.machine);
-        for (region, snap) in plan.regions.iter().zip(&checkpoints.snapshots) {
+        let units = RegionScheduler::new(workers).run_units(&plan.regions, |i, region| {
+            let mut driver = UnitDriver::new(workload, &self.timing, &self.cost);
+            let snap = &checkpoints.snapshots[i as usize];
             // Load the checkpoint from storage.
             driver.charge_seconds(snap.storage_bytes() as f64 / self.load_bytes_per_second);
+            let mut hierarchy = Hierarchy::new(&self.machine);
             hierarchy.restore(snap);
             // Detailed warming + region on the restored state.
             let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
-            driver.measure_region(region, &mut source);
-        }
-        driver.finish("checkpoint")
+            driver.measure_region(region, &mut source)
+        });
+        reduce_units(workload, plan, "checkpoint", &[], units)
     }
 }
 
@@ -158,12 +189,28 @@ impl SamplingStrategy for CheckpointWarmingRunner {
     /// preparation cost and storage footprint — the trade-off against
     /// statistical warming — ride along as [`CheckpointExtras`].
     fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
+        self.run_with_workers(workload, plan, self.workers)
+    }
+
+    /// Prepare (sequential warm chain) and evaluate (region-parallel at
+    /// `workers`) in one call; see [`SamplingStrategy::run`] for the
+    /// report/extras split.
+    fn run_with_workers(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+    ) -> StrategyReport {
         let checkpoints = self.prepare(workload, plan);
-        let report = self.run_with(&checkpoints, workload, plan);
+        let report = self.run_with_at(&checkpoints, workload, plan, workers);
         StrategyReport::new(report).with_extras(CheckpointExtras {
             storage_bytes: checkpoints.storage_bytes(),
             preparation_seconds: checkpoints.preparation_seconds,
         })
+    }
+
+    fn internal_parallelism(&self) -> usize {
+        self.workers
     }
 }
 

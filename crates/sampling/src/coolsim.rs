@@ -19,7 +19,8 @@
 //! CoolSim's CPI overestimation for soplex and GemsFDTD in Figures 9/10).
 
 use crate::config::RegionPlan;
-use crate::driver::RegionDriver;
+use crate::driver::{reduce_units, UnitDriver};
+use crate::scheduler::RegionScheduler;
 use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig, MemLevel};
 use delorean_cpu::TimingConfig;
@@ -97,6 +98,7 @@ pub struct CoolSimRunner {
     timing: TimingConfig,
     cost: CostModel,
     config: CoolSimConfig,
+    workers: usize,
 }
 
 impl CoolSimRunner {
@@ -108,6 +110,7 @@ impl CoolSimRunner {
             timing: TimingConfig::table1(),
             cost: CostModel::paper_host(),
             config,
+            workers: 1,
         }
     }
 
@@ -122,6 +125,17 @@ impl CoolSimRunner {
         self.cost = cost;
         self
     }
+
+    /// Set the region-scheduler worker count [`run`] uses. CoolSim's
+    /// regions are fully independent (per-region watchpoint profiles and
+    /// a fresh lukewarm hierarchy), so every region is one parallel
+    /// unit; results are byte-identical for every value.
+    ///
+    /// [`run`]: SamplingStrategy::run
+    pub fn with_region_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
 }
 
 impl SamplingStrategy for CoolSimRunner {
@@ -130,7 +144,20 @@ impl SamplingStrategy for CoolSimRunner {
     }
 
     fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
-        let mut driver = RegionDriver::new(workload, plan, &self.timing, &self.cost);
+        self.run_with_workers(workload, plan, self.workers)
+    }
+
+    /// CoolSim under the region scheduler: every region is one fully
+    /// independent unit — it owns its watchpoint set, pending-sample
+    /// map, per-PC profiles and lukewarm hierarchy outright, and the
+    /// sampling decisions come from a stateless counter-based RNG — so
+    /// the whole plan fans out with no carried lane at all.
+    fn run_with_workers(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+    ) -> StrategyReport {
         let p = workload.mem_period();
         let mult = plan.config.work_multiplier();
         let rng = CounterRng::new(self.config.seed);
@@ -138,7 +165,8 @@ impl SamplingStrategy for CoolSimRunner {
         let llc_lines = self.machine.hierarchy.llc.lines();
         let trap_seconds = self.cost.trap_seconds;
 
-        for region in &plan.regions {
+        let units = RegionScheduler::new(workers).run_units(&plan.regions, |_i, region| {
+            let mut driver = UnitDriver::new(workload, &self.timing, &self.cost);
             // --- Profile the warm-up interval with random watchpoints. ---
             let interval = region.warmup_interval(spacing);
             let first = interval.start.div_ceil(p);
@@ -215,9 +243,13 @@ impl SamplingStrategy for CoolSimRunner {
                     PcPrediction::Miss | PcPrediction::NoData => MemLevel::Memory,
                 }
             };
-            driver.measure_region(region, &mut source);
-        }
-        driver.finish(self.name()).into()
+            driver.measure_region(region, &mut source)
+        });
+        reduce_units(workload, plan, self.name(), &[], units).into()
+    }
+
+    fn internal_parallelism(&self) -> usize {
+        self.workers
     }
 }
 

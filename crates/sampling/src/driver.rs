@@ -1,12 +1,17 @@
-//! Shared region-loop scaffolding for sampling strategies.
+//! Per-unit scaffolding and input-ordered reduction for sampling
+//! strategies.
 //!
-//! Every warming strategy walks the same skeleton: iterate the plan's
-//! regions in order, charge host cost for the warm-up work between
-//! regions, run detailed warming plus the measured detailed region
-//! against a strategy-specific outcome source, and assemble the
-//! per-region results into a [`SimulationReport`] with cost accounting.
-//! [`RegionDriver`] owns that skeleton; strategies only contribute the
-//! warming work and the outcome source — the parts that actually differ.
+//! Every warming strategy evaluates the same skeleton per detailed
+//! region: charge host cost for the warm-up work, run detailed warming
+//! plus the measured region against a strategy-specific outcome source,
+//! and record the region result. Under the region-parallel runtime
+//! ([`RegionScheduler`](crate::RegionScheduler)) that skeleton is one
+//! **unit**: [`UnitDriver`] owns a single region's clock and result, and
+//! [`reduce_units`] folds the finished units back into a
+//! [`SimulationReport`] **in plan order** — so the assembled report (its
+//! `f64` cost sums included) is bitwise identical for every worker
+//! count, and the sequential driver is simply the scheduler at one
+//! worker.
 
 use crate::config::{Region, RegionPlan};
 use crate::report::{RegionReport, SimulationReport};
@@ -15,39 +20,30 @@ use delorean_cpu::{OutcomeSource, TimingConfig};
 use delorean_trace::Workload;
 use delorean_virt::{CostModel, HostClock, RunCost, WorkKind};
 
-/// Drives the per-region loop of one strategy run: cost clock, detailed
-/// simulation of each region, and final report assembly.
+/// Drives one region unit: its parallel-lane cost clock, the detailed
+/// simulation of its region, and the unit result.
 #[derive(Debug)]
-pub(crate) struct RegionDriver<'a> {
+pub(crate) struct UnitDriver<'a> {
     workload: &'a dyn Workload,
-    plan: &'a RegionPlan,
     timing: &'a TimingConfig,
     cost: &'a CostModel,
     clock: HostClock,
-    regions: Vec<RegionReport>,
     collected: u64,
 }
 
-impl<'a> RegionDriver<'a> {
-    /// A driver at the start of the run, with an empty clock.
-    pub fn new(
-        workload: &'a dyn Workload,
-        plan: &'a RegionPlan,
-        timing: &'a TimingConfig,
-        cost: &'a CostModel,
-    ) -> Self {
-        RegionDriver {
+impl<'a> UnitDriver<'a> {
+    /// A driver for one unit, with an empty clock.
+    pub fn new(workload: &'a dyn Workload, timing: &'a TimingConfig, cost: &'a CostModel) -> Self {
+        UnitDriver {
             workload,
-            plan,
             timing,
             cost,
             clock: HostClock::new(),
-            regions: Vec::with_capacity(plan.regions.len()),
             collected: 0,
         }
     }
 
-    /// Charge `instrs` instructions of `kind` work to the run clock.
+    /// Charge `instrs` instructions of `kind` work to the unit clock.
     pub fn charge_work(&mut self, kind: WorkKind, instrs: u64) {
         self.clock.charge(self.cost.instr_seconds(kind, instrs));
     }
@@ -63,30 +59,68 @@ impl<'a> RegionDriver<'a> {
     }
 
     /// Charge the detailed span (warming + measured region, at face
-    /// value) and run it against `source`, recording the region result.
-    pub fn measure_region(&mut self, region: &Region, source: &mut dyn OutcomeSource) {
+    /// value), run it against `source`, and finish the unit.
+    pub fn measure_region(mut self, region: &Region, source: &mut dyn OutcomeSource) -> RegionUnit {
         let span = region.detailed.end.saturating_sub(region.warming.start);
         self.clock
             .charge(self.cost.instr_seconds(WorkKind::Detailed, span));
         let result = run_region_detailed(self.workload, region, self.timing, source);
-        self.regions.push(RegionReport {
-            region: region.index,
-            detailed: result,
-        });
-    }
-
-    /// Assemble the final report; `strategy` names both the report and
-    /// its single cost pass.
-    pub fn finish(self, strategy: &str) -> SimulationReport {
-        let mut cost = RunCost::new(self.plan.regions.len() as u64);
-        cost.push(strategy, self.clock);
-        SimulationReport {
-            workload: self.workload.name().to_string(),
-            strategy: strategy.into(),
-            regions: self.regions,
-            collected_reuse_distances: self.collected,
-            cost,
-            covered_instrs: self.plan.represented_instrs(),
+        RegionUnit {
+            report: RegionReport {
+                region: region.index,
+                detailed: result,
+            },
+            seconds: self.clock.seconds(),
+            collected: self.collected,
         }
+    }
+}
+
+/// The finished output of one region unit.
+#[derive(Clone, Debug)]
+pub(crate) struct RegionUnit {
+    /// The measured region result.
+    pub report: RegionReport,
+    /// Parallel-lane host seconds this unit consumed.
+    pub seconds: f64,
+    /// Reuse distances the unit collected.
+    pub collected: u64,
+}
+
+/// Fold finished units (plus optional per-unit chained-lane seconds)
+/// into the final report, in plan order.
+///
+/// `chained` holds the sequential carried-state lane's per-unit cost
+/// (empty for strategies whose regions are fully independent). The fold
+/// charges `chained[i]` then `units[i].seconds` for each region in
+/// order, so the resulting pass total has one fixed `f64` summation
+/// tree regardless of how the units were scheduled.
+pub(crate) fn reduce_units(
+    workload: &dyn Workload,
+    plan: &RegionPlan,
+    strategy: &str,
+    chained: &[f64],
+    units: Vec<RegionUnit>,
+) -> SimulationReport {
+    let mut clock = HostClock::new();
+    let mut cost = RunCost::new(plan.regions.len() as u64);
+    let mut regions = Vec::with_capacity(units.len());
+    let mut collected = 0u64;
+    for (i, unit) in units.into_iter().enumerate() {
+        let chain = chained.get(i).copied().unwrap_or(0.0);
+        clock.charge(chain);
+        clock.charge(unit.seconds);
+        cost.push_unit(unit.report.region, chain, unit.seconds);
+        collected += unit.collected;
+        regions.push(unit.report);
+    }
+    cost.push(strategy, clock);
+    SimulationReport {
+        workload: workload.name().to_string(),
+        strategy: strategy.into(),
+        regions,
+        collected_reuse_distances: collected,
+        cost,
+        covered_instrs: plan.represented_instrs(),
     }
 }

@@ -29,6 +29,17 @@
 //! The shared per-region scaffolding (cost clock, detailed tail, report
 //! assembly) lives in the private `driver` module; strategies implement
 //! only the warming work that actually differs between them.
+//!
+//! All five strategies execute through the **region-parallel runtime**:
+//! [`RegionScheduler`] partitions a plan into per-region units — fully
+//! independent for CoolSim/MRRL/checkpoint-evaluation/DeLorean, seeded
+//! off a sequential warm lane for SMARTS/checkpoint-preparation — fans
+//! them across a worker pool, and reduces results in plan order, so
+//! every report is byte-identical for every worker count. Per-unit
+//! costs are recorded on the report
+//! ([`RunCost::units`](delorean_virt::RunCost::units)), from which
+//! [`RunCost::region_parallel_wallclock`](delorean_virt::RunCost::region_parallel_wallclock)
+//! models wallclock at any worker count.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -40,6 +51,7 @@ mod driver;
 pub mod metrics;
 mod mrrl;
 mod report;
+mod scheduler;
 mod smarts;
 mod strategy;
 
@@ -48,6 +60,7 @@ pub use config::{Region, RegionPlan, SamplingConfig};
 pub use coolsim::{CoolSimConfig, CoolSimRunner};
 pub use mrrl::MrrlRunner;
 pub use report::{RegionReport, SimulationReport};
+pub use scheduler::RegionScheduler;
 pub use smarts::SmartsRunner;
 pub use strategy::{SamplingStrategy, StrategyReport};
 

@@ -15,7 +15,8 @@
 //! to simulate all of them").
 
 use crate::config::RegionPlan;
-use crate::driver::RegionDriver;
+use crate::driver::{reduce_units, UnitDriver};
+use crate::scheduler::RegionScheduler;
 use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig};
 use delorean_cpu::TimingConfig;
@@ -29,6 +30,7 @@ pub struct MrrlRunner {
     machine: MachineConfig,
     timing: TimingConfig,
     cost: CostModel,
+    workers: usize,
     /// Reuse-latency coverage target (the original work uses ~99.9%).
     pub percentile: f64,
     /// Accesses profiled per region to estimate the latency distribution.
@@ -42,9 +44,21 @@ impl MrrlRunner {
             machine,
             timing: TimingConfig::table1(),
             cost: CostModel::paper_host(),
+            workers: 1,
             percentile: 0.999,
             profile_accesses: 50_000,
         }
+    }
+
+    /// Set the region-scheduler worker count [`run`] uses. MRRL warms a
+    /// fresh hierarchy over a per-region window, so every region is one
+    /// independent parallel unit; results are byte-identical for every
+    /// value.
+    ///
+    /// [`run`]: SamplingStrategy::run
+    pub fn with_region_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Override the coverage percentile.
@@ -84,12 +98,30 @@ impl SamplingStrategy for MrrlRunner {
     }
 
     fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
-        let mut driver = RegionDriver::new(workload, plan, &self.timing, &self.cost);
+        self.run_with_workers(workload, plan, self.workers)
+    }
+
+    /// MRRL under the region scheduler: each region profiles its own
+    /// reuse latencies and warms a **fresh** hierarchy over its own
+    /// window, and the fast-forward skip is derived from the *plan*
+    /// (the previous region's end), not from execution state — so every
+    /// region is one independent parallel unit.
+    fn run_with_workers(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+    ) -> StrategyReport {
         let p = workload.mem_period();
         let mult = plan.config.work_multiplier();
-        let mut prev_end = 0u64;
 
-        for region in &plan.regions {
+        let units = RegionScheduler::new(workers).run_units(&plan.regions, |i, region| {
+            let mut driver = UnitDriver::new(workload, &self.timing, &self.cost);
+            let prev_end = if i == 0 {
+                0
+            } else {
+                plan.regions[i as usize - 1].detailed.end
+            };
             // Pick this region's warming window from local reuse latencies
             // (profiling cost: functional over the profile slice).
             let region_first = workload.access_index_at_instr(region.detailed.start);
@@ -111,10 +143,13 @@ impl SamplingStrategy for MrrlRunner {
             hierarchy.warm_range(workload, from..to);
 
             let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
-            driver.measure_region(region, &mut source);
-            prev_end = region.detailed.end;
-        }
-        driver.finish(self.name()).into()
+            driver.measure_region(region, &mut source)
+        });
+        reduce_units(workload, plan, self.name(), &[], units).into()
+    }
+
+    fn internal_parallelism(&self) -> usize {
+        self.workers
     }
 }
 

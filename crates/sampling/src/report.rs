@@ -15,7 +15,11 @@ pub struct RegionReport {
 
 /// The full outcome of one sampled-simulation run — shared by SMARTS,
 /// CoolSim and DeLorean so strategies are compared with identical metrics.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field, cost accounting included — the
+/// region scheduler's determinism contract (*worker count never changes
+/// the report*) is asserted with plain `==`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimulationReport {
     /// Workload name.
     pub workload: String,
@@ -71,6 +75,17 @@ impl SimulationReport {
     /// (0 for a zero-cost run).
     pub fn mips_serial(&self) -> f64 {
         mips(self.covered_instrs, self.cost.serial_wallclock())
+    }
+
+    /// Effective simulation speed in MIPS when the run's region units
+    /// execute on `workers` region-scheduler workers (see
+    /// [`RunCost::region_parallel_wallclock`]; serial speed for runs
+    /// with no recorded units).
+    pub fn mips_at_workers(&self, workers: usize) -> f64 {
+        mips(
+            self.covered_instrs,
+            self.cost.region_parallel_wallclock(workers),
+        )
     }
 
     /// Speed relative to a reference report (both pipelined).

@@ -1,0 +1,278 @@
+//! The region-parallel execution runtime.
+//!
+//! The paper's central observation is that time-traveling removes the
+//! sequential dependency between sampling units: each detailed region's
+//! explore→warm→measure chain is a pure function of the (position
+//! addressable) execution and the region plan, so regions can be
+//! evaluated in any order — and therefore in parallel. [`RegionScheduler`]
+//! is the runtime for that observation: it partitions a strategy's
+//! sampling plan into per-region **units**, fans the units out across a
+//! rayon worker pool, and hands the results back **in plan order** so the
+//! strategy's reduction (and hence its [`StrategyReport`]) is
+//! byte-identical for every worker count.
+//!
+//! Two unit shapes cover all five strategies:
+//!
+//! * [`run_units`](RegionScheduler::run_units) — fully independent
+//!   units. CoolSim (per-region watchpoint profiling), MRRL (per-region
+//!   reuse-latency windows), checkpoint evaluation (restore + measure)
+//!   and DeLorean (Scout → Explorers → Analyst per region) each own
+//!   their cursor slices and per-region state outright, so every region
+//!   is one independent unit.
+//! * [`run_seeded`](RegionScheduler::run_seeded) — units seeded by a
+//!   sequential carried-state lane. SMARTS-style functional warming
+//!   *cannot* decouple regions completely: the hierarchy state at a
+//!   region's warming boundary depends on every access before it. The
+//!   seed pass runs in plan order on a producer lane (cumulatively
+//!   warming one hierarchy and handing each unit a
+//!   [`fork`](delorean_cache::Hierarchy::fork) of it), while the
+//!   measure bodies fan out across the remaining workers as their seeds
+//!   become available — a producer/consumer pipeline over the bounded
+//!   channel shim, mirroring the paper's OS-pipe pass pipeline at region
+//!   granularity.
+//!
+//! Determinism contract: unit bodies must be pure functions of
+//! `(unit index, region, seed)`. The scheduler never lets the worker
+//! count influence what a unit computes — only *when* it computes it —
+//! and reduces results by unit index, so `workers = 1` and `workers = N`
+//! produce bitwise-equal outputs (asserted for all five strategies by
+//! `tests/determinism.rs`).
+//!
+//! [`StrategyReport`]: crate::StrategyReport
+
+use crate::config::Region;
+use crossbeam::channel::bounded;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+use std::sync::Mutex;
+
+/// Fans a region plan's independent units out across a worker pool and
+/// collects results in plan order.
+///
+/// The worker count is fixed at construction — results never depend on
+/// it, so harness code is free to pick any bound (the batch executor
+/// divides the machine between strategy×workload cells and region
+/// workers to avoid oversubscription).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RegionScheduler {
+    workers: usize,
+}
+
+impl RegionScheduler {
+    /// A scheduler fanning units across `workers` workers (clamped ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        RegionScheduler {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The sequential scheduler: one worker, units in plan order. This is
+    /// the reference execution the determinism tests compare against.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// A scheduler sized to the host's available parallelism.
+    pub fn host() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// This scheduler's worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluate one fully independent unit per region, in parallel, and
+    /// return the results in plan order.
+    ///
+    /// `unit` must be a pure function of `(index, region)` (plus
+    /// captured immutable context); the scheduler guarantees the output
+    /// vector is identical for every worker count.
+    pub fn run_units<R: Send>(
+        &self,
+        regions: &[Region],
+        unit: impl Fn(u32, &Region) -> R + Sync,
+    ) -> Vec<R> {
+        if self.workers <= 1 || regions.len() <= 1 {
+            return regions
+                .iter()
+                .enumerate()
+                .map(|(i, r)| unit(i as u32, r))
+                .collect();
+        }
+        let jobs: Vec<(u32, &Region)> = regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u32, r))
+            .collect();
+        // Building a pool per call is free with the offline rayon shim
+        // (its ThreadPool holds no threads — it only records the worker
+        // count that scoped parallel operations spawn). If the shim is
+        // swapped for the registry rayon, hoist the pool into the
+        // scheduler to avoid per-call thread churn.
+        ThreadPoolBuilder::new()
+            .num_threads(self.workers)
+            .build()
+            .expect("region worker pool")
+            .install(|| jobs.par_iter().map(|&(i, r)| unit(i, r)).collect())
+    }
+
+    /// Evaluate units whose seeds come off a sequential carried-state
+    /// lane: `seed` runs in plan order (it may fold mutable state across
+    /// calls — the cumulative warm hierarchy), `body` runs on any worker
+    /// once its unit's seed exists. Results come back in plan order.
+    ///
+    /// With more than one worker, the seed lane runs on a dedicated
+    /// producer thread and bodies drain from a bounded channel on the
+    /// remaining workers, so seed production overlaps body evaluation —
+    /// the region-granular analogue of the paper's pass pipeline. With
+    /// one worker the two interleave exactly like the classic sequential
+    /// driver: seed(0), body(0), seed(1), body(1), …
+    pub fn run_seeded<S: Send, R: Send>(
+        &self,
+        regions: &[Region],
+        mut seed: impl FnMut(u32, &Region) -> S + Send,
+        body: impl Fn(u32, &Region, S) -> R + Sync,
+    ) -> Vec<R> {
+        let n = regions.len();
+        if self.workers <= 1 || n <= 1 {
+            return regions
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let s = seed(i as u32, r);
+                    body(i as u32, r, s)
+                })
+                .collect();
+        }
+        let consumers = (self.workers - 1).min(n);
+        // The seed channel's bound is the pipeline depth: the producer
+        // lane may run at most one seed per consumer ahead of the
+        // slowest body, modeling a finite pipe buffer.
+        let (seed_tx, seed_rx) = bounded::<(u32, S)>(consumers.max(2));
+        let (done_tx, done_rx) = bounded::<(u32, R)>(n);
+        let seed_rx = Mutex::new(seed_rx);
+        let body = &body;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for (i, r) in regions.iter().enumerate() {
+                    let s = seed(i as u32, r);
+                    if seed_tx.send((i as u32, s)).is_err() {
+                        return; // consumers gone (a body panicked)
+                    }
+                }
+            });
+            for _ in 0..consumers {
+                let done_tx = done_tx.clone();
+                let seed_rx = &seed_rx;
+                scope.spawn(move || loop {
+                    let msg = seed_rx.lock().expect("seed channel lock").recv();
+                    match msg {
+                        Ok((i, s)) => {
+                            let out = body(i, &regions[i as usize], s);
+                            if done_tx.send((i, out)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => return, // producer done, channel drained
+                    }
+                });
+            }
+            drop(done_tx);
+            let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            for (i, out) in done_rx.iter() {
+                slots[i as usize] = Some(out);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every unit completed"))
+                .collect()
+        })
+    }
+}
+
+impl Default for RegionScheduler {
+    /// The sequential scheduler — parallelism is always an explicit
+    /// opt-in (via [`RegionScheduler::new`] or a runner's
+    /// `with_region_workers`).
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SamplingConfig;
+    use delorean_trace::Scale;
+
+    fn regions(n: u32) -> Vec<Region> {
+        SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(n)
+            .plan()
+            .regions
+    }
+
+    #[test]
+    fn independent_units_come_back_in_plan_order() {
+        let rs = regions(7);
+        let reference: Vec<u64> = rs.iter().map(|r| r.start_instr * 3).collect();
+        for workers in [1, 2, 4, 8] {
+            let got = RegionScheduler::new(workers).run_units(&rs, |_, r| r.start_instr * 3);
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn seeded_units_see_the_sequential_fold() {
+        let rs = regions(6);
+        // The seed lane folds a running sum; every worker count must
+        // observe the same per-unit prefix.
+        let reference: Vec<u64> = {
+            let mut acc = 0u64;
+            rs.iter()
+                .map(|r| {
+                    acc += r.start_instr;
+                    acc
+                })
+                .collect()
+        };
+        for workers in [1, 2, 3, 8] {
+            let mut acc = 0u64;
+            let got = RegionScheduler::new(workers).run_seeded(
+                &rs,
+                move |_, r| {
+                    acc += r.start_instr;
+                    acc
+                },
+                |_, _, s| s,
+            );
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worker_count_is_clamped_and_reported() {
+        assert_eq!(RegionScheduler::new(0).workers(), 1);
+        assert_eq!(RegionScheduler::new(5).workers(), 5);
+        assert_eq!(RegionScheduler::sequential().workers(), 1);
+        assert_eq!(RegionScheduler::default(), RegionScheduler::sequential());
+        assert!(RegionScheduler::host().workers() >= 1);
+    }
+
+    #[test]
+    fn empty_and_single_region_plans_work() {
+        let rs = regions(1);
+        let got = RegionScheduler::new(4).run_units(&rs, |i, _| i);
+        assert_eq!(got, vec![0]);
+        let got = RegionScheduler::new(4).run_seeded(&rs, |i, _| i, |_, _, s| s);
+        assert_eq!(got, vec![0]);
+        let none: Vec<Region> = Vec::new();
+        let got: Vec<u32> = RegionScheduler::new(4).run_units(&none, |i, _| i);
+        assert!(got.is_empty());
+    }
+}

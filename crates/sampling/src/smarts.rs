@@ -7,13 +7,14 @@
 //! instruction at functional-simulation speed, which is why the paper
 //! measures SMARTS at 1.3 MIPS.
 
-use crate::config::RegionPlan;
-use crate::driver::RegionDriver;
+use crate::config::{Region, RegionPlan};
+use crate::driver::{reduce_units, UnitDriver};
+use crate::scheduler::RegionScheduler;
 use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig};
 use delorean_cpu::TimingConfig;
 use delorean_trace::{MemAccess, Workload};
-use delorean_virt::{CostModel, WorkKind};
+use delorean_virt::{CostModel, HostClock, WorkKind};
 
 /// The SMARTS (functional warming) runner.
 #[derive(Clone, Debug)]
@@ -21,6 +22,7 @@ pub struct SmartsRunner {
     machine: MachineConfig,
     timing: TimingConfig,
     cost: CostModel,
+    workers: usize,
 }
 
 impl SmartsRunner {
@@ -30,6 +32,7 @@ impl SmartsRunner {
             machine,
             timing: TimingConfig::table1(),
             cost: CostModel::paper_host(),
+            workers: 1,
         }
     }
 
@@ -44,6 +47,15 @@ impl SmartsRunner {
         self.cost = cost;
         self
     }
+
+    /// Set the region-scheduler worker count [`run`] uses. Results are
+    /// byte-identical for every value.
+    ///
+    /// [`run`]: SamplingStrategy::run
+    pub fn with_region_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
 }
 
 impl SamplingStrategy for SmartsRunner {
@@ -52,29 +64,140 @@ impl SamplingStrategy for SmartsRunner {
     }
 
     fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
-        let mut driver = RegionDriver::new(workload, plan, &self.timing, &self.cost);
-        let mut hierarchy = Hierarchy::new(&self.machine);
+        self.run_with_workers(workload, plan, self.workers)
+    }
+
+    /// SMARTS under the region scheduler: functional warming is the
+    /// **chained lane** — the hierarchy at a region's warming boundary
+    /// depends on every access before it, so the warm pass runs in plan
+    /// order on the seed lane — while the measure bodies (detailed
+    /// warming + measured region, each on a [`Hierarchy::fork`] of the
+    /// boundary state) fan out across workers.
+    ///
+    /// To keep the carried state exact, the seed lane *replays* each
+    /// measured span functionally after forking: `simulate_detailed`
+    /// issues precisely the data accesses `(pc, line, index)` of the
+    /// span through the shared access core, so the functional replay
+    /// leaves the chain hierarchy bit-identical to what the classic
+    /// sequential driver's in-place measurement left behind (the PR 4
+    /// oracle in `bench_pr5` pins this). The replay is charged to the
+    /// chained lane at functional speed, face value — the honest price
+    /// a region-parallel SMARTS pays for decoupling.
+    ///
+    /// At one worker the fork and replay would be pure overhead, so the
+    /// sequential path measures in place on the chain hierarchy — with
+    /// the *same* charge structure, so the report stays byte-identical
+    /// to every parallel execution (asserted by `tests/determinism.rs`).
+    fn run_with_workers(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+    ) -> StrategyReport {
         let p = workload.mem_period();
         let mult = plan.config.work_multiplier();
+        let mut hierarchy = Hierarchy::new(&self.machine);
         let mut pos_access: u64 = 0;
 
-        for region in &plan.regions {
-            // Functional warming: simulate every access up to the start of
-            // detailed warming, batched slice-at-a-time straight into the
-            // hierarchy. Interval work is charged at represented
-            // (paper-equivalent) magnitude.
-            let warm_end_access = region.warming.start / p;
-            let span = warm_end_access.saturating_sub(pos_access);
-            driver.charge_work(WorkKind::Functional, span * p * mult);
-            hierarchy.warm_range(workload, pos_access..warm_end_access);
+        if workers <= 1 {
+            // In-place sequential path: identical access sequence, state
+            // evolution and cost charges as the decomposed path below —
+            // measuring on the chain mutates it exactly as the replay
+            // would (one shared access core) — minus the per-region
+            // hierarchy copy and the second traversal of the measured
+            // span. The replay seconds are still charged so the cost
+            // accounting does not depend on the worker count.
+            let mut chained = Vec::with_capacity(plan.regions.len());
+            let mut units = Vec::with_capacity(plan.regions.len());
+            for region in &plan.regions {
+                let step = chain_step(&self.cost, workload, region, pos_access, p, mult);
+                hierarchy.warm_range(workload, step.warm);
+                pos_access = step.next_pos;
+                chained.push(step.seconds);
 
-            // Detailed warming + detailed region on the (fully warm)
-            // hierarchy.
-            let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
-            driver.measure_region(region, &mut source);
-            pos_access = region.detailed.end / p;
+                let driver = UnitDriver::new(workload, &self.timing, &self.cost);
+                let mut source =
+                    |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
+                units.push(driver.measure_region(region, &mut source));
+            }
+            return reduce_units(workload, plan, self.name(), &chained, units).into();
         }
-        driver.finish(self.name()).into()
+
+        let seed = move |_i: u32, region: &Region| {
+            // Functional warming: simulate every access up to the start
+            // of detailed warming, batched slice-at-a-time straight into
+            // the hierarchy, then fork the boundary state for the unit
+            // and replay the measured span so the next region's warm
+            // state matches the sequential driver exactly.
+            let step = chain_step(&self.cost, workload, region, pos_access, p, mult);
+            hierarchy.warm_range(workload, step.warm);
+            let unit_state = hierarchy.fork();
+            hierarchy.warm_range(workload, step.measured);
+            pos_access = step.next_pos;
+            (unit_state, step.seconds)
+        };
+
+        let body = |_i: u32, region: &Region, (mut warm, chain_seconds): (Hierarchy, f64)| {
+            // Detailed warming + detailed region on the (fully warm)
+            // forked hierarchy.
+            let driver = UnitDriver::new(workload, &self.timing, &self.cost);
+            let mut source = |a: &MemAccess, now: u64| warm.access_data(a.pc, a.line(), now);
+            (chain_seconds, driver.measure_region(region, &mut source))
+        };
+
+        let outputs = RegionScheduler::new(workers).run_seeded(&plan.regions, seed, body);
+        let (chained, units): (Vec<f64>, Vec<_>) = outputs.into_iter().unzip();
+        reduce_units(workload, plan, self.name(), &chained, units).into()
+    }
+
+    fn internal_parallelism(&self) -> usize {
+        self.workers
+    }
+}
+
+/// One warm-chain step's boundary and charge arithmetic.
+struct ChainStep {
+    /// Access range of the functional warm span (chain position up to
+    /// the detailed-warming boundary).
+    warm: std::ops::Range<u64>,
+    /// Access range the detailed simulator will issue for this region
+    /// (detailed warming + measured region) — the span the decomposed
+    /// chain replays functionally.
+    measured: std::ops::Range<u64>,
+    /// Chain position after this region.
+    next_pos: u64,
+    /// Chained-lane seconds: the warm span at represented magnitude
+    /// plus the replay at face value.
+    seconds: f64,
+}
+
+/// Compute one region's chain step. Both SMARTS paths (in-place
+/// sequential and fork-and-replay decomposed) take their boundaries and
+/// charges from this one function, which is what keeps their reports
+/// byte-identical by construction.
+fn chain_step(
+    cost: &CostModel,
+    workload: &dyn Workload,
+    region: &Region,
+    pos_access: u64,
+    p: u64,
+    mult: u64,
+) -> ChainStep {
+    let mut chain = HostClock::new();
+    let warm_end_access = region.warming.start / p;
+    let span = warm_end_access.saturating_sub(pos_access);
+    chain.charge(cost.instr_seconds(WorkKind::Functional, span * p * mult));
+    let measured = workload.access_index_at_instr(region.warming.start)
+        ..workload.access_index_at_instr(region.detailed.end);
+    chain.charge(cost.instr_seconds(
+        WorkKind::Functional,
+        measured.end.saturating_sub(measured.start) * p,
+    ));
+    ChainStep {
+        warm: pos_access..warm_end_access,
+        measured,
+        next_pos: region.detailed.end / p,
+        seconds: chain.seconds(),
     }
 }
 

@@ -29,6 +29,34 @@ use std::ops::Deref;
 /// `(self, workload, plan)`: the batch executor runs strategies from
 /// worker threads in arbitrary order and asserts that results are
 /// byte-identical to serial execution.
+///
+/// # Example
+///
+/// Any mix of strategies runs through one trait-object code path:
+///
+/// ```
+/// use delorean_cache::MachineConfig;
+/// use delorean_sampling::{MrrlRunner, SamplingConfig, SamplingStrategy, SmartsRunner};
+/// use delorean_trace::{spec_workload, Scale};
+///
+/// let scale = Scale::tiny();
+/// let machine = MachineConfig::for_scale(scale);
+/// let plan = SamplingConfig::for_scale(scale).with_regions(1).plan();
+/// let w = spec_workload("hmmer", scale, 1).unwrap();
+///
+/// let strategies: Vec<Box<dyn SamplingStrategy>> = vec![
+///     Box::new(SmartsRunner::new(machine)),
+///     Box::new(MrrlRunner::new(machine)),
+/// ];
+/// for s in &strategies {
+///     let report = s.run(&w, &plan);
+///     assert_eq!(report.strategy, s.name());
+///     assert!(report.cpi() > 0.0);
+///     // Scheduling is not semantics: any worker count, same bytes.
+///     let parallel = s.run_with_workers(&w, &plan, 4);
+///     assert_eq!(parallel.report, report.report);
+/// }
+/// ```
 pub trait SamplingStrategy: Send + Sync {
     /// Stable lowercase identifier (`"smarts"`, `"coolsim"`, `"mrrl"`,
     /// `"checkpoint"`, `"delorean"`); also the `strategy` field of the
@@ -38,10 +66,29 @@ pub trait SamplingStrategy: Send + Sync {
     /// Run the full sampled simulation over `plan`'s regions.
     fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport;
 
+    /// Run with an explicit region-scheduler worker count, overriding
+    /// whatever the runner was configured with.
+    ///
+    /// The determinism contract makes this a pure scheduling knob: the
+    /// returned report must be byte-identical for every `workers` value
+    /// (`tests/determinism.rs` asserts it for all five strategies).
+    /// Strategies that have not adopted the region scheduler fall back
+    /// to [`run`](SamplingStrategy::run) and ignore `workers`.
+    fn run_with_workers(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+    ) -> StrategyReport {
+        let _ = workers;
+        self.run(workload, plan)
+    }
+
     /// Number of threads one [`run`](SamplingStrategy::run) call spawns
-    /// internally (1 for single-threaded strategies). Batch executors
-    /// divide their worker pools by the batch's maximum so nested
-    /// parallelism does not oversubscribe the host.
+    /// internally (1 for single-threaded strategies; the configured
+    /// region-worker count for scheduler-backed runners). Batch
+    /// executors divide their worker pools by the batch's maximum so
+    /// nested parallelism does not oversubscribe the host.
     fn internal_parallelism(&self) -> usize {
         1
     }

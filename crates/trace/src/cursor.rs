@@ -54,6 +54,27 @@ pub trait AccessCursor {
     /// Clear `out` and refill it with up to `max` consecutive accesses,
     /// advancing the cursor. Returns the number produced; `0` means the
     /// cursor is exhausted (or `max == 0`).
+    ///
+    /// The canonical consumption loop — one reusable buffer, drained
+    /// until the cursor is exhausted, byte-identical to indexed
+    /// regeneration:
+    ///
+    /// ```
+    /// use delorean_trace::{spec_workload, AccessCursor, Scale, Workload, CURSOR_BATCH};
+    ///
+    /// let w = spec_workload("mcf", Scale::tiny(), 1).unwrap();
+    /// let mut cursor = w.cursor(100..2_600);
+    /// let mut batch = Vec::with_capacity(CURSOR_BATCH);
+    /// let mut seen = 0u64;
+    /// while cursor.fill(&mut batch, CURSOR_BATCH) > 0 {
+    ///     for a in &batch {
+    ///         assert_eq!(*a, w.access_at(a.index)); // streaming ≡ indexed
+    ///         seen += 1;
+    ///     }
+    /// }
+    /// assert_eq!(seen, 2_500);
+    /// assert_eq!(cursor.position(), cursor.end());
+    /// ```
     fn fill(&mut self, out: &mut Vec<MemAccess>, max: usize) -> usize;
 
     /// Accesses left before exhaustion.

@@ -36,6 +36,42 @@ pub struct PassCost {
     pub seconds: f64,
 }
 
+/// Host cost of one **region unit** — the independent scheduling quantum
+/// of the region-parallel runtime (one detailed region with its warming
+/// work).
+///
+/// The cost is split by *lane*:
+///
+/// * `chained_seconds` — work that must execute in unit order on the
+///   carried-state lane (cumulative functional warming in SMARTS,
+///   checkpoint preparation). The lane is inherently sequential: unit
+///   *m*'s chained work cannot start before unit *m−1*'s finished,
+///   because it consumes the state the previous unit left behind.
+/// * `parallel_seconds` — work that only needs the unit's own seed state
+///   (its hierarchy clone / restored checkpoint / per-region profiling
+///   context) and therefore fans out across workers.
+///
+/// Strategies whose regions are fully independent — CoolSim, MRRL,
+/// checkpoint evaluation, DeLorean — record all their cost as
+/// `parallel_seconds`; the chained lane is what makes SMARTS-style
+/// functional warming resist region parallelism (§7's critique).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UnitCost {
+    /// Unit (region) index, in plan order.
+    pub unit: u32,
+    /// Seconds on the sequential carried-state lane.
+    pub chained_seconds: f64,
+    /// Seconds of freely parallel per-unit work.
+    pub parallel_seconds: f64,
+}
+
+impl UnitCost {
+    /// Total seconds of the unit across both lanes.
+    pub fn seconds(&self) -> f64 {
+        self.chained_seconds + self.parallel_seconds
+    }
+}
+
 /// Cost of a complete sampled-simulation run, split by pass.
 ///
 /// The TT passes run as concurrent processes, pipelined across detailed
@@ -47,6 +83,9 @@ pub struct PassCost {
 pub struct RunCost {
     passes: Vec<PassCost>,
     regions: u64,
+    /// Per-region-unit costs recorded by the region scheduler; empty for
+    /// runs that never went through it (legacy serial drivers).
+    units: Vec<UnitCost>,
 }
 
 impl RunCost {
@@ -55,6 +94,7 @@ impl RunCost {
         RunCost {
             passes: Vec::new(),
             regions: regions.max(1),
+            units: Vec::new(),
         }
     }
 
@@ -98,8 +138,88 @@ impl RunCost {
     }
 
     /// Merge another run cost (e.g. from a second pipeline stage set).
+    /// Unit records are concatenated as well.
     pub fn merge(&mut self, other: &RunCost) {
         self.passes.extend(other.passes.iter().cloned());
+        self.units.extend(other.units.iter().copied());
+    }
+
+    /// Record the cost of one region unit (see [`UnitCost`]). Units must
+    /// be pushed in plan order — the wallclock model schedules them in
+    /// the order recorded.
+    pub fn push_unit(&mut self, unit: u32, chained_seconds: f64, parallel_seconds: f64) {
+        debug_assert!(chained_seconds >= 0.0 && parallel_seconds >= 0.0);
+        self.units.push(UnitCost {
+            unit,
+            chained_seconds,
+            parallel_seconds,
+        });
+    }
+
+    /// The recorded region units, in plan order (empty when the run did
+    /// not go through the region scheduler).
+    pub fn units(&self) -> &[UnitCost] {
+        &self.units
+    }
+
+    /// Estimated wall-clock of the run executed by the **region-parallel
+    /// scheduler** on `workers` host workers.
+    ///
+    /// The model is deterministic list scheduling over the recorded
+    /// [`UnitCost`]s, in plan order:
+    ///
+    /// * The chained lane runs on one dedicated worker; unit *m*'s
+    ///   chained work completes at the chained prefix sum through *m*.
+    /// * Each unit's parallel body is released when its chained prefix is
+    ///   done and is assigned to the earliest-available worker of the
+    ///   remaining pool (`workers − 1` when any chained work exists,
+    ///   otherwise all `workers`).
+    ///
+    /// With one worker (or no recorded units) this degrades to the serial
+    /// sum, so `region_parallel_wallclock(1)` ==
+    /// [`serial_wallclock`](RunCost::serial_wallclock) for
+    /// scheduler-produced costs. The estimate depends only on recorded
+    /// unit costs — never on the host the run happened to execute on.
+    pub fn region_parallel_wallclock(&self, workers: usize) -> f64 {
+        if self.units.is_empty() {
+            // Legacy serial run: nothing to fan out.
+            return self.serial_wallclock();
+        }
+        if workers <= 1 {
+            return self.units.iter().map(|u| u.seconds()).sum();
+        }
+        let has_chain = self.units.iter().any(|u| u.chained_seconds > 0.0);
+        let pool = if has_chain { workers - 1 } else { workers }.max(1);
+        let mut chain_done = 0.0f64;
+        let mut free = vec![0.0f64; pool.min(self.units.len())];
+        let mut end = 0.0f64;
+        for u in &self.units {
+            chain_done += u.chained_seconds;
+            // Earliest-available worker (first on ties: deterministic).
+            let w = free
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite worker times"))
+                .map(|(i, _)| i)
+                .expect("non-empty pool");
+            let start = free[w].max(chain_done);
+            free[w] = start + u.parallel_seconds;
+            end = end.max(free[w]).max(chain_done);
+        }
+        end
+    }
+
+    /// Modeled speedup of the region-parallel run at `workers` workers
+    /// over its own serial execution (1.0 when there is nothing to
+    /// parallelize or the run is empty).
+    pub fn region_parallel_speedup(&self, workers: usize) -> f64 {
+        let serial = self.region_parallel_wallclock(1);
+        let parallel = self.region_parallel_wallclock(workers);
+        if parallel <= 0.0 {
+            1.0
+        } else {
+            serial / parallel
+        }
     }
 }
 
@@ -136,6 +256,60 @@ mod tests {
         let r = RunCost::new(5);
         assert_eq!(r.pipelined_wallclock(), 0.0);
         assert_eq!(r.total_resources(), 0.0);
+    }
+
+    #[test]
+    fn independent_units_scale_with_workers() {
+        let mut r = RunCost::new(10);
+        let mut c = HostClock::new();
+        for u in 0..10 {
+            r.push_unit(u, 0.0, 1.0);
+            c.charge(1.0);
+        }
+        r.push("strategy", c);
+        assert!((r.region_parallel_wallclock(1) - 10.0).abs() < 1e-12);
+        // 10 equal units on 4 workers: greedy loads 3/3/2/2 → makespan 3.
+        assert!((r.region_parallel_wallclock(4) - 3.0).abs() < 1e-12);
+        assert!((r.region_parallel_speedup(4) - 10.0 / 3.0).abs() < 1e-9);
+        // More workers than units: one round.
+        assert!((r.region_parallel_wallclock(16) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chained_lane_bounds_the_wallclock() {
+        let mut r = RunCost::new(4);
+        for u in 0..4 {
+            r.push_unit(u, 5.0, 1.0);
+        }
+        // Serial: 4 × (5 + 1) = 24.
+        assert!((r.region_parallel_wallclock(1) - 24.0).abs() < 1e-12);
+        // Many workers: the chain (20 s) still gates everything; the last
+        // unit's body starts at 20 and runs 1 s.
+        assert!((r.region_parallel_wallclock(8) - 21.0).abs() < 1e-12);
+        // Two workers: one runs the chain, one runs all four bodies, each
+        // released behind its chained prefix → last body ends at 21.
+        assert!((r.region_parallel_wallclock(2) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runs_without_units_fall_back_to_serial() {
+        let mut r = RunCost::new(3);
+        let mut c = HostClock::new();
+        c.charge(7.0);
+        r.push("only", c);
+        assert_eq!(r.units().len(), 0);
+        assert!((r.region_parallel_wallclock(8) - 7.0).abs() < 1e-12);
+        assert_eq!(r.region_parallel_speedup(8), 1.0);
+    }
+
+    #[test]
+    fn unit_cost_totals_both_lanes() {
+        let u = UnitCost {
+            unit: 0,
+            chained_seconds: 2.0,
+            parallel_seconds: 0.5,
+        };
+        assert!((u.seconds() - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!   emergent property of workload layout, exactly the effect that makes
 //!   povray expensive in the paper;
 //! * [`HostClock`] / [`RunCost`] — seconds-based cost accounting, with
-//!   pipelined wall-clock estimation for the multi-pass TT pipeline.
+//!   pipelined wall-clock estimation for the multi-pass TT pipeline and
+//!   per-worker wall-clock modeling for the region-parallel runtime:
+//!   each region unit records its chained-lane vs parallel-lane cost as
+//!   a [`UnitCost`], and
+//!   [`RunCost::region_parallel_wallclock`] list-schedules the units
+//!   onto any worker count deterministically — speedup curves that do
+//!   not depend on the host the run executed on.
 //!
 //! The absolute constants in [`CostModel::paper_host`] are calibrated to
 //! the paper's platform-level observations (functional warming ≈ 1.4 MIPS,
@@ -34,7 +40,7 @@ mod cost;
 mod engines;
 mod watch;
 
-pub use clock::{HostClock, PassCost, RunCost};
+pub use clock::{HostClock, PassCost, RunCost, UnitCost};
 pub use cost::{mips, CostModel, WorkKind};
 pub use engines::{
     fast_forward, functional_scan, functional_scan_batched, watchpoint_scan, WatchScanStats,

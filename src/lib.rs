@@ -72,7 +72,8 @@ pub mod prelude {
     pub use delorean_cpu::TimingConfig;
     pub use delorean_sampling::{
         CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, RegionPlan,
-        SamplingConfig, SamplingStrategy, SimulationReport, SmartsRunner, StrategyReport,
+        RegionScheduler, SamplingConfig, SamplingStrategy, SimulationReport, SmartsRunner,
+        StrategyReport,
     };
     pub use delorean_trace::{
         spec2006, spec_workload, Scale, Workload, WorkloadExt, SPEC2006_NAMES,

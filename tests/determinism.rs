@@ -44,7 +44,7 @@ fn every_strategy_is_run_to_run_deterministic() {
 }
 
 #[test]
-fn pipelined_and_serial_delorean_agree_across_workloads() {
+fn pipelined_and_scheduled_delorean_agree_with_serial_across_workloads() {
     let scale = Scale::tiny();
     let machine = MachineConfig::for_scale(scale);
     let plan = SamplingConfig::for_scale(scale).with_regions(3).plan();
@@ -52,10 +52,74 @@ fn pipelined_and_serial_delorean_agree_across_workloads() {
         let w = spec_workload(name, scale, 42).unwrap();
         let runner = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale));
         let serial = runner.run_serial(&w, &plan);
-        let piped: DeLoreanOutput = runner.run(&w, &plan).try_into().unwrap();
+        // Region-parallel (the trait entry point).
+        let scheduled: DeLoreanOutput = runner.run_with_workers(&w, &plan, 4).try_into().unwrap();
+        assert_eq!(serial.report.total(), scheduled.report.total(), "{name}");
+        assert_eq!(serial.stats, scheduled.stats, "{name}");
+        assert_eq!(serial.dsw_counts, scheduled.dsw_counts, "{name}");
+        // Pass-pipelined (the §3.2-faithful alternative).
+        let piped = delorean::core::pipeline::run_pipelined(
+            &w,
+            runner.machine(),
+            runner.timing(),
+            runner.cost_model(),
+            runner.config(),
+            &plan,
+        );
         assert_eq!(serial.report.total(), piped.report.total(), "{name}");
         assert_eq!(serial.stats, piped.stats, "{name}");
         assert_eq!(serial.dsw_counts, piped.dsw_counts, "{name}");
+    }
+}
+
+#[test]
+fn region_scheduler_reports_are_identical_at_any_worker_count() {
+    // The region-parallel determinism contract: for every strategy, the
+    // scheduler at 2/4/8 workers must reproduce the sequential driver
+    // (1 worker) byte for byte — regions, counters, collected reuses and
+    // the full f64 cost accounting (units included). `SimulationReport`
+    // equality covers every field.
+    let scale = Scale::tiny();
+    let machine = MachineConfig::for_scale(scale);
+    let plan = SamplingConfig::for_scale(scale).with_regions(4).plan();
+    let w = spec_workload("soplex", scale, 42).unwrap();
+
+    let strategies: Vec<Box<dyn SamplingStrategy>> = vec![
+        Box::new(SmartsRunner::new(machine)),
+        Box::new(CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale))),
+        Box::new(MrrlRunner::new(machine)),
+        Box::new(CheckpointWarmingRunner::new(machine)),
+        Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(scale),
+        )),
+    ];
+    for s in &strategies {
+        let sequential = s.run_with_workers(&w, &plan, 1);
+        for workers in [2, 4, 8] {
+            let parallel = s.run_with_workers(&w, &plan, workers);
+            assert_eq!(
+                sequential.report,
+                parallel.report,
+                "{} diverged at {workers} workers",
+                s.name()
+            );
+        }
+        // The runner's default `run` is the same decomposition.
+        assert_eq!(sequential.report, s.run(&w, &plan).report, "{}", s.name());
+    }
+
+    // DeLorean extras (TT statistics, DSW counts) obey the same contract.
+    let runner = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale));
+    let serial = runner.run_serial(&w, &plan);
+    for workers in [2, 4, 8] {
+        let parallel: DeLoreanOutput = runner
+            .run_with_workers(&w, &plan, workers)
+            .try_into()
+            .unwrap();
+        assert_eq!(serial.report, parallel.report, "workers={workers}");
+        assert_eq!(serial.stats, parallel.stats, "workers={workers}");
+        assert_eq!(serial.dsw_counts, parallel.dsw_counts, "workers={workers}");
     }
 }
 
