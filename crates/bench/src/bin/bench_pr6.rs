@@ -1,0 +1,351 @@
+//! Tile-ingest perf harness: writes `BENCH_PR6.json`, the fifth point
+//! of the repository's perf trajectory.
+//!
+//! Re-runs the PR 4 warm-loop matrix with the access source swapped:
+//! each workload range is packed once into an on-disk tile file, and the
+//! warm loop consumes it back through the tiled cursors. Four rates per
+//! cell:
+//!
+//! * `per_access` — the retained pre-PR 4 replica (generation + one-at-
+//!   a-time hierarchy), the trajectory's fixed baseline;
+//! * `batched` — PR 4's `warm_range` over the *synthetic* workload
+//!   (generation still in the loop);
+//! * `tiled` — `warm_range` over the tile file with the in-place
+//!   decoding cursor;
+//! * `tiled_streaming` — same file through the background decoder
+//!   thread and bounded channel.
+//!
+//! Every cell asserts both oracles: the PR 4 counter/residency oracle
+//! (per-access vs batched) and the PR 6 snapshot oracle (tiled and
+//! streaming runs bit-identical to the in-memory batched hierarchy).
+//! The strategy table then runs all five sampling strategies on the
+//! synthetic and the tiled source and asserts report equality.
+//!
+//! Flags: `--quick` (CI smoke: fewer repeats/accesses, relaxed gates),
+//! `--out PATH` (default `BENCH_PR6.json`), `--baseline PATH` (PR 4
+//! JSON for context; gates use freshly measured ratios only, so two
+//! runs on differently loaded hosts cannot produce phantom
+//! regressions).
+
+use delorean_bench::hierloop::{
+    assert_hierarchies_agree, measure_warm_loop, WarmLoopRate, WarmOutcome, WarmPath,
+};
+use delorean_bench::tileloop::{assert_warm_states_identical, TempTile};
+use delorean_cache::MachineConfig;
+use delorean_core::{DeLoreanConfig, DeLoreanRunner};
+use delorean_sampling::{
+    CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, SamplingConfig,
+    SamplingStrategy, SmartsRunner,
+};
+use delorean_trace::{spec_workload, Scale, Workload};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct LoopRow {
+    workload: String,
+    machine: &'static str,
+    accesses: u64,
+    per_access_rate: f64,
+    batched_rate: f64,
+    tiled_rate: f64,
+    tiled_streaming_rate: f64,
+}
+
+fn strategies(scale: Scale) -> Vec<Box<dyn SamplingStrategy>> {
+    let machine = MachineConfig::for_scale(scale);
+    vec![
+        Box::new(SmartsRunner::new(machine)),
+        Box::new(CoolSimRunner::new(machine, CoolSimConfig::for_scale(scale))),
+        Box::new(MrrlRunner::new(machine)),
+        Box::new(CheckpointWarmingRunner::new(machine)),
+        Box::new(DeLoreanRunner::new(
+            machine,
+            DeLoreanConfig::for_scale(scale),
+        )),
+    ]
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Unpack a per-access + batched pair and assert the PR 4 oracle.
+fn pr4_oracle(workload: &dyn Workload, accesses: u64, base: &WarmLoopRate, batched: &WarmLoopRate) {
+    let (WarmOutcome::PerAccess(b), WarmOutcome::Batched(n)) = (&base.outcome, &batched.outcome)
+    else {
+        panic!("outcome variants mismatched the measured paths");
+    };
+    assert_hierarchies_agree(workload, 0..accesses, b, n);
+}
+
+/// Extract the batched `Hierarchy` out of a measured outcome.
+fn batched_hierarchy(rate: WarmLoopRate) -> delorean_cache::Hierarchy {
+    match rate.outcome {
+        WarmOutcome::Batched(h) => *h,
+        WarmOutcome::PerAccess(_) => panic!("expected a batched outcome"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let repeats: u32 = if quick { 2 } else { 5 };
+    let warm_accesses: u64 = if quick { 400_000 } else { 4_000_000 };
+
+    // --- Warm-loop rates: the PR 4 matrix with tile-backed sources. ---
+    let scale = Scale::demo();
+    let machines: [(&'static str, MachineConfig); 3] = [
+        ("table1", MachineConfig::for_scale(scale)),
+        (
+            "prefetch",
+            MachineConfig::for_scale(scale).with_prefetch(true),
+        ),
+        (
+            "llc-2mb",
+            MachineConfig::for_scale(scale).with_llc_paper_bytes(scale, 2 << 20),
+        ),
+    ];
+    let mut rows: Vec<LoopRow> = Vec::new();
+    let mut pack_seconds = 0.0f64;
+    let mut pack_bytes = 0u64;
+    for name in ["hmmer", "povray", "mcf"] {
+        let w = spec_workload(name, scale, 1).unwrap();
+        // Pack once per workload; every machine variant reuses the file,
+        // as a production flow would.
+        let t = Instant::now();
+        let tile = TempTile::pack(
+            &w,
+            0..warm_accesses,
+            delorean_trace::tile::DEFAULT_TILE_RECORDS,
+        )
+        .expect("pack tile file");
+        pack_seconds += t.elapsed().as_secs_f64();
+        pack_bytes += tile.summary.bytes;
+        let tiled = tile.open(false).expect("open tile file");
+        let tiled_streaming = tile.open(true).expect("open tile file (streaming)");
+        for (label, machine) in &machines {
+            let range = 0..warm_accesses;
+            let base = measure_warm_loop(&w, machine, WarmPath::PerAccess, range.clone(), repeats);
+            let batched = measure_warm_loop(&w, machine, WarmPath::Batched, range.clone(), repeats);
+            pr4_oracle(&w, warm_accesses, &base, &batched);
+            let tiled_rate =
+                measure_warm_loop(&tiled, machine, WarmPath::Batched, range.clone(), repeats);
+            let streaming_rate = measure_warm_loop(
+                &tiled_streaming,
+                machine,
+                WarmPath::Batched,
+                range.clone(),
+                repeats,
+            );
+            // PR 6 oracle: tiled and streaming hierarchies bit-identical
+            // to the in-memory batched one (counters + full snapshot).
+            let mut reference = batched_hierarchy(batched.clone());
+            let mut from_tiles = batched_hierarchy(tiled_rate.clone());
+            let mut from_stream = batched_hierarchy(streaming_rate.clone());
+            assert_warm_states_identical(
+                &format!("{name}/{label} tiled"),
+                &mut reference,
+                &mut from_tiles,
+            );
+            assert_warm_states_identical(
+                &format!("{name}/{label} tiled-streaming"),
+                &mut reference,
+                &mut from_stream,
+            );
+            eprintln!(
+                "{:<8} {:<10} {:>9} accesses: {:>6.1} per-access  {:>6.1} batched  {:>6.1} tiled  {:>6.1} streaming Macc/s  ({:.2}x tiled vs per-access)",
+                name,
+                label,
+                warm_accesses,
+                base.accesses_per_sec / 1e6,
+                batched.accesses_per_sec / 1e6,
+                tiled_rate.accesses_per_sec / 1e6,
+                streaming_rate.accesses_per_sec / 1e6,
+                tiled_rate.accesses_per_sec / base.accesses_per_sec,
+            );
+            rows.push(LoopRow {
+                workload: name.to_string(),
+                machine: label,
+                accesses: warm_accesses,
+                per_access_rate: base.accesses_per_sec,
+                batched_rate: batched.accesses_per_sec,
+                tiled_rate: tiled_rate.accesses_per_sec,
+                tiled_streaming_rate: streaming_rate.accesses_per_sec,
+            });
+        }
+    }
+    let tiled_speedups: Vec<f64> = rows
+        .iter()
+        .map(|r| r.tiled_rate / r.per_access_rate)
+        .collect();
+    let tiled_geomean = geomean(&tiled_speedups);
+    let batched_geomean = geomean(
+        &rows
+            .iter()
+            .map(|r| r.batched_rate / r.per_access_rate)
+            .collect::<Vec<_>>(),
+    );
+    let streaming_geomean = geomean(
+        &rows
+            .iter()
+            .map(|r| r.tiled_streaming_rate / r.per_access_rate)
+            .collect::<Vec<_>>(),
+    );
+    let best_geomean = geomean(
+        &rows
+            .iter()
+            .map(|r| r.tiled_rate.max(r.tiled_streaming_rate) / r.per_access_rate)
+            .collect::<Vec<_>>(),
+    );
+
+    // --- Strategy end-to-end: synthetic vs tiled source, reports must
+    // match bit for bit. ---
+    let plan = SamplingConfig::for_scale(scale)
+        .with_regions(if quick { 1 } else { 3 })
+        .plan();
+    let strategy_workload = spec_workload("hmmer", scale, 1).unwrap();
+    // The plan's regions (plus their warming windows) all fall inside
+    // the plan's instruction span; pack that span so strategies never
+    // rely on the cyclic extension and CPI stays bit-comparable.
+    let span_accesses = strategy_workload.accesses_in_instrs(plan.total_instrs()) + 1;
+    let t = Instant::now();
+    let strategy_tile = TempTile::pack(
+        &strategy_workload,
+        0..span_accesses,
+        delorean_trace::tile::DEFAULT_TILE_RECORDS,
+    )
+    .expect("pack strategy tile file");
+    pack_seconds += t.elapsed().as_secs_f64();
+    pack_bytes += strategy_tile.summary.bytes;
+    let strategy_tiled = strategy_tile.open(false).expect("open strategy tile");
+    let mut strategy_rows = Vec::new();
+    for s in strategies(scale) {
+        let t = Instant::now();
+        let report = s.run(&strategy_workload, &plan);
+        let wall = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let tiled_report = s.run(&strategy_tiled, &plan);
+        let tiled_wall = t.elapsed().as_secs_f64();
+        assert_eq!(
+            report.report,
+            tiled_report.report,
+            "{} report diverged between synthetic and tiled sources",
+            s.name()
+        );
+        eprintln!(
+            "{:<12} end-to-end {:>8.3} s synthetic, {:>8.3} s tiled (cpi {:.3}, bit-identical)",
+            s.name(),
+            wall,
+            tiled_wall,
+            report.cpi()
+        );
+        strategy_rows.push((s.name().to_string(), wall, tiled_wall, report.cpi()));
+    }
+
+    // --- PR 4 baseline context (informational only). ---
+    let baseline_note = baseline_path
+        .as_deref()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .and_then(|j| {
+            let key = "\"warm_loop_geomean_speedup\": ";
+            let at = j.find(key)? + key.len();
+            let end = j[at..].find([',', '\n'])? + at;
+            j[at..end].trim().parse::<f64>().ok()
+        });
+    if let Some(pr4) = baseline_note {
+        eprintln!("PR 4 recorded batched geomean (context): {pr4:.2}x");
+    }
+
+    // --- Emit JSON (hand-rolled: the serde shim has no serializer). ---
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"pr\": 6,");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    j.push_str("  \"warm_loop\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"machine\": \"{}\", \"accesses\": {}, \"per_access_accesses_per_sec\": {:.0}, \"batched_accesses_per_sec\": {:.0}, \"tiled_accesses_per_sec\": {:.0}, \"tiled_streaming_accesses_per_sec\": {:.0}, \"tiled_speedup\": {:.3}}}{}",
+            json_escape(&r.workload),
+            r.machine,
+            r.accesses,
+            r.per_access_rate,
+            r.batched_rate,
+            r.tiled_rate,
+            r.tiled_streaming_rate,
+            r.tiled_rate / r.per_access_rate,
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(j, "  \"batched_geomean_speedup\": {batched_geomean:.3},");
+    let _ = writeln!(j, "  \"tiled_geomean_speedup\": {tiled_geomean:.3},");
+    let _ = writeln!(
+        j,
+        "  \"tiled_streaming_geomean_speedup\": {streaming_geomean:.3},"
+    );
+    let _ = writeln!(j, "  \"best_tiled_geomean_speedup\": {best_geomean:.3},");
+    let _ = writeln!(j, "  \"warm_loop_target_speedup\": 2.0,");
+    if let Some(pr4) = baseline_note {
+        let _ = writeln!(j, "  \"pr4_recorded_batched_geomean\": {pr4:.3},");
+    }
+    let _ = writeln!(j, "  \"pack_seconds\": {pack_seconds:.3},");
+    let _ = writeln!(j, "  \"pack_bytes\": {pack_bytes},");
+    j.push_str("  \"strategy_end_to_end\": [\n");
+    for (i, (name, wall, tiled_wall, cpi)) in strategy_rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"strategy\": \"{}\", \"workload\": \"hmmer\", \"scale\": \"demo\", \"wall_seconds\": {:.4}, \"tiled_wall_seconds\": {:.4}, \"cpi\": {:.4}, \"tiled_cpi_bit_identical\": true}}{}",
+            json_escape(name),
+            wall,
+            tiled_wall,
+            cpi,
+            if i + 1 < strategy_rows.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &j).expect("write BENCH_PR6.json");
+    eprintln!(
+        "geomean speedup vs per-access baseline: batched {batched_geomean:.2}x, \
+         tiled {tiled_geomean:.2}x, streaming {streaming_geomean:.2}x (target 2.0x)"
+    );
+    eprintln!("wrote {out_path}");
+
+    // Regression gates, all on freshly measured ratios:
+    //  * tiled must clearly beat the per-access baseline (the trajectory
+    //    floor), and
+    //  * tiled must not fall behind PR 4's batched path — the tile
+    //    source must never cost throughput vs in-memory generation.
+    let floor = if quick { 1.20 } else { 1.60 };
+    if tiled_geomean < floor {
+        eprintln!("ERROR: tiled geomean speedup {tiled_geomean:.2}x below the {floor}x floor");
+        std::process::exit(1);
+    }
+    let vs_batched = tiled_geomean / batched_geomean;
+    let parity_bar = if quick { 0.90 } else { 0.95 };
+    if vs_batched < parity_bar {
+        eprintln!(
+            "ERROR: tiled path is {vs_batched:.2}x of the batched in-memory path \
+             (must stay ≥ {parity_bar}x)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -38,6 +38,7 @@ pub mod probeloop;
 mod runs;
 pub mod seqdriver;
 mod table;
+pub mod tileloop;
 pub mod warmloop;
 
 pub use options::ExpOptions;

@@ -1,0 +1,167 @@
+//! Tile-backed warm-loop measurement helpers (PR 6).
+//!
+//! PR 4 batched the hierarchy side of the warm loop; what remained of
+//! the gap to the 2× target was access *generation* — the synthetic
+//! pattern math run for every access. The trace-tile ingest pipeline
+//! ([`delorean_trace::tile`]) removes that term: accesses are packed
+//! once to an on-disk tile file and every later warm loop decodes them
+//! back with `memcpy`-grade fills. This module provides the pieces the
+//! `bench_pr6` harness and the tiled determinism tests share:
+//!
+//! * [`TempTile`] — pack a workload range into a uniquely named tile
+//!   file under the system temp directory, deleted on drop.
+//! * [`assert_warm_states_identical`] — the strong oracle: two warmed
+//!   hierarchies must agree on every statistics counter **and** on the
+//!   full microarchitectural snapshot (tags, replacement metadata)
+//!   bit for bit.
+//!
+//! Measurement itself reuses [`measure_warm_loop`]
+//! (a [`TiledTrace`] is just a [`Workload`]), so tiled rates are
+//! directly comparable with the PR 4 rows.
+//!
+//! [`measure_warm_loop`]: crate::hierloop::measure_warm_loop
+
+use delorean_cache::Hierarchy;
+use delorean_trace::{pack_workload_with, PackSummary, TileError, TiledTrace, Workload};
+use std::fmt;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide counter making concurrent [`TempTile`]s collision-free.
+static NEXT_TILE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A workload range packed into a tile file in the system temp
+/// directory; the file is deleted when the value is dropped.
+pub struct TempTile {
+    path: PathBuf,
+    /// Pack statistics (records, tiles, bytes) for reporting.
+    pub summary: PackSummary,
+}
+
+impl TempTile {
+    /// Pack the accesses of `workload` with indices in `range`.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`pack_workload_with`] returns.
+    pub fn pack(
+        workload: &dyn Workload,
+        range: Range<u64>,
+        tile_records: u32,
+    ) -> Result<Self, TileError> {
+        let id = NEXT_TILE_ID.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "delorean-bench-{}-{}-{id}.dlt",
+            std::process::id(),
+            workload.name(),
+        ));
+        let summary = pack_workload_with(workload, range, &path, tile_records)?;
+        Ok(TempTile { path, summary })
+    }
+
+    /// Path of the packed file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Open the packed file as a (checksum-verified) workload;
+    /// `streaming` selects the background-decoder cursor.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`TiledTrace::open`] returns.
+    pub fn open(&self, streaming: bool) -> Result<TiledTrace, TileError> {
+        Ok(TiledTrace::open(&self.path)?.with_streaming(streaming))
+    }
+}
+
+impl fmt::Debug for TempTile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TempTile")
+            .field("path", &self.path)
+            .field("summary", &self.summary)
+            .finish()
+    }
+}
+
+impl Drop for TempTile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// The strong tiled-vs-in-memory oracle: after warming over the same
+/// access range, two hierarchies must agree on every statistics counter
+/// and on the full microarchitectural snapshot — tags, replacement
+/// metadata, tick counters — bit for bit. `label` names the failing
+/// case in the panic message.
+///
+/// (Snapshots quiesce outstanding MSHRs — the drain performs fills that
+/// move counters — hence `&mut`, and both snapshots are taken *before*
+/// the counters are compared so the two sides are equally quiesced.)
+pub fn assert_warm_states_identical(
+    label: &str,
+    reference: &mut Hierarchy,
+    candidate: &mut Hierarchy,
+) {
+    let reference_snapshot = reference.snapshot();
+    let candidate_snapshot = candidate.snapshot();
+    assert_eq!(
+        reference.stats(),
+        candidate.stats(),
+        "{label}: hierarchy counters diverged"
+    );
+    assert_eq!(
+        reference.l1d().stats(),
+        candidate.l1d().stats(),
+        "{label}: L1-D counters diverged"
+    );
+    assert_eq!(
+        reference.llc().stats(),
+        candidate.llc().stats(),
+        "{label}: LLC counters diverged"
+    );
+    assert_eq!(
+        reference_snapshot, candidate_snapshot,
+        "{label}: microarchitectural snapshots diverged"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_cache::MachineConfig;
+    use delorean_trace::{spec_workload, Scale};
+
+    #[test]
+    fn tiled_warming_is_bit_identical_to_in_memory() {
+        let w = spec_workload("mcf", Scale::tiny(), 5).unwrap();
+        let machine = MachineConfig::for_scale(Scale::tiny());
+        let tile = TempTile::pack(&w, 0..30_000, 512).expect("pack");
+        assert_eq!(tile.summary.records, 30_000);
+
+        let mut reference = Hierarchy::new(&machine);
+        reference.warm_range(&w, 0..30_000);
+        for streaming in [false, true] {
+            let tiled = tile.open(streaming).expect("open");
+            let mut candidate = Hierarchy::new(&machine);
+            candidate.warm_range(&tiled, 0..30_000);
+            assert_warm_states_identical(
+                &format!("mcf streaming={streaming}"),
+                &mut reference,
+                &mut candidate,
+            );
+        }
+    }
+
+    #[test]
+    fn temp_tile_cleans_up_after_itself() {
+        let w = spec_workload("lbm", Scale::tiny(), 2).unwrap();
+        let tile = TempTile::pack(&w, 0..1_000, 128).expect("pack");
+        let path = tile.path().to_path_buf();
+        assert!(path.exists());
+        drop(tile);
+        assert!(!path.exists());
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for the subset of `memmap2` this workspace uses:
+//! read-only file mappings backing the on-disk trace-tile reader.
+//!
+//! The build environment has no crates.io access, so the real `memmap2`
+//! cannot be vendored. On Linux/x86-64 this shim issues the `mmap(2)` /
+//! `munmap(2)` syscalls directly (no libc needed), so [`Mmap`] is a true
+//! zero-copy, demand-paged mapping — opening a multi-gigabyte trace file
+//! costs one syscall, and untouched tiles never leave the page cache. On
+//! any other target it degrades to reading the whole file into an owned
+//! buffer (the `pread`-style fallback), which is slower to open but
+//! byte-for-byte equivalent to consumers.
+//!
+//! When network access is available, replace the `path` dependency with
+//! the real `memmap2` — the [`Mmap::map`] signature and the
+//! slice-deref/`AsRef<[u8]>` surface below match it.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// An immutable memory map of an entire file.
+#[derive(Debug)]
+pub struct Mmap {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    /// A live kernel mapping (Linux/x86-64 fast path).
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    Mapped { ptr: *const u8, len: usize },
+    /// The whole file read into memory (portable fallback, empty files).
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is read-only (PROT_READ, MAP_PRIVATE) and the
+// pages are never mutated through it, so sharing the pointer across
+// threads is sound — matching the real memmap2's `Mmap: Send + Sync`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety.
+    ///
+    /// # Safety
+    ///
+    /// As with the real `memmap2`, the caller must ensure the underlying
+    /// file is not truncated or rewritten while the map is alive —
+    /// shrinking a mapped file can turn later reads into faults. The
+    /// trace-tile reader upholds this by treating packed tile files as
+    /// immutable once written.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len: usize = len
+            .try_into()
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; an empty buffer is
+            // the observable equivalent.
+            return Ok(Mmap {
+                inner: Inner::Owned(Vec::new()),
+            });
+        }
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        {
+            let ptr = sys::mmap_readonly(file, len)?;
+            Ok(Mmap {
+                inner: Inner::Mapped { ptr, len },
+            })
+        }
+        #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::with_capacity(len);
+            // `&File` implements `Read`; position-independence does not
+            // matter here because the map covers the whole file.
+            let mut f = file;
+            f.read_to_end(&mut buf)?;
+            Ok(Mmap {
+                inner: Inner::Owned(buf),
+            })
+        }
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: `ptr` is a live PROT_READ mapping of exactly
+                // `len` bytes, unmapped only in `Drop`.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Inner::Owned(v) => v,
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` for a zero-length mapping.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: `ptr`/`len` came from a successful mmap and are
+            // unmapped exactly once.
+            unsafe { sys::munmap(ptr, len) };
+        }
+    }
+}
+
+/// Raw Linux/x86-64 syscalls: the workspace has no libc crate, so the
+/// two calls this shim needs are issued directly.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use std::arch::asm;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const SYS_MMAP: u64 = 9;
+    const SYS_MUNMAP: u64 = 11;
+    const PROT_READ: u64 = 0x1;
+    const MAP_PRIVATE: u64 = 0x2;
+
+    /// Issue a 6-argument syscall; returns the raw `rax` result
+    /// (negative errno on failure, per the Linux ABI).
+    #[inline]
+    unsafe fn syscall6(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64, a6: u64) -> i64 {
+        let ret: i64;
+        asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// Map `len` bytes of `file` read-only. `len` must be nonzero.
+    pub unsafe fn mmap_readonly(file: &File, len: usize) -> io::Result<*const u8> {
+        let ret = syscall6(
+            SYS_MMAP,
+            0, // addr: let the kernel choose
+            len as u64,
+            PROT_READ,
+            MAP_PRIVATE,
+            file.as_raw_fd() as u64,
+            0, // offset
+        );
+        // Values in [-4095, -1] are -errno; anything else is the address.
+        if (-4095..0).contains(&ret) {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as *const u8)
+        }
+    }
+
+    /// Unmap a region previously returned by [`mmap_readonly`].
+    pub unsafe fn munmap(ptr: *const u8, len: usize) {
+        let _ = syscall6(SYS_MUNMAP, ptr as u64, len as u64, 0, 0, 0, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("memmap2-shim-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn mapping_matches_file_contents() {
+        let path = temp_path("contents");
+        let data: Vec<u8> = (0..100_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(&data))
+            .expect("write temp file");
+        let file = File::open(&path).expect("open");
+        let map = unsafe { Mmap::map(&file) }.expect("map");
+        assert_eq!(map.len(), data.len());
+        assert!(!map.is_empty());
+        assert_eq!(&map[..], &data[..]);
+        assert_eq!(map.as_ref(), &data[..]);
+        drop(map);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).expect("create");
+        let file = File::open(&path).expect("open");
+        let map = unsafe { Mmap::map(&file) }.expect("map");
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn maps_are_shareable_across_threads() {
+        let path = temp_path("threads");
+        let data = vec![0xabu8; 1 << 16];
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(&data))
+            .expect("write temp file");
+        let file = File::open(&path).expect("open");
+        let map = std::sync::Arc::new(unsafe { Mmap::map(&file) }.expect("map"));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&map);
+                std::thread::spawn(move || m.iter().map(|&b| b as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 0xab * (1u64 << 16));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

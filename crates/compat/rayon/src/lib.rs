@@ -3,14 +3,16 @@
 //! The build environment has no crates.io access, so this crate provides
 //! the rayon API shape — `par_iter().map(..).collect()`, plus
 //! `ThreadPoolBuilder`/`ThreadPool::install` for bounding worker counts —
-//! implemented over `std::thread::scope`. Results are collected in input
-//! order, so `collect` is deterministic regardless of worker count,
-//! matching rayon's indexed parallel iterators. When network access is
-//! available, replace the `path` dependency with the real `rayon`; call
-//! sites compile unchanged.
+//! implemented over `std::thread::scope` with a shared work queue
+//! (atomic index claim) for load balance under uneven item costs.
+//! Results are collected in input order, so `collect` is deterministic
+//! regardless of worker count, matching rayon's indexed parallel
+//! iterators. When network access is available, replace the `path`
+//! dependency with the real `rayon`; call sites compile unchanged.
 
-use std::cell::Cell;
+use std::cell::{Cell, UnsafeCell};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 pub mod prelude {
     //! Traits that make `.par_iter()` available on slices and vectors.
@@ -179,28 +181,73 @@ where
 {
     /// Evaluate the map across the governing worker count and collect the
     /// results **in input order** — deterministic for any thread count.
+    ///
+    /// Work distribution is a shared queue (one atomic fetch-add per
+    /// item), not static chunking, so a straggler item — a long
+    /// time-travel region next to short ones, say — only occupies the
+    /// worker that claimed it while the rest keep draining the queue.
+    /// This mirrors rayon's work-stealing balance closely enough for the
+    /// region-sized tasks this workspace runs. Only the *claim order* is
+    /// racy; results land in their input slot, so `collect` stays
+    /// deterministic.
     pub fn collect<C: FromIterator<R>>(self) -> C {
         let workers = current_num_threads().min(self.items.len().max(1));
         if workers <= 1 {
             return self.items.iter().map(&self.f).collect();
         }
-        let mut slots: Vec<Option<R>> = Vec::with_capacity(self.items.len());
-        slots.resize_with(self.items.len(), || None);
-        let chunk = self.items.len().div_ceil(workers);
+        let slots = Slots::new(self.items.len());
+        let next = AtomicUsize::new(0);
         let f = &self.f;
+        let items = self.items;
         std::thread::scope(|scope| {
-            for (in_chunk, out_chunk) in self.items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *slot = Some(f(item));
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
                     }
+                    // SAFETY: the fetch-add hands index `i` to exactly
+                    // one worker, so this is the only writer of slot `i`.
+                    unsafe { slots.put(i, f(&items[i])) };
                 });
             }
         });
-        slots
+        slots.into_values().collect()
+    }
+}
+
+/// Per-index result slots shared across workers. The atomic queue in
+/// [`ParMap::collect`] guarantees each index is claimed by exactly one
+/// worker, which makes the disjoint unsynchronized writes sound.
+struct Slots<R> {
+    cells: Vec<UnsafeCell<Option<R>>>,
+}
+
+// SAFETY: workers only touch disjoint cells (one claimed index each),
+// and the scope join forms a happens-before edge to the reader.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(len: usize) -> Self {
+        let mut cells = Vec::with_capacity(len);
+        cells.resize_with(len, || UnsafeCell::new(None));
+        Slots { cells }
+    }
+
+    /// Write the result for index `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the sole writer of index `i`, with no
+    /// concurrent reader.
+    unsafe fn put(&self, i: usize, value: R) {
+        *self.cells[i].get() = Some(value);
+    }
+
+    fn into_values(self) -> impl Iterator<Item = R> {
+        self.cells
             .into_iter()
-            .map(|slot| slot.expect("every slot filled by a worker"))
-            .collect()
+            .map(|c| c.into_inner().expect("every slot filled by a worker"))
     }
 }
 
@@ -243,5 +290,28 @@ mod tests {
         let input: Vec<u64> = Vec::new();
         let out: Vec<u64> = input.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn work_queue_handles_many_more_items_than_workers() {
+        // Far more items than workers, with wildly uneven per-item cost:
+        // the queue must hand out every index exactly once and results
+        // must still land in input order.
+        let input: Vec<u64> = (0..10_007).collect();
+        let reference: Vec<u64> = input.iter().map(|&x| x.wrapping_mul(x) ^ 7).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let got: Vec<u64> = pool.install(|| {
+            input
+                .par_iter()
+                .map(|&x| {
+                    if x % 1000 == 0 {
+                        // Straggler items: ~1k spins to skew claim order.
+                        std::hint::black_box((0..1_000).sum::<u64>());
+                    }
+                    x.wrapping_mul(x) ^ 7
+                })
+                .collect()
+        });
+        assert_eq!(got, reference);
     }
 }

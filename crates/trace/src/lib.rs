@@ -18,9 +18,9 @@
 //! execution — playing the role that hardware virtualization (KVM) plays in
 //! the paper.
 //!
-//! # Two access paths
+//! # Three access paths
 //!
-//! Consumers reach a workload's accesses through one of two paths:
+//! Consumers reach a workload's accesses through one of three paths:
 //!
 //! * **Random access** — [`Workload::access_at`]: stateless `O(1)`
 //!   regeneration of any single index. Used by DSW key probes, the
@@ -31,6 +31,12 @@
 //!   incrementally. Every warm loop (functional warming, watchpoint
 //!   scans, profiling windows) runs on this path, via
 //!   [`WorkloadExt::for_each_access`] or [`WorkloadExt::iter_range`].
+//! * **Tiled ingest** — [`TiledTrace`] over an on-disk [`tile`] file:
+//!   a memory-mapped binary trace whose fixed-size tiles decode
+//!   straight into [`MemAccess`] batches (optionally on a background
+//!   decoder thread with bounded backpressure), so warm-loop `fill`
+//!   calls become plain `memcpy`s. This is the production ingest path;
+//!   see the [`tile`] module docs for the format.
 //!
 //! Both paths are pinned byte-identical by property tests; custom
 //! [`Workload`] implementors get a correct (indexed) cursor for free and
@@ -69,6 +75,7 @@ mod recorded;
 mod rng;
 mod scale;
 mod spec;
+pub mod tile;
 mod types;
 
 pub use branch::{BranchEvent, BranchModel};
@@ -83,6 +90,10 @@ pub use recorded::{RecordedAccess, RecordedCursor, RecordedTrace, RecordedTraceB
 pub use rng::{mix64, CounterRng};
 pub use scale::Scale;
 pub use spec::{spec2006, spec_workload, SPEC2006_NAMES};
+pub use tile::{
+    pack_workload, pack_workload_with, PackSummary, StreamingTileCursor, TileError, TileFile,
+    TileFileWriter, TiledCursor, TiledTrace,
+};
 pub use types::{AccessKind, Addr, LineAddr, MemAccess, PageAddr, Pc, LINE_BYTES, PAGE_BYTES};
 
 use std::fmt;

@@ -76,7 +76,8 @@ pub mod prelude {
         StrategyReport,
     };
     pub use delorean_trace::{
-        spec2006, spec_workload, Scale, Workload, WorkloadExt, SPEC2006_NAMES,
+        pack_workload, spec2006, spec_workload, Scale, TiledTrace, Workload, WorkloadExt,
+        SPEC2006_NAMES,
     };
     pub use delorean_virt::CostModel;
 }
