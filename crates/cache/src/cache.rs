@@ -2,7 +2,7 @@
 
 use crate::config::{CacheConfig, ReplacementPolicy};
 use crate::stats::CacheStats;
-use delorean_trace::{mix64, LineAddr};
+use delorean_trace::{cast, mix64, LineAddr};
 
 /// Sentinel tag for an empty way.
 const EMPTY: u64 = u64::MAX;
@@ -61,16 +61,17 @@ impl Cache {
     ///
     /// Panics if `cfg` fails [`CacheConfig::validate`].
     pub fn new(cfg: CacheConfig) -> Self {
+        // lint:allow(no-unwrap): documented # Panics contract — construction fails fast on invalid geometry
         cfg.validate().expect("invalid cache geometry");
         let sets = cfg.sets();
-        let n = (sets * cfg.ways as u64) as usize;
+        let n = cast::idx(sets * u64::from(cfg.ways));
         Cache {
             cfg,
             sets,
             set_mask: sets - 1,
             tags: vec![EMPTY; n],
             stamps: vec![0; n],
-            set_bits: vec![0; sets as usize],
+            set_bits: vec![0; cast::idx(sets)],
             tick: 0,
             rng: 0x5eed_c0de,
             valid_lines: 0,
@@ -92,7 +93,7 @@ impl Cache {
 
     #[inline]
     fn row(&self, set: u64) -> usize {
-        (set * self.cfg.ways as u64) as usize
+        cast::idx(set * u64::from(self.cfg.ways))
     }
 
     /// The one tag-probe loop every lookup path shares: scan the set's
@@ -121,6 +122,7 @@ impl Cache {
     /// most one bit is ever set).
     #[inline]
     fn find_way_fixed<const N: usize>(set_tags: &[u64], tag: u64) -> Option<usize> {
+        // lint:allow(no-unwrap): the const-N dispatch passes exactly N tags, so the array conversion is infallible
         let ways: &[u64; N] = set_tags.try_into().expect("dispatch guarantees width");
         let mut mask = 0u32;
         for (w, &t) in ways.iter().enumerate() {
@@ -157,6 +159,7 @@ impl Cache {
         set_tags: &[u64],
         tag: u64,
     ) -> (Option<usize>, Option<usize>) {
+        // lint:allow(no-unwrap): the const-N dispatch passes exactly N tags, so the array conversion is infallible
         let ways: &[u64; N] = set_tags.try_into().expect("dispatch guarantees width");
         let mut hit_mask = 0u32;
         let mut empty_mask = 0u32;
@@ -346,7 +349,7 @@ impl Cache {
             ReplacementPolicy::Fifo => {} // insertion order only
             ReplacementPolicy::Random => {}
             ReplacementPolicy::PLru => self.plru_touch(set, w),
-            ReplacementPolicy::Nmru => self.set_bits[set as usize] = w as u32,
+            ReplacementPolicy::Nmru => self.set_bits[cast::idx(set)] = cast::u32_exact(w as u64),
             ReplacementPolicy::Srrip => self.stamps[row + w] = 0, // near re-reference
         }
     }
@@ -372,16 +375,16 @@ impl Cache {
             }
             ReplacementPolicy::Random => {
                 self.rng = mix64(self.rng, self.tick);
-                (self.rng % ways as u64) as usize
+                cast::idx(self.rng % ways as u64)
             }
             ReplacementPolicy::PLru => self.plru_victim(set),
             ReplacementPolicy::Nmru => {
-                let mru = self.set_bits[set as usize] as usize % ways;
+                let mru = self.set_bits[cast::idx(set)] as usize % ways;
                 if ways == 1 {
                     0
                 } else {
                     self.rng = mix64(self.rng, self.tick);
-                    let pick = (self.rng % (ways as u64 - 1)) as usize;
+                    let pick = cast::idx(self.rng % (ways as u64 - 1));
                     if pick >= mru {
                         pick + 1
                     } else {
@@ -427,7 +430,7 @@ impl Cache {
         self.stamps[row + w] = self.tick;
         match self.cfg.replacement {
             ReplacementPolicy::PLru => self.plru_touch(set, w),
-            ReplacementPolicy::Nmru => self.set_bits[set as usize] = w as u32,
+            ReplacementPolicy::Nmru => self.set_bits[cast::idx(set)] = cast::u32_exact(w as u64),
             // SRRIP inserts with a "long" re-reference prediction: the
             // line must prove itself with a hit before it outlives scans.
             ReplacementPolicy::Srrip => self.stamps[row + w] = 2,
@@ -442,7 +445,7 @@ impl Cache {
         if ways == 1 {
             return;
         }
-        let mut bits = self.set_bits[set as usize];
+        let mut bits = self.set_bits[cast::idx(set)];
         let levels = ways.trailing_zeros();
         let mut node = 0usize; // index within the implicit tree, root = 0
         for level in (0..levels).rev() {
@@ -455,7 +458,7 @@ impl Cache {
             }
             node = 2 * node + 1 + bit;
         }
-        self.set_bits[set as usize] = bits;
+        self.set_bits[cast::idx(set)] = bits;
     }
 
     /// Tree-PLRU victim: follow the stored bits from the root.
@@ -464,7 +467,7 @@ impl Cache {
         if ways == 1 {
             return 0;
         }
-        let bits = self.set_bits[set as usize];
+        let bits = self.set_bits[cast::idx(set)];
         let levels = ways.trailing_zeros();
         let mut node = 0usize;
         let mut w = 0usize;
@@ -611,7 +614,7 @@ mod tests {
         for l in [0u64, 4, 8, 12] {
             c.access(LineAddr(l));
         }
-        let mut evicted = std::collections::HashSet::new();
+        let mut evicted = delorean_trace::FlatSet::new();
         for i in 1..200u64 {
             if let AccessResult::Miss { evicted: Some(e) } = c.access(LineAddr(16 * i)) {
                 evicted.insert(e.0 % 16);

@@ -63,6 +63,7 @@ impl CacheConfig {
             line_bytes: LINE_BYTES,
             replacement: ReplacementPolicy::Lru,
         };
+        // lint:allow(no-unwrap): documented # Panics contract — construction fails fast on invalid geometry
         c.validate().expect("invalid cache geometry");
         c
     }

@@ -87,6 +87,7 @@ impl Hierarchy {
     ///
     /// Panics if the configuration fails validation.
     pub fn new(cfg: &MachineConfig) -> Self {
+        // lint:allow(no-unwrap): documented # Panics contract — construction fails fast on an invalid hierarchy
         cfg.hierarchy.validate().expect("invalid hierarchy config");
         Hierarchy {
             l1i: Cache::new(cfg.hierarchy.l1i),

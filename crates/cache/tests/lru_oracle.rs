@@ -119,8 +119,9 @@ fn valid_lines_never_exceed_capacity() {
         // distinct (set, way) slots — at most sets × ways lines.
         let resident = stream
             .iter()
-            .filter(|&&l| cache.probe(LineAddr(l)))
-            .collect::<std::collections::HashSet<_>>();
+            .copied()
+            .filter(|&l| cache.probe(LineAddr(l)))
+            .collect::<delorean_trace::FlatSet<u64>>();
         assert!(resident.len() as u64 <= 16 * ways as u64, "case {case}");
     }
 }

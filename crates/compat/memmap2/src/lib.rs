@@ -37,6 +37,8 @@ enum Inner {
 // pages are never mutated through it, so sharing the pointer across
 // threads is sound — matching the real memmap2's `Mmap: Send + Sync`.
 unsafe impl Send for Mmap {}
+// SAFETY: shared references only ever read the PROT_READ pages (see the
+// Send justification above); there is no interior mutability.
 unsafe impl Sync for Mmap {}
 
 impl Mmap {
@@ -63,7 +65,10 @@ impl Mmap {
         }
         #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
         {
-            let ptr = sys::mmap_readonly(file, len)?;
+            // SAFETY: `len` is the file's current nonzero size, and the
+            // caller upholds this fn's contract that the file stays
+            // unmodified for the mapping's lifetime.
+            let ptr = unsafe { sys::mmap_readonly(file, len)? };
             Ok(Mmap {
                 inner: Inner::Mapped { ptr, len },
             })
@@ -152,10 +157,21 @@ mod sys {
 
     /// Issue a 6-argument syscall; returns the raw `rax` result
     /// (negative errno on failure, per the Linux ABI).
+    ///
+    /// # Safety
+    ///
+    /// The caller must pass a syscall number and arguments whose kernel
+    /// side effects are sound for the program — this fn forwards them
+    /// verbatim with no checking.
     #[inline]
     unsafe fn syscall6(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64, a6: u64) -> i64 {
         let ret: i64;
-        asm!(
+        // SAFETY: the x86-64 Linux syscall ABI clobbers only rcx/r11
+        // (declared) and returns in rax; argument registers match the
+        // kernel's expected order. Soundness of the requested syscall
+        // itself is the caller's contract, per this fn's # Safety.
+        unsafe {
+            asm!(
             "syscall",
             inlateout("rax") nr => ret,
             in("rdi") a1,
@@ -166,22 +182,33 @@ mod sys {
             in("r9") a6,
             lateout("rcx") _,
             lateout("r11") _,
-            options(nostack),
-        );
+                options(nostack),
+            );
+        }
         ret
     }
 
     /// Map `len` bytes of `file` read-only. `len` must be nonzero.
+    ///
+    /// # Safety
+    ///
+    /// The file must not be truncated or rewritten while the returned
+    /// mapping is alive; `len` must not exceed the file's size.
     pub unsafe fn mmap_readonly(file: &File, len: usize) -> io::Result<*const u8> {
-        let ret = syscall6(
-            SYS_MMAP,
-            0, // addr: let the kernel choose
-            len as u64,
-            PROT_READ,
-            MAP_PRIVATE,
-            file.as_raw_fd() as u64,
-            0, // offset
-        );
+        // SAFETY: a PROT_READ, MAP_PRIVATE mapping of a readable fd has
+        // no side effects beyond address-space reservation; the fd is
+        // live for the duration of the call (borrowed `&File`).
+        let ret = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0, // addr: let the kernel choose
+                len as u64,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd() as u64,
+                0, // offset
+            )
+        };
         // Values in [-4095, -1] are -errno; anything else is the address.
         if (-4095..0).contains(&ret) {
             Err(io::Error::from_raw_os_error(-ret as i32))
@@ -191,8 +218,17 @@ mod sys {
     }
 
     /// Unmap a region previously returned by [`mmap_readonly`].
+    ///
+    /// # Safety
+    ///
+    /// `ptr`/`len` must describe a live mapping returned by
+    /// [`mmap_readonly`], with no outstanding references into it, and
+    /// must not be unmapped twice.
     pub unsafe fn munmap(ptr: *const u8, len: usize) {
-        let _ = syscall6(SYS_MUNMAP, ptr as u64, len as u64, 0, 0, 0, 0);
+        // SAFETY: per this fn's contract the region is a live private
+        // mapping owned by the caller, so releasing it cannot invalidate
+        // memory any safe reference still points into.
+        let _ = unsafe { syscall6(SYS_MUNMAP, ptr as u64, len as u64, 0, 0, 0, 0) };
     }
 }
 
@@ -214,6 +250,8 @@ mod tests {
             .and_then(|mut f| f.write_all(&data))
             .expect("write temp file");
         let file = File::open(&path).expect("open");
+        // SAFETY: the temp file is private to this test and unmodified
+        // while mapped.
         let map = unsafe { Mmap::map(&file) }.expect("map");
         assert_eq!(map.len(), data.len());
         assert!(!map.is_empty());
@@ -228,6 +266,8 @@ mod tests {
         let path = temp_path("empty");
         std::fs::File::create(&path).expect("create");
         let file = File::open(&path).expect("open");
+        // SAFETY: the temp file is private to this test and unmodified
+        // while mapped.
         let map = unsafe { Mmap::map(&file) }.expect("map");
         assert!(map.is_empty());
         assert_eq!(map.len(), 0);
@@ -242,6 +282,8 @@ mod tests {
             .and_then(|mut f| f.write_all(&data))
             .expect("write temp file");
         let file = File::open(&path).expect("open");
+        // SAFETY: the temp file is private to this test and unmodified
+        // while mapped.
         let map = std::sync::Arc::new(unsafe { Mmap::map(&file) }.expect("map"));
         let handles: Vec<_> = (0..4)
             .map(|_| {

@@ -241,7 +241,10 @@ impl<R> Slots<R> {
     /// The caller must be the sole writer of index `i`, with no
     /// concurrent reader.
     unsafe fn put(&self, i: usize, value: R) {
-        *self.cells[i].get() = Some(value);
+        // SAFETY: the cell pointer comes from a live UnsafeCell in
+        // `self.cells`, and the caller's contract (sole writer, no
+        // concurrent reader of index `i`) rules out aliasing.
+        unsafe { *self.cells[i].get() = Some(value) };
     }
 
     fn into_values(self) -> impl Iterator<Item = R> {

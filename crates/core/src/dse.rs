@@ -49,6 +49,7 @@ impl DseOutput {
         if one == 0.0 {
             return 0.0;
         }
+        // lint:allow(float-accum): analyst_seconds is indexed by analyst rank, a fixed plan order; the prefix sum is worker-count-invariant
         let n_total: f64 = self.warming_seconds + self.analyst_seconds.iter().take(n).sum::<f64>();
         n_total / one
     }
@@ -72,6 +73,7 @@ impl DesignSpaceExplorer {
     ///
     /// Panics if `config` is invalid.
     pub fn new(base_machine: MachineConfig, config: DeLoreanConfig) -> Self {
+        // lint:allow(no-unwrap): documented # Panics contract — construction fails fast on an invalid config
         config.validate().expect("invalid DeLorean config");
         DesignSpaceExplorer {
             base_machine,
@@ -137,6 +139,7 @@ impl DesignSpaceExplorer {
             prev_end = region.detailed.end;
         }
         let warming_seconds =
+            // lint:allow(float-accum): explorer clocks are indexed by pipeline stage, a fixed order independent of scheduling
             scout_clock.seconds() + explorer_clocks.iter().map(|c| c.seconds()).sum::<f64>();
 
         // One analyst per machine, all fed from the same artifacts. The

@@ -47,6 +47,7 @@ pub fn run_pipelined(
     config: &DeLoreanConfig,
     plan: &RegionPlan,
 ) -> DeLoreanOutput {
+    // lint:allow(no-unwrap): documented # Panics contract — the pipeline refuses to start on an invalid config
     config.validate().expect("invalid DeLorean config");
     let n_explorers = config.explorer_windows_instrs.len();
     let mult = plan.config.work_multiplier();
@@ -64,6 +65,7 @@ pub fn run_pipelined(
                 let deepest_window = *config
                     .explorer_windows_instrs
                     .last()
+                    // lint:allow(no-unwrap): validate() above rejects configs with no explorer windows
                     .expect("validated config has windows")
                     / workload.mem_period().max(1);
                 for region in &regions {
@@ -147,12 +149,15 @@ pub fn run_pipelined(
             (clock, reports, stats, counts)
         });
 
+        // lint:allow(no-unwrap): join() only fails if the child panicked; re-raising preserves the panic
         let scout_clock = scout_handle.join().expect("scout thread panicked");
         let explorer_clocks: Vec<HostClock> = explorer_handles
             .into_iter()
+            // lint:allow(no-unwrap): join() only fails if the child panicked; re-raising preserves the panic
             .map(|h| h.join().expect("explorer thread panicked"))
             .collect();
         let (analyst_clock, mut reports, stats, dsw_counts) =
+            // lint:allow(no-unwrap): join() only fails if the child panicked; re-raising preserves the panic
             analyst_handle.join().expect("analyst thread panicked");
         reports.sort_by_key(|r| r.region);
 

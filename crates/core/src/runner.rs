@@ -106,6 +106,7 @@ pub(crate) fn warm_region(
     let deepest_window = *config
         .explorer_windows_instrs
         .last()
+        // lint:allow(no-unwrap): run() validates the config before any region work, so windows are non-empty
         .expect("validated config has windows")
         / workload.mem_period().max(1);
     let mut artifacts = RegionArtifacts {
@@ -193,6 +194,7 @@ impl DeLoreanRunner {
     ///
     /// Panics if `config` is invalid.
     pub fn new(machine: MachineConfig, config: DeLoreanConfig) -> Self {
+        // lint:allow(no-unwrap): documented # Panics contract — the runner refuses to start on an invalid config
         config.validate().expect("invalid DeLorean config");
         // DeLorean has always run multi-threaded by default (the TT pass
         // pipeline before PR 5 used one thread per pass); the region

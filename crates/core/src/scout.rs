@@ -124,12 +124,12 @@ mod tests {
         let out = scout_region(&w, &machine, &cost, &mut clock, r, 0, 1);
         let region_first = w.access_index_at_instr(r.detailed.start);
         let region_end = w.access_index_at_instr(r.detailed.end);
-        let unique: std::collections::HashSet<_> = w
+        let unique: delorean_trace::LineSet = w
             .iter_range(region_first..region_end)
             .map(|a| a.line())
             .collect();
         assert!(out.keyset.len() <= unique.len());
-        assert!(out.keyset.lines().all(|l| unique.contains(&l)));
+        assert!(out.keyset.lines().all(|l| unique.contains(l)));
         assert!(clock.seconds() > 0.0);
     }
 

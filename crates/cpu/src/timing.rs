@@ -108,6 +108,7 @@ impl IntervalCore {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(cfg: TimingConfig) -> Self {
+        // lint:allow(no-unwrap): documented # Panics contract — construction fails fast on an invalid config
         cfg.validate().expect("invalid timing config");
         IntervalCore {
             cfg,

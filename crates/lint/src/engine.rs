@@ -1,0 +1,350 @@
+//! The workspace engine: crate discovery, file classification, rule
+//! execution, waiver application, and the `workspace-lints` manifest
+//! check.
+//!
+//! Crate discovery is filesystem-based (every `Cargo.toml` under the
+//! root except `target/`), and each `.rs` file is attributed to its
+//! *nearest* manifest — so nested crates never leak files into the
+//! facade package. No cargo metadata, no network, no dependencies.
+
+use crate::policy::{crate_kind, FileClass};
+use crate::report::{Diagnostic, Report, ReportWaiver};
+use crate::rules::{known_rule_ids, registry};
+use crate::source::SourceFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A lint run rooted at a workspace directory.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    root: PathBuf,
+}
+
+impl Engine {
+    /// An engine for the workspace at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Engine {
+        Engine { root: root.into() }
+    }
+
+    /// Scan the workspace and produce the full report.
+    pub fn run(&self) -> io::Result<Report> {
+        let crates = discover_crates(&self.root)?;
+        let mut files = Vec::new();
+        collect_rs_files(&self.root, &mut files)?;
+        files.sort();
+
+        let rules = registry();
+        let known = known_rule_ids();
+        let mut raw: Vec<Diagnostic> = Vec::new();
+        let mut sources: Vec<SourceFile> = Vec::new();
+
+        for path in &files {
+            let Some((crate_dir, package)) = owning_crate(&crates, path) else {
+                continue;
+            };
+            let Some(class) = classify(crate_dir, path) else {
+                continue;
+            };
+            let src = std::fs::read_to_string(path)?;
+            let rel = rel_path(&self.root, path);
+            let file = SourceFile::analyze(rel, package.clone(), crate_kind(package), class, &src);
+            for rule in &rules {
+                rule.check(&file, &mut raw);
+            }
+            sources.push(file);
+        }
+
+        // Manifest checks: the workspace must carry the shared lints
+        // table and every member must opt in.
+        check_workspace_lints(&self.root, &crates, &mut raw)?;
+
+        // Apply waivers: a justified waiver covering the diagnostic's
+        // line suppresses it; waivers without a justification (or
+        // naming an unknown rule) are themselves diagnostics.
+        let mut waivers: Vec<(String, crate::source::Waiver)> = Vec::new();
+        for file in &sources {
+            for w in &file.waivers {
+                waivers.push((file.rel_path.clone(), w.clone()));
+            }
+        }
+        for (path, w) in &waivers {
+            if !known.contains(&w.rule.as_str()) {
+                raw.push(Diagnostic {
+                    rule: "bad-waiver",
+                    path: path.clone(),
+                    line: w.line,
+                    col: 1,
+                    message: format!(
+                        "waiver names unknown rule `{}`; known rules: {}",
+                        w.rule,
+                        known.join(", ")
+                    ),
+                });
+            } else if w.reason.is_empty() {
+                raw.push(Diagnostic {
+                    rule: "bad-waiver",
+                    path: path.clone(),
+                    line: w.line,
+                    col: 1,
+                    message: format!(
+                        "waiver for `{}` has no justification; write \
+                         `// lint:allow({}): <why this is sound>`",
+                        w.rule, w.rule
+                    ),
+                });
+            }
+        }
+        let mut kept = Vec::new();
+        for d in raw {
+            let waived = d.rule != "bad-waiver"
+                && waivers.iter_mut().any(|(path, w)| {
+                    let hit = *path == d.path
+                        && w.rule == d.rule
+                        && w.covers == d.line
+                        && !w.reason.is_empty();
+                    if hit {
+                        w.used = true;
+                    }
+                    hit
+                });
+            if !waived {
+                kept.push(d);
+            }
+        }
+        kept.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+        });
+
+        Ok(Report {
+            diagnostics: kept,
+            waivers: waivers
+                .into_iter()
+                .map(|(path, w)| ReportWaiver {
+                    rule: w.rule,
+                    path,
+                    line: w.line,
+                    reason: w.reason,
+                    used: w.used,
+                })
+                .collect(),
+            files_scanned: sources.len(),
+            crates_scanned: crates.len(),
+        })
+    }
+}
+
+/// Find every `(crate dir, package name)` under `root`.
+fn discover_crates(root: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut manifests = Vec::new();
+    walk(root, &mut |path| {
+        if path.file_name().is_some_and(|n| n == "Cargo.toml") {
+            manifests.push(path.to_path_buf());
+        }
+    })?;
+    let mut out = Vec::new();
+    for m in manifests {
+        let text = std::fs::read_to_string(&m)?;
+        if let Some(name) = package_name(&text) {
+            if let Some(dir) = m.parent() {
+                out.push((dir.to_path_buf(), name));
+            }
+        }
+    }
+    // Longest path first, so nearest-manifest attribution is a prefix scan.
+    out.sort_by_key(|(dir, _)| std::cmp::Reverse(dir.as_os_str().len()));
+    Ok(out)
+}
+
+/// Parse `name = "..."` out of a manifest's `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    return Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Recursively visit every file under `dir`, skipping build output and
+/// VCS internals.
+fn walk(dir: &Path, visit: &mut impl FnMut(&Path)) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, visit)?;
+        } else {
+            visit(&path);
+        }
+    }
+    Ok(())
+}
+
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    walk(root, &mut |path| {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+    })
+}
+
+/// The nearest crate owning `path` (crate list is longest-dir-first).
+fn owning_crate<'a>(
+    crates: &'a [(PathBuf, String)],
+    path: &Path,
+) -> Option<(&'a Path, &'a String)> {
+    crates
+        .iter()
+        .find(|(dir, _)| path.starts_with(dir))
+        .map(|(dir, name)| (dir.as_path(), name))
+}
+
+/// Compilation class of `path` within its crate, `None` for files that
+/// are not part of a target (stray `.rs` under docs, say).
+fn classify(crate_dir: &Path, path: &Path) -> Option<FileClass> {
+    let rel = path.strip_prefix(crate_dir).ok()?;
+    let mut parts = rel.components().map(|c| c.as_os_str().to_string_lossy());
+    let first = parts.next()?;
+    Some(match first.as_ref() {
+        "src" => {
+            if parts.next().as_deref() == Some("bin") || rel.ends_with("main.rs") {
+                FileClass::Bin
+            } else {
+                FileClass::Lib
+            }
+        }
+        "tests" => FileClass::Tests,
+        "benches" => FileClass::Benches,
+        "examples" => FileClass::Examples,
+        "build.rs" => FileClass::Bin,
+        _ => return None,
+    })
+}
+
+/// `workspace-lints`: the root manifest must deny
+/// `unsafe_op_in_unsafe_fn` workspace-wide, and every member manifest
+/// must opt into the shared table with `[lints] workspace = true`.
+fn check_workspace_lints(
+    root: &Path,
+    crates: &[(PathBuf, String)],
+    out: &mut Vec<Diagnostic>,
+) -> io::Result<()> {
+    let root_manifest = std::fs::read_to_string(root.join("Cargo.toml"))?;
+    let denies = section_lines(&root_manifest, "[workspace.lints.rust]")
+        .any(|l| l.starts_with("unsafe_op_in_unsafe_fn") && l.contains("deny"));
+    if !denies {
+        out.push(Diagnostic {
+            rule: "workspace-lints",
+            path: "Cargo.toml".into(),
+            line: 1,
+            col: 1,
+            message: "[workspace.lints.rust] must set `unsafe_op_in_unsafe_fn = \"deny\"`".into(),
+        });
+    }
+    for (dir, name) in crates {
+        let manifest = std::fs::read_to_string(dir.join("Cargo.toml"))?;
+        let opted = section_lines(&manifest, "[lints]")
+            .any(|l| l.starts_with("workspace") && l.contains("true"));
+        if !opted {
+            out.push(Diagnostic {
+                rule: "workspace-lints",
+                path: rel_path(root, &dir.join("Cargo.toml")),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate `{name}` does not opt into the shared lint table; add \
+                     `[lints]\\nworkspace = true`"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The trimmed lines of one `[section]` of a TOML document.
+fn section_lines<'a>(toml: &'a str, section: &'a str) -> impl Iterator<Item = &'a str> {
+    let mut in_section = false;
+    toml.lines().filter_map(move |line| {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == section;
+            return None;
+        }
+        if in_section && !line.is_empty() {
+            Some(line)
+        } else {
+            None
+        }
+    })
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parsing() {
+        let m = "[workspace]\nmembers = []\n[package]\nname = \"delorean_trace\"\nversion = \"0.1.0\"\n";
+        assert_eq!(package_name(m), Some("delorean_trace".into()));
+        assert_eq!(package_name("[workspace]\nmembers = []\n"), None);
+    }
+
+    #[test]
+    fn section_scanning() {
+        let m = "[lints]\nworkspace = true\n[package]\nname = \"x\"\n";
+        assert!(section_lines(m, "[lints]").any(|l| l.starts_with("workspace")));
+        assert!(!section_lines(m, "[lints]").any(|l| l.starts_with("name")));
+    }
+
+    #[test]
+    fn classification() {
+        let dir = Path::new("/w/crates/x");
+        let class = |p: &str| classify(dir, &dir.join(p));
+        assert_eq!(class("src/lib.rs"), Some(FileClass::Lib));
+        assert_eq!(class("src/bin/tool.rs"), Some(FileClass::Bin));
+        assert_eq!(class("src/main.rs"), Some(FileClass::Bin));
+        assert_eq!(class("tests/t.rs"), Some(FileClass::Tests));
+        assert_eq!(class("benches/b.rs"), Some(FileClass::Benches));
+        assert_eq!(class("examples/e.rs"), Some(FileClass::Examples));
+        assert_eq!(class("notes/snippet.rs"), None);
+    }
+
+    #[test]
+    fn nearest_manifest_wins() {
+        let crates = vec![
+            (PathBuf::from("/w/crates/x"), "x".to_string()),
+            (PathBuf::from("/w"), "root".to_string()),
+        ];
+        let (dir, name) =
+            owning_crate(&crates, Path::new("/w/crates/x/src/lib.rs")).expect("owned");
+        assert_eq!(name, "x");
+        assert_eq!(dir, Path::new("/w/crates/x"));
+        let (_, name) = owning_crate(&crates, Path::new("/w/src/lib.rs")).expect("owned");
+        assert_eq!(name, "root");
+    }
+}

@@ -1,0 +1,418 @@
+//! A small, dependency-free Rust tokenizer.
+//!
+//! The lint rules only need a *token-accurate* view of the source — one
+//! that never mistakes the contents of a string literal or a comment for
+//! code — not a full parse tree. This lexer produces exactly that: a
+//! flat stream of identifier/punctuation/literal tokens with line and
+//! column positions, plus the comments as a separate side channel (the
+//! `// SAFETY:` and `// lint:allow(...)` conventions live in comments).
+//!
+//! Deliberately unsupported: macros are lexed as ordinary tokens,
+//! `cfg`-disabled code is lexed like live code (rules must stay
+//! conservative), and numeric literals keep their raw text so rules can
+//! read suffixes (`0u64`) without a numeric model.
+
+/// Kind of one lexed token.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, ...).
+    Ident,
+    /// Single punctuation character (`{`, `+`, `#`, ...).
+    Punct,
+    /// Numeric literal, raw text preserved (`0xff`, `1.0e3`, `7u64`).
+    Num,
+    /// String literal (normal, raw or byte); contents are opaque.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One lexed code token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Raw source text (for `Str` a placeholder, not the contents).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based byte column of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` when the token is punctuation `c`.
+    #[inline]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// `true` when the token is the identifier/keyword `s`.
+    #[inline]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// One comment, with its line extent and whether it is a doc comment.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based line of the last character (equals `line` for `//`).
+    pub end_line: u32,
+    /// `true` for `///`, `//!`, `/**` and `/*!` doc comments.
+    pub doc: bool,
+}
+
+/// The output of [`lex`]: code tokens and comments, separately.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order, comments excluded.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments.
+///
+/// The lexer never fails: malformed input (an unterminated string, a
+/// stray byte) degrades to punctuation tokens rather than an error, so a
+/// half-edited file still gets best-effort diagnostics.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.b.get(self.i + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let (line, col) = (self.line, self.col);
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(line),
+                b'/' if self.peek(1) == b'*' => self.block_comment(line),
+                b'"' => self.string(line, col),
+                b'r' if self.peek(1) == b'"' || (self.peek(1) == b'#' && self.raw_ahead(1)) => {
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump();
+                    self.string(line, col);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump();
+                    self.char_lit(line, col);
+                }
+                b'b' if self.peek(1) == b'r'
+                    && (self.peek(2) == b'"' || (self.peek(2) == b'#' && self.raw_ahead(2))) =>
+                {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line, col);
+                }
+                b'\'' => self.quote(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c.is_ascii_alphabetic() || c == b'_' => self.ident(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, (c as char).to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// From a `r` at offset `at - 1`: do `#`s at `at..` lead to a quote?
+    fn raw_ahead(&self, at: usize) -> bool {
+        let mut j = at;
+        while self.peek(j) == b'#' {
+            j += 1;
+        }
+        self.peek(j) == b'"'
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.b.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        let doc = text.starts_with("///") || text.starts_with("//!");
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: line,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.i;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        let doc = text.starts_with("/**") || text.starts_with("/*!");
+        self.out.comments.push(Comment {
+            text,
+            line,
+            end_line: self.line,
+            doc,
+        });
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while self.i < self.b.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, "\"…\"".into(), line, col);
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while self.i < self.b.len() {
+            if self.bump() == b'"' {
+                for j in 0..hashes {
+                    if self.peek(j) != b'#' {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, "r\"…\"".into(), line, col);
+    }
+
+    fn char_lit(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        if self.peek(0) == b'\\' {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+        self.push(TokKind::Char, "'…'".into(), line, col);
+    }
+
+    /// A `'`: either a char literal or a lifetime.
+    fn quote(&mut self, line: u32, col: u32) {
+        let n1 = self.peek(1);
+        if n1 == b'\\' {
+            self.char_lit(line, col);
+        } else if (n1.is_ascii_alphanumeric() || n1 == b'_') && self.peek(2) != b'\'' {
+            // Lifetime: consume the quote and the identifier.
+            self.bump();
+            let start = self.i;
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            let text = format!("'{}", String::from_utf8_lossy(&self.b[start..self.i]));
+            self.push(TokKind::Lifetime, text, line, col);
+        } else {
+            self.char_lit(line, col);
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        while self.i < self.b.len() {
+            let c = self.peek(0);
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                // Exponent sign: `1e-3` / `1E+3`.
+                if (c == b'e' || c == b'E')
+                    && (self.peek(1) == b'+' || self.peek(1) == b'-')
+                    && self.peek(2).is_ascii_digit()
+                    && !self.b[start..self.i].starts_with(b"0x")
+                {
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+                self.bump();
+            } else if c == b'.' && self.peek(1).is_ascii_digit() {
+                // Decimal point, but not a range (`0..n`) or method call.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokKind::Num, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokKind::Ident, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let t = kinds("fn main() { x += 1; }");
+        assert_eq!(t[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(t[1], (TokKind::Ident, "main".into()));
+        assert!(t.iter().any(|(k, s)| *k == TokKind::Num && s == "1"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "unsafe HashMap unwrap()";"#);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let l = lex(r###"let s = r#"panic! " inside"#; let b = b"unwrap"; let c = br#"x"#;"###);
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            3
+        );
+        assert!(!l.tokens.iter().any(|t| t.is_ident("panic")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn comments_are_side_channel() {
+        let l = lex("// SAFETY: fine\nlet x = 1; /* block\ncomment */ let y = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("SAFETY"));
+        assert_eq!(l.comments[1].end_line, 3);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("SAFETY")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let u = '_'; }");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        // 'x', '\n' are chars; '_' lexes as a char-or-lifetime edge we
+        // accept either way — it must simply not derail the stream.
+        assert!(l.tokens.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn numbers_keep_suffixes_and_floats() {
+        let t = kinds("let a = 0xffu64; let b = 1.5e-3f32; let r = 0..10;");
+        let nums: Vec<_> = t
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert!(nums.contains(&"0xffu64"));
+        assert!(nums.contains(&"1.5e-3f32"));
+        assert!(nums.contains(&"0") && nums.contains(&"10"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ let x = 1;");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.tokens.iter().any(|t| t.is_ident("let")));
+    }
+}

@@ -1,0 +1,56 @@
+//! `delorean-lint` — the workspace's static determinism & safety
+//! contract checker.
+//!
+//! The repository's core claim is that reports are bitwise identical
+//! across worker counts, trace sources and batch splits. The runtime
+//! oracles (`tests/determinism.rs`, `tests/tiled_determinism.rs`) prove
+//! that for the code as it exists; this crate keeps the *next* change
+//! honest at compile-review time, with zero dependencies (crates.io is
+//! unreachable, so no syn/dylint — a hand-rolled [`lexer`] and a
+//! token-level rule engine, the same weight class as the `FlatMap`
+//! substrate it polices).
+//!
+//! # Rules
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `no-std-hash` | hot crates must use the `FlatMap`/`FlatSet` substrate, not std's randomized tables |
+//! | `no-wallclock` | `Instant::now`/`SystemTime` only in the bench harness |
+//! | `float-accum` | cross-unit float sums go through the plan-ordered summation helpers |
+//! | `safety-comment` | every `unsafe` carries an adjacent `// SAFETY:` invariant |
+//! | `no-unwrap` | library crates return typed errors, never `unwrap`/`expect`/`panic!` |
+//! | `lossy-cast` | hot-crate integer casts are provably lossless or use `delorean_trace::cast` |
+//! | `workspace-lints` | every manifest opts into the shared `unsafe_op_in_unsafe_fn = "deny"` table |
+//!
+//! # Waivers
+//!
+//! A finding can be waived in place with a justified comment on the
+//! offending line or the line above:
+//!
+//! ```text
+//! // lint:allow(no-std-hash): collected only for len(); no iteration
+//! ```
+//!
+//! A waiver without a justification is itself a diagnostic
+//! (`bad-waiver`) — the policy is *explain it or fix it*. Only plain
+//! `//` comments carry waivers; doc comments are documentation, so a
+//! `lint:allow` mentioned in one (like the example above) is inert.
+//!
+//! # Running
+//!
+//! ```text
+//! cargo run -p delorean-lint            # human diagnostics, exit 1 on findings
+//! cargo run -p delorean-lint -- --json delorean-lint.json
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod policy;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use engine::Engine;
+pub use report::{Diagnostic, Report};

@@ -1,0 +1,95 @@
+//! CLI for `delorean-lint`: scan the workspace, print rustc-style
+//! diagnostics, optionally write the JSON report, exit non-zero on any
+//! finding.
+
+use delorean_lint::rules::registry;
+use delorean_lint::Engine;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+delorean-lint: static determinism & safety contract checker
+
+USAGE:
+    cargo run -p delorean-lint [-- OPTIONS]
+
+OPTIONS:
+    --root <DIR>     workspace root (default: nearest ancestor with a [workspace] manifest)
+    --json <PATH>    also write the machine-readable report to PATH
+    --rules          list the rules and exit
+    --help           show this help
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json = args.next().map(PathBuf::from),
+            "--rules" => {
+                for rule in registry() {
+                    println!("{:<16} {}", rule.id(), rule.description());
+                }
+                println!(
+                    "{:<16} every manifest opts into the shared unsafe_op_in_unsafe_fn deny table",
+                    "workspace-lints"
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("delorean-lint: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("delorean-lint: no workspace root found (run from the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match Engine::new(&root).run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("delorean-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_text());
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("delorean-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("delorean-lint: JSON report written to {}", path.display());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the nearest manifest with a
+/// `[workspace]` section.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Diagnostics and report rendering: rustc-style text for humans, a
+//! hand-rolled JSON document for CI artifacts (the workspace is
+//! offline, so no serde_json — the writer below covers exactly what the
+//! report needs).
+
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Rule identifier (`no-std-hash`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// One-line explanation.
+    pub message: String,
+}
+
+/// A waiver as it appears in the JSON report.
+#[derive(Clone, Debug)]
+pub struct ReportWaiver {
+    /// Rule the waiver covers.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Line of the waiver comment.
+    pub line: u32,
+    /// The justification text.
+    pub reason: String,
+    /// Whether the waiver suppressed at least one diagnostic.
+    pub used: bool,
+}
+
+/// The complete result of one lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Findings that survived waiver application, in file/line order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Every waiver in the workspace (used or not).
+    pub waivers: Vec<ReportWaiver>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of crates scanned.
+    pub crates_scanned: usize,
+}
+
+impl Report {
+    /// `true` when the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render the rustc-style human report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "error[delorean::{}]: {}", d.rule, d.message);
+            let _ = writeln!(out, "  --> {}:{}:{}", d.path, d.line, d.col);
+        }
+        let mut by_rule: Vec<(&str, usize)> = Vec::new();
+        for d in &self.diagnostics {
+            match by_rule.iter_mut().find(|(r, _)| *r == d.rule) {
+                Some((_, n)) => *n += 1,
+                None => by_rule.push((d.rule, 1)),
+            }
+        }
+        let _ = writeln!(
+            out,
+            "delorean-lint: {} diagnostic(s) across {} file(s) in {} crate(s); {} waiver(s) in effect",
+            self.diagnostics.len(),
+            self.files_scanned,
+            self.crates_scanned,
+            self.waivers.iter().filter(|w| w.used).count(),
+        );
+        for (rule, n) in by_rule {
+            let _ = writeln!(out, "  {n:>4}  {rule}");
+        }
+        out
+    }
+
+    /// Render the machine-readable JSON report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"crates_scanned\": {},", self.crates_scanned);
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                json_str(d.rule),
+                json_str(&d.path),
+                d.line,
+                d.col,
+                json_str(&d.message)
+            );
+            out.push_str(if i + 1 < self.diagnostics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"waivers\": [\n");
+        for (i, w) in self.waivers.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"used\": {}, \"reason\": {}}}",
+                json_str(&w.rule),
+                json_str(&w.path),
+                w.line,
+                w.used,
+                json_str(&w.reason)
+            );
+            out.push_str(if i + 1 < self.waivers.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escape `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn render_shapes() {
+        let mut r = Report {
+            files_scanned: 2,
+            crates_scanned: 1,
+            ..Report::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.render_json().contains("\"clean\": true"));
+        r.diagnostics.push(Diagnostic {
+            rule: "no-unwrap",
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            message: "library code must not unwrap".into(),
+        });
+        let text = r.render_text();
+        assert!(text.contains("error[delorean::no-unwrap]"));
+        assert!(text.contains("--> crates/x/src/lib.rs:3:9"));
+        let json = r.render_json();
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"line\": 3"));
+    }
+}

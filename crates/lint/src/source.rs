@@ -1,0 +1,494 @@
+//! Per-file analysis context: lexed tokens plus the derived facts the
+//! rules share — `#[cfg(test)]` extents, `// lint:allow` waivers, and a
+//! per-file declaration table used to infer integer widths and float
+//! types without a real type system.
+
+use crate::lexer::{lex, Comment, Lexed, TokKind, Token};
+use crate::policy::{CrateKind, FileClass};
+use std::collections::BTreeMap;
+
+/// A `// lint:allow(<rule>): <reason>` waiver found in a comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// The rule being waived.
+    pub rule: String,
+    /// The mandatory justification after the closing parenthesis.
+    pub reason: String,
+    /// Line of the waiver comment itself.
+    pub line: u32,
+    /// The code line the waiver covers (same line, or the next line for
+    /// a standalone comment).
+    pub covers: u32,
+    /// Whether the waiver ever matched a diagnostic (filled by the
+    /// engine; unused waivers are reported but not fatal).
+    pub used: bool,
+}
+
+/// Integer/float width facts harvested from same-file declarations.
+///
+/// `let x: u64`, fn parameters, struct fields and `fn f(...) -> u64`
+/// return types all contribute. An identifier declared with two
+/// different widths in one file becomes *unknown* — the cast rule only
+/// acts on unambiguous facts.
+#[derive(Clone, Debug, Default)]
+pub struct DeclTable {
+    /// Identifier → bit width (usize/isize recorded as 64: the widest
+    /// they can be on a supported target).
+    pub int_width: BTreeMap<String, u32>,
+    /// Function name → return bit width, same convention.
+    pub fn_width: BTreeMap<String, u32>,
+    /// Identifiers declared (or initialized) as `f32`/`f64`.
+    pub floats: BTreeMap<String, ()>,
+}
+
+/// One fully-analyzed source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root (diagnostics use this).
+    pub rel_path: String,
+    /// Package name of the owning crate (`delorean_trace`, ...).
+    pub crate_name: String,
+    /// Policy group of the owning crate.
+    pub crate_kind: CrateKind,
+    /// Which compilation class the file belongs to (lib, tests, ...).
+    pub class: FileClass,
+    /// Lexed tokens and comments.
+    pub lexed: Lexed,
+    /// `lines[i]` is `true` when 1-based line `i + 1` is inside a
+    /// `#[cfg(test)]` item.
+    test_lines: Vec<bool>,
+    /// Waivers by covered line.
+    pub waivers: Vec<Waiver>,
+    /// Same-file declaration facts.
+    pub decls: DeclTable,
+    /// Number of source lines.
+    pub line_count: u32,
+}
+
+/// Integer type names the width rules understand, with source widths
+/// (usize/isize count as 64: the widest a supported target makes them).
+pub fn int_width_of(name: &str) -> Option<u32> {
+    Some(match name {
+        "u8" | "i8" => 8,
+        "u16" | "i16" => 16,
+        "u32" | "i32" => 32,
+        "u64" | "i64" | "usize" | "isize" => 64,
+        "u128" | "i128" => 128,
+        _ => return None,
+    })
+}
+
+/// Destination width of a cast target: `usize`/`isize` count as 32 —
+/// the narrowest a supported target may make them — so `u64 as usize`
+/// is lossy (the PR 2 `size_hint` bug class) while `u32 as usize` is
+/// not.
+pub fn cast_dest_width(name: &str) -> Option<u32> {
+    match name {
+        "usize" | "isize" => Some(32),
+        other => int_width_of(other),
+    }
+}
+
+impl SourceFile {
+    /// Analyze `src`.
+    pub fn analyze(
+        rel_path: String,
+        crate_name: String,
+        crate_kind: CrateKind,
+        class: FileClass,
+        src: &str,
+    ) -> SourceFile {
+        let lexed = lex(src);
+        let line_count = src.lines().count() as u32;
+        let test_lines = mark_test_regions(&lexed.tokens, line_count);
+        let waivers = collect_waivers(&lexed.comments, &lexed.tokens);
+        let decls = collect_decls(&lexed.tokens);
+        SourceFile {
+            rel_path,
+            crate_name,
+            crate_kind,
+            class,
+            lexed,
+            test_lines,
+            waivers,
+            decls,
+            line_count,
+        }
+    }
+
+    /// `true` when 1-based `line` is inside a `#[cfg(test)]` item.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line.saturating_sub(1) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The code tokens of the file.
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// `true` when a comment block satisfying `pred` ends on `line`
+    /// itself or directly above it (attribute-only lines in between are
+    /// skipped, so `// SAFETY:` above `#[cfg(...)]` still counts).
+    pub fn comment_adjacent(&self, line: u32, pred: impl Fn(&Comment) -> bool) -> bool {
+        // Same-line trailing comment.
+        if self
+            .lexed
+            .comments
+            .iter()
+            .any(|c| c.line == line && pred(c))
+        {
+            return true;
+        }
+        // Walk upward through contiguous comment/attribute lines.
+        let mut want = line.saturating_sub(1);
+        while want > 0 {
+            if let Some(c) = self.lexed.comments.iter().find(|c| c.end_line == want) {
+                if pred(c) {
+                    return true;
+                }
+                want = c.line.saturating_sub(1);
+                continue;
+            }
+            if self.line_is_attribute_only(want) {
+                want -= 1;
+                continue;
+            }
+            return false;
+        }
+        false
+    }
+
+    /// `true` when every code token on `line` belongs to an attribute
+    /// (`#[...]`) and the line holds at least one token.
+    fn line_is_attribute_only(&self, line: u32) -> bool {
+        let on_line: Vec<&Token> = self.tokens().iter().filter(|t| t.line == line).collect();
+        if on_line.is_empty() {
+            return false;
+        }
+        on_line[0].is_punct('#')
+    }
+}
+
+/// Walk the token stream marking the line extents of `#[cfg(test)]`
+/// items (normally `mod tests { ... }`, but any attributed item works).
+fn mark_test_regions(tokens: &[Token], line_count: u32) -> Vec<bool> {
+    let mut marked = vec![false; line_count as usize];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && i + 1 < tokens.len() && tokens[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = tokens[i].line;
+        // Find the matching `]` and check for a `cfg ( test` prefix.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut is_test = false;
+        let mut seen: Vec<&str> = Vec::new();
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokKind::Ident {
+                seen.push(&t.text);
+            }
+            j += 1;
+        }
+        if seen.first() == Some(&"cfg") && seen.contains(&"test") {
+            is_test = true;
+        }
+        if !is_test {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes, then span the item: up to the
+        // first `;` at depth 0 (e.g. `#[cfg(test)] use ...;`) or the
+        // matching `}` of the first `{`.
+        let mut k = j + 1;
+        while k + 1 < tokens.len() && tokens[k].is_punct('#') && tokens[k + 1].is_punct('[') {
+            let mut d = 0usize;
+            while k < tokens.len() {
+                if tokens[k].is_punct('[') {
+                    d += 1;
+                } else if tokens[k].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut brace_depth = 0usize;
+        let mut end_line = attr_start_line;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct('{') {
+                brace_depth += 1;
+            } else if t.is_punct('}') {
+                brace_depth -= 1;
+                if brace_depth == 0 {
+                    end_line = t.line;
+                    break;
+                }
+            } else if t.is_punct(';') && brace_depth == 0 {
+                end_line = t.line;
+                break;
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        for line in attr_start_line..=end_line {
+            if let Some(slot) = marked.get_mut(line.saturating_sub(1) as usize) {
+                *slot = true;
+            }
+        }
+        i = k + 1;
+    }
+    marked
+}
+
+/// Extract `lint:allow(<rule>): <reason>` waivers from comments.
+///
+/// Doc comments are excluded: a waiver is a directive, not
+/// documentation, so `lint:allow(...)` mentioned in a `///`/`//!` block
+/// (the lint crate's own docs, say) never suppresses anything.
+fn collect_waivers(comments: &[Comment], tokens: &[Token]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in comments {
+        if c.doc {
+            continue;
+        }
+        let Some(at) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let after = &c.text[at + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let rule = after[..close].trim().to_string();
+        let rest = after[close + 1..].trim_start();
+        let reason = rest
+            .strip_prefix(':')
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        // A trailing comment covers its own line; a standalone comment
+        // covers the next line that has code on it.
+        let has_code_on_line = tokens.iter().any(|t| t.line == c.line);
+        let covers = if has_code_on_line {
+            c.line
+        } else {
+            tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.end_line)
+                .unwrap_or(c.end_line + 1)
+        };
+        out.push(Waiver {
+            rule,
+            reason,
+            line: c.line,
+            covers,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Harvest `ident: <type>` and `fn name(...) -> <type>` declarations.
+fn collect_decls(tokens: &[Token]) -> DeclTable {
+    let mut decls = DeclTable::default();
+    let mut int_conflicts: BTreeMap<String, ()> = BTreeMap::new();
+    let mut fn_conflicts: BTreeMap<String, ()> = BTreeMap::new();
+    for w in tokens.windows(3) {
+        // `name : u64` — let bindings, fn params, struct fields alike.
+        if w[0].kind == TokKind::Ident && w[1].is_punct(':') && w[2].kind == TokKind::Ident {
+            let name = w[0].text.clone();
+            if let Some(width) = int_width_of(&w[2].text) {
+                match decls.int_width.get(&name) {
+                    Some(&prev) if prev != width => {
+                        int_conflicts.insert(name, ());
+                    }
+                    _ => {
+                        decls.int_width.insert(name, width);
+                    }
+                }
+            } else if w[2].text == "f64" || w[2].text == "f32" {
+                decls.floats.insert(name, ());
+            }
+        }
+        // `let [mut] name = 1.0...` — float by initializer.
+        if w[0].kind == TokKind::Ident
+            && w[1].is_punct('=')
+            && w[2].kind == TokKind::Num
+            && looks_float(&w[2].text)
+        {
+            decls.floats.insert(w[0].text.clone(), ());
+        }
+    }
+    // `fn name ( ... ) -> u64` — scan with explicit paren matching.
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") && i + 2 < tokens.len() && tokens[i + 2].is_punct('(') {
+            let name = tokens[i + 1].text.clone();
+            let mut depth = 0usize;
+            let mut j = i + 2;
+            while j < tokens.len() {
+                if tokens[j].is_punct('(') {
+                    depth += 1;
+                } else if tokens[j].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if j + 3 < tokens.len()
+                && tokens[j + 1].is_punct('-')
+                && tokens[j + 2].is_punct('>')
+                && tokens[j + 3].kind == TokKind::Ident
+            {
+                if let Some(width) = int_width_of(&tokens[j + 3].text) {
+                    match decls.fn_width.get(&name) {
+                        Some(&prev) if prev != width => {
+                            fn_conflicts.insert(name.clone(), ());
+                        }
+                        _ => {
+                            decls.fn_width.insert(name, width);
+                        }
+                    }
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    for name in int_conflicts.keys() {
+        decls.int_width.remove(name);
+    }
+    for name in fn_conflicts.keys() {
+        decls.fn_width.remove(name);
+    }
+    // Builtins whose return width is known without a local declaration.
+    decls.fn_width.entry("len".into()).or_insert(64);
+    decls.fn_width.entry("capacity".into()).or_insert(64);
+    decls
+}
+
+fn looks_float(num: &str) -> bool {
+    num.ends_with("f64") || num.ends_with("f32") || (num.contains('.') && !num.starts_with("0x"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::analyze(
+            "x.rs".into(),
+            "test_crate".into(),
+            CrateKind::Hot,
+            FileClass::Lib,
+            src,
+        )
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = file(src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(2));
+        assert!(f.in_test_region(3));
+        assert!(f.in_test_region(4));
+        assert!(f.in_test_region(5));
+        assert!(!f.in_test_region(6));
+    }
+
+    #[test]
+    fn cfg_test_use_statement_spans_one_line() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let f = file(src);
+        assert!(f.in_test_region(2));
+        assert!(!f.in_test_region(3));
+    }
+
+    #[test]
+    fn other_cfg_attributes_are_not_test() {
+        let f = file("#[cfg(feature = \"x\")]\nfn live() {}\n");
+        assert!(!f.in_test_region(2));
+    }
+
+    #[test]
+    fn waiver_parsing_trailing_and_standalone() {
+        let src = "let a = x.unwrap(); // lint:allow(no-unwrap): guarded by is_some above\n\
+                   // lint:allow(lossy-cast): masked to 8 bits\n\
+                   let b = y as u8;\n\
+                   // lint:allow(no-unwrap)\n\
+                   let c = z.unwrap();\n";
+        let f = file(src);
+        assert_eq!(f.waivers.len(), 3);
+        assert_eq!(f.waivers[0].rule, "no-unwrap");
+        assert_eq!(f.waivers[0].covers, 1);
+        assert!(f.waivers[0].reason.contains("guarded"));
+        assert_eq!(f.waivers[1].covers, 3);
+        assert!(f.waivers[2].reason.is_empty(), "missing justification");
+    }
+
+    #[test]
+    fn doc_comments_never_carry_waivers() {
+        let src = "/// Example: `// lint:allow(no-unwrap): guarded`\n\
+                   //! Also not a waiver: lint:allow(lossy-cast): masked\n\
+                   fn documented() {}\n";
+        let f = file(src);
+        assert!(f.waivers.is_empty(), "doc comments are not directives");
+    }
+
+    #[test]
+    fn decl_table_widths_and_floats() {
+        let src = "struct S { ways: u32, total: f64 }\n\
+                   fn read_u32(b: &[u8]) -> u32 { 0 }\n\
+                   fn f(k: u64) { let mut acc = 0.0; let n: usize = 3; }\n";
+        let f = file(src);
+        assert_eq!(f.decls.int_width.get("ways"), Some(&32));
+        assert_eq!(f.decls.int_width.get("k"), Some(&64));
+        assert_eq!(f.decls.int_width.get("n"), Some(&64));
+        assert_eq!(f.decls.fn_width.get("read_u32"), Some(&32));
+        assert!(f.decls.floats.contains_key("total"));
+        assert!(f.decls.floats.contains_key("acc"));
+    }
+
+    #[test]
+    fn conflicting_widths_become_unknown() {
+        let f = file("fn a(x: u64) {}\nfn b(x: u32) {}\n");
+        assert_eq!(f.decls.int_width.get("x"), None);
+    }
+
+    #[test]
+    fn comment_adjacency() {
+        let src = "// SAFETY: sole writer of slot i\nunsafe { put(i) };\n\
+                   \n\
+                   unsafe { naked() };\n";
+        let f = file(src);
+        assert!(f.comment_adjacent(2, |c| c.text.contains("SAFETY:")));
+        assert!(!f.comment_adjacent(4, |c| c.text.contains("SAFETY:")));
+    }
+
+    #[test]
+    fn comment_adjacency_skips_attributes() {
+        let src = "// SAFETY: read-only mapping\n#[cfg(unix)]\nunsafe impl Send for M {}\n";
+        let f = file(src);
+        assert!(f.comment_adjacent(3, |c| c.text.contains("SAFETY:")));
+    }
+}

@@ -1,0 +1,182 @@
+//! End-to-end engine tests over on-disk fixture workspaces: each test
+//! materializes a minimal workspace in a temp directory, runs the full
+//! [`Engine`], and checks which diagnostics survive waiver application.
+
+use delorean_lint::Engine;
+use std::path::PathBuf;
+
+/// A throwaway fixture workspace; the directory is removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    /// A one-member workspace whose member is named `package` (package
+    /// names drive the hot/lib/bench policy) with `lib_src` as its
+    /// `src/lib.rs`. Both manifests opt into the shared lint table so
+    /// `workspace-lints` stays quiet unless a test wants otherwise.
+    fn new(tag: &str, package: &str, lib_src: &str) -> Fixture {
+        let root = std::env::temp_dir().join(format!(
+            "delorean-lint-fixture-{}-{tag}",
+            std::process::id()
+        ));
+        let member = root.join("member");
+        std::fs::create_dir_all(member.join("src")).expect("fixture dirs");
+        std::fs::write(
+            root.join("Cargo.toml"),
+            "[workspace]\nmembers = [\"member\"]\n\n[workspace.lints.rust]\nunsafe_op_in_unsafe_fn = \"deny\"\n",
+        )
+        .expect("root manifest");
+        std::fs::write(
+            member.join("Cargo.toml"),
+            format!(
+                "[package]\nname = \"{package}\"\nversion = \"0.1.0\"\nedition = \"2021\"\n\n[lints]\nworkspace = true\n"
+            ),
+        )
+        .expect("member manifest");
+        std::fs::write(member.join("src/lib.rs"), lib_src).expect("member lib");
+        Fixture { root }
+    }
+
+    fn run(&self) -> delorean_lint::Report {
+        Engine::new(&self.root).run().expect("engine run")
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn rules_of(report: &delorean_lint::Report) -> Vec<&str> {
+    report.diagnostics.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn hot_crate_violations_are_reported() {
+    let fx = Fixture::new(
+        "violations",
+        "delorean_trace",
+        "use std::collections::HashMap;\n\
+         pub fn f() -> u32 {\n\
+             let m: HashMap<u64, u64> = HashMap::new();\n\
+             let t = std::time::Instant::now();\n\
+             let x: Option<u32> = m.get(&1).map(|v| *v as u32);\n\
+             let _ = t;\n\
+             x.unwrap()\n\
+         }\n",
+    );
+    let report = fx.run();
+    let rules = rules_of(&report);
+    assert!(rules.contains(&"no-std-hash"), "got {rules:?}");
+    assert!(rules.contains(&"no-wallclock"), "got {rules:?}");
+    assert!(rules.contains(&"no-unwrap"), "got {rules:?}");
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn bench_crate_may_read_the_wallclock() {
+    let fx = Fixture::new(
+        "bench-clock",
+        "delorean_bench",
+        "pub fn now_ms() -> u128 {\n\
+             std::time::Instant::now().elapsed().as_millis()\n\
+         }\n",
+    );
+    let report = fx.run();
+    assert!(report.is_clean(), "got {:?}", report.diagnostics);
+}
+
+#[test]
+fn justified_waiver_suppresses_the_finding() {
+    let fx = Fixture::new(
+        "waived",
+        "delorean_trace",
+        "pub fn f(x: Option<u32>) -> u32 {\n\
+             // lint:allow(no-unwrap): fixture invariant makes None impossible\n\
+             x.unwrap()\n\
+         }\n",
+    );
+    let report = fx.run();
+    assert!(report.is_clean(), "got {:?}", report.diagnostics);
+    assert_eq!(report.waivers.len(), 1);
+    assert!(report.waivers[0].used, "waiver should be marked used");
+}
+
+#[test]
+fn waiver_without_justification_is_rejected() {
+    let fx = Fixture::new(
+        "bare-waiver",
+        "delorean_trace",
+        "pub fn f(x: Option<u32>) -> u32 {\n\
+             // lint:allow(no-unwrap)\n\
+             x.unwrap()\n\
+         }\n",
+    );
+    let report = fx.run();
+    let rules = rules_of(&report);
+    // The unjustified waiver is itself flagged AND does not suppress.
+    assert!(rules.contains(&"bad-waiver"), "got {rules:?}");
+    assert!(rules.contains(&"no-unwrap"), "got {rules:?}");
+}
+
+#[test]
+fn waiver_naming_an_unknown_rule_is_rejected() {
+    let fx = Fixture::new(
+        "unknown-rule",
+        "delorean_trace",
+        "// lint:allow(no-such-rule): reads fine but means nothing\n\
+         pub fn f() {}\n",
+    );
+    let report = fx.run();
+    assert_eq!(rules_of(&report), vec!["bad-waiver"]);
+}
+
+#[test]
+fn missing_lint_table_optin_is_flagged() {
+    let fx = Fixture::new("no-optin", "delorean_trace", "pub fn f() {}\n");
+    // Overwrite the member manifest without the [lints] opt-in.
+    std::fs::write(
+        fx.root.join("member/Cargo.toml"),
+        "[package]\nname = \"delorean_trace\"\nversion = \"0.1.0\"\nedition = \"2021\"\n",
+    )
+    .expect("rewrite manifest");
+    let report = fx.run();
+    assert_eq!(rules_of(&report), vec!["workspace-lints"]);
+}
+
+#[test]
+fn unsafe_needs_an_adjacent_safety_comment() {
+    let dirty = Fixture::new(
+        "unsafe-bare",
+        "delorean_trace",
+        "pub fn f(p: *const u8) -> u8 {\n\
+             unsafe { *p }\n\
+         }\n",
+    );
+    assert_eq!(rules_of(&dirty.run()), vec!["safety-comment"]);
+
+    let clean = Fixture::new(
+        "unsafe-annotated",
+        "delorean_trace",
+        "pub fn f(p: *const u8) -> u8 {\n\
+             // SAFETY: caller passes a live, aligned pointer\n\
+             unsafe { *p }\n\
+         }\n",
+    );
+    assert!(clean.run().is_clean());
+}
+
+#[test]
+fn json_report_is_well_formed_enough_to_grep() {
+    let fx = Fixture::new(
+        "json",
+        "delorean_trace",
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let json = fx.run().render_json();
+    assert!(json.contains("\"diagnostics\""), "got {json}");
+    assert!(json.contains("\"no-unwrap\""), "got {json}");
+    assert!(json.contains("\"files_scanned\""), "got {json}");
+}

@@ -1,0 +1,42 @@
+//! The workspace must stay clean under its own lint: this is the same
+//! gate CI runs via `cargo run -p delorean-lint`, expressed as a test so
+//! `cargo test` alone catches a regression.
+
+use delorean_lint::Engine;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = Engine::new(&root).run().expect("scan workspace");
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report.render_text()
+    );
+    // Zero *un-justified* waivers: every waiver in effect must carry a
+    // reason (an empty one would already be a bad-waiver diagnostic, so
+    // this is belt-and-braces against engine regressions).
+    for w in &report.waivers {
+        assert!(
+            !w.reason.is_empty(),
+            "waiver for `{}` at {}:{} has no justification",
+            w.rule,
+            w.path,
+            w.line
+        );
+    }
+    // The scan actually covered the workspace, not an empty directory.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.crates_scanned >= 16,
+        "only {} crates",
+        report.crates_scanned
+    );
+}

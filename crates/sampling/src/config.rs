@@ -80,6 +80,7 @@ impl SamplingConfig {
     ///
     /// Panics if the configuration is invalid.
     pub fn plan(&self) -> RegionPlan {
+        // lint:allow(no-unwrap): documented # Panics contract — planning fails fast on an invalid config
         self.validate().expect("invalid sampling config");
         let regions = (0..self.regions)
             .map(|i| {

@@ -117,6 +117,7 @@ impl RegionScheduler {
         ThreadPoolBuilder::new()
             .num_threads(self.workers)
             .build()
+            // lint:allow(no-unwrap): the offline rayon shim's pool build is infallible; with registry rayon a failure here is unrecoverable
             .expect("region worker pool")
             .install(|| jobs.par_iter().map(|&(i, r)| unit(i, r)).collect())
     }
@@ -170,6 +171,7 @@ impl RegionScheduler {
                 let done_tx = done_tx.clone();
                 let seed_rx = &seed_rx;
                 scope.spawn(move || loop {
+                    // lint:allow(no-unwrap): a poisoned lock means a sibling worker panicked; propagating is the only sound recovery
                     let msg = seed_rx.lock().expect("seed channel lock").recv();
                     match msg {
                         Ok((i, s)) => {
@@ -189,6 +191,7 @@ impl RegionScheduler {
             }
             slots
                 .into_iter()
+                // lint:allow(no-unwrap): the consumer loop sends exactly one result per unit before the channel closes
                 .map(|s| s.expect("every unit completed"))
                 .collect()
         })

@@ -10,8 +10,7 @@
 //! avoid; it exists here as the validation oracle for StatStack and as the
 //! substrate for exact working-set analysis in tests.
 
-use delorean_trace::LineAddr;
-use std::collections::HashMap;
+use delorean_trace::{LineAddr, LineMap};
 
 /// Exact distances of one access, as measured by [`ExactStackProcessor`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -39,7 +38,7 @@ pub struct ExactStackProcessor {
     /// Fenwick tree over positions; `tree[i]` covers a range ending at `i`.
     tree: Vec<i64>,
     /// Most recent position (1-based) of each line.
-    last: HashMap<LineAddr, usize>,
+    last: LineMap<usize>,
     /// Next access position (1-based).
     now: usize,
 }
@@ -151,7 +150,7 @@ mod tests {
     fn brute_force_stack(stream: &[LineAddr], i: usize) -> Option<u64> {
         let target = stream[i];
         let prev = stream[..i].iter().rposition(|&l| l == target)?;
-        let mut uniq = std::collections::HashSet::new();
+        let mut uniq = delorean_trace::LineSet::new();
         for &l in &stream[prev + 1..i] {
             uniq.insert(l);
         }

@@ -60,7 +60,7 @@ mod model_validation {
 
         // Statistical: build a reuse profile from the same stream.
         let mut profile = ReuseProfile::new();
-        let mut last = std::collections::HashMap::new();
+        let mut last = delorean_trace::LineMap::new();
         for (t, &l) in lines.iter().enumerate() {
             if let Some(p) = last.insert(l, t) {
                 profile.record((t - p - 1) as u64, 1.0);

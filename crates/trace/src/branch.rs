@@ -132,11 +132,10 @@ mod tests {
     fn biased_pcs_have_stable_direction() {
         let m = BranchModel::new(5).with_biased_permille(1000);
         // Group outcomes per PC; a fully biased model must be ≥ 85% one-sided.
-        use std::collections::HashMap;
-        let mut per_pc: HashMap<Pc, (u32, u32)> = HashMap::new();
+        let mut per_pc: crate::collections::PcMap<(u32, u32)> = crate::collections::PcMap::new();
         for b in 0..50_000 {
             let e = m.branch_event(b);
-            let c = per_pc.entry(e.pc).or_default();
+            let c = per_pc.or_default(e.pc);
             if e.taken {
                 c.0 += 1;
             } else {
@@ -145,7 +144,7 @@ mod tests {
         }
         let mut skewed = 0usize;
         let mut total = 0usize;
-        for (_, (t, n)) in per_pc {
+        for (_, &(t, n)) in per_pc.iter() {
             let all = t + n;
             if all < 20 {
                 continue;

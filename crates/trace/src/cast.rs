@@ -1,0 +1,112 @@
+//! Checked integer narrowing for the hot path.
+//!
+//! An early `AccessIter::size_hint` silently truncated a `u64` record
+//! count through a bare `as usize`; the `lossy-cast` lint now denies
+//! that cast class in the hot crates, and these helpers are the
+//! sanctioned replacement. Every narrowing states its contract:
+//!
+//! * **exact** ([`idx`], [`u32_exact`], [`u64_exact`]) — the value is
+//!   in range by construction (an index below a `len()`, a remainder
+//!   below a `u64` modulus). Debug builds assert the bound; release
+//!   builds saturate instead of wrapping, so a violated invariant
+//!   degrades to a clamped value rather than an aliased one.
+//! * **truncating** ([`fold_hash`]) — only the low bits matter and the
+//!   caller says so, e.g. folding a 64-bit hash into a power-of-two
+//!   slot mask.
+//!
+//! None of these panic in release builds, keeping the `no-unwrap`
+//! contract for library crates intact.
+
+/// Exact `u64 -> usize` cast for container indices and capacities.
+///
+/// Debug-asserts that the value fits (it cannot fail on 64-bit
+/// targets); saturates to `usize::MAX` in release so an impossible
+/// index fails loudly at the container boundary instead of aliasing a
+/// valid slot.
+#[inline]
+#[must_use]
+pub fn idx(v: u64) -> usize {
+    debug_assert!(
+        usize::try_from(v).is_ok(),
+        "index {v} exceeds usize::MAX on this target"
+    );
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+/// Exact `u64 -> u32` cast for values bounded by construction
+/// (way indices, per-tile record counts).
+///
+/// Debug-asserts the bound; saturates to `u32::MAX` in release.
+#[inline]
+#[must_use]
+pub fn u32_exact(v: u64) -> u32 {
+    debug_assert!(u32::try_from(v).is_ok(), "value {v} exceeds u32::MAX");
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+/// Exact `u128 -> u64` cast for wide-arithmetic results already reduced
+/// modulo a `u64` (the `mulmod` in the pattern generators).
+///
+/// Debug-asserts the bound; saturates to `u64::MAX` in release.
+#[inline]
+#[must_use]
+pub fn u64_exact(v: u128) -> u64 {
+    debug_assert!(u64::try_from(v).is_ok(), "value {v} exceeds u64::MAX");
+    u64::try_from(v).unwrap_or(u64::MAX)
+}
+
+/// Deliberately truncating `u64 -> usize` fold of a hash value.
+///
+/// Callers immediately mask the result with a power-of-two table mask
+/// no wider than `usize`, so discarding high bits on a 32-bit target is
+/// part of the addressing scheme, not an accident.
+#[inline]
+#[must_use]
+pub fn fold_hash(h: u64) -> usize {
+    h as usize // lint:allow(lossy-cast): truncation is the documented contract of this helper
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_casts_roundtrip_at_the_boundary() {
+        assert_eq!(idx(0), 0);
+        assert_eq!(idx(u32::MAX as u64), u32::MAX as usize);
+        assert_eq!(u32_exact(u64::from(u32::MAX)), u32::MAX);
+        assert_eq!(u64_exact(u128::from(u64::MAX)), u64::MAX);
+        assert_eq!(u64_exact(0), 0);
+    }
+
+    #[test]
+    fn fold_hash_keeps_low_bits() {
+        let mask = 0xFFusize;
+        assert_eq!(fold_hash(0xDEAD_BEEF) & mask, 0xEF);
+        assert_eq!(fold_hash(u64::MAX) & mask, 0xFF);
+    }
+
+    // The release profile saturates instead of asserting; the two
+    // behaviours are profile-exclusive, so each test only compiles in
+    // the profile it checks.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn u32_exact_asserts_on_overflow_in_debug() {
+        let _ = u32_exact(u64::from(u32::MAX) + 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds u64::MAX")]
+    fn u64_exact_asserts_on_overflow_in_debug() {
+        let _ = u64_exact(u128::from(u64::MAX) + 1);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn exact_casts_saturate_in_release() {
+        assert_eq!(u32_exact(u64::MAX), u32::MAX);
+        assert_eq!(u64_exact(u128::MAX), u64::MAX);
+    }
+}

@@ -152,7 +152,7 @@ impl<K: FlatKey, V> FlatMap<K, V> {
     #[inline]
     fn bucket(&self, key: K) -> usize {
         debug_assert!(!self.slots.is_empty());
-        (flat_hash(key.raw()) as usize) & (self.slots.len() - 1)
+        crate::cast::fold_hash(flat_hash(key.raw())) & (self.slots.len() - 1)
     }
 
     /// Number of entries.
@@ -267,6 +267,7 @@ impl<K: FlatKey, V> FlatMap<K, V> {
             self.slots[i] = Some((key, default()));
             self.len += 1;
         }
+        // lint:allow(no-unwrap): the branch above fills slot i when it was empty, so it is always occupied here
         self.slots[i].as_mut().map(|(_, v)| v).expect("just filled")
     }
 
@@ -295,6 +296,7 @@ impl<K: FlatKey, V> FlatMap<K, V> {
                 _ => i = (i + 1) & mask,
             }
         }
+        // lint:allow(no-unwrap): the probe loop above only breaks on an occupied slot holding `key`
         let (_, value) = self.slots[i].take().expect("found above");
         self.len -= 1;
         // Backshift: walk the cluster after the hole; any entry whose home
@@ -302,7 +304,7 @@ impl<K: FlatKey, V> FlatMap<K, V> {
         let mut hole = i;
         let mut j = (i + 1) & mask;
         while let Some((k, _)) = &self.slots[j] {
-            let home = (flat_hash(k.raw()) as usize) & mask;
+            let home = crate::cast::fold_hash(flat_hash(k.raw())) & mask;
             let home_dist = j.wrapping_sub(home) & mask;
             let hole_dist = j.wrapping_sub(hole) & mask;
             if home_dist >= hole_dist {

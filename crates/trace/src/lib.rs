@@ -66,6 +66,7 @@
 #![warn(missing_debug_implementations)]
 
 mod branch;
+pub mod cast;
 mod collections;
 mod cursor;
 mod iter;

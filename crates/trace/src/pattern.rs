@@ -371,7 +371,7 @@ fn affine_perm(seed: u64, x: u64, n: u64) -> u64 {
     }
     let a = coprime_multiplier(seed, n);
     let b = mix64(seed, 0xb0b) % n;
-    ((x as u128 * a as u128 + b as u128) % n as u128) as u64
+    crate::cast::u64_exact((x as u128 * a as u128 + b as u128) % n as u128)
 }
 
 /// A multiplier near `0.618·n` (golden-ratio spread) adjusted to be coprime
@@ -403,7 +403,7 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use crate::collections::FlatSet;
 
     #[test]
     fn stream_is_cyclic_with_period_lines() {
@@ -420,9 +420,9 @@ mod tests {
     fn permutation_walk_is_a_bijection() {
         for n in [1u64, 2, 3, 64, 97, 1000] {
             let p = Pattern::PermutationWalk { lines: n };
-            let seen: HashSet<u64> = (0..n).map(|j| p.line_at(1234, j)).collect();
+            let seen: FlatSet<u64> = (0..n).map(|j| p.line_at(1234, j)).collect();
             assert_eq!(seen.len() as u64, n, "n={n}");
-            assert!(seen.iter().all(|&l| l < n));
+            assert!(seen.iter().all(|l| l < n));
         }
     }
 
@@ -438,9 +438,9 @@ mod tests {
     #[test]
     fn random_uniform_stays_in_bounds_and_covers() {
         let p = Pattern::RandomUniform { lines: 16 };
-        let seen: HashSet<u64> = (0..1000).map(|j| p.line_at(5, j)).collect();
+        let seen: FlatSet<u64> = (0..1000).map(|j| p.line_at(5, j)).collect();
         assert!(seen.len() >= 15, "covered only {} lines", seen.len());
-        assert!(seen.iter().all(|&l| l < 16));
+        assert!(seen.iter().all(|l| l < 16));
     }
 
     #[test]

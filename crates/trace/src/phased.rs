@@ -227,7 +227,7 @@ impl PhasedWorkloadBuilder {
 fn build_slot_table(streams: &[StreamSpec], weight_sum: u64) -> Vec<SlotEntry> {
     let mut credits: Vec<i64> = vec![0; streams.len()];
     let mut occ: Vec<u32> = vec![0; streams.len()];
-    let mut slots = Vec::with_capacity(weight_sum as usize);
+    let mut slots = Vec::with_capacity(crate::cast::idx(weight_sum));
     for _ in 0..weight_sum {
         for (c, s) in credits.iter_mut().zip(streams) {
             *c += s.weight as i64;
@@ -236,6 +236,7 @@ fn build_slot_table(streams: &[StreamSpec], weight_sum: u64) -> Vec<SlotEntry> {
             .iter()
             .enumerate()
             .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+            // lint:allow(no-unwrap): builders validate phases to have at least one stream before this table is built
             .expect("non-empty streams");
         credits[best] -= weight_sum as i64;
         slots.push(SlotEntry {
@@ -522,8 +523,8 @@ impl AccessCursor for PhasedCursor<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::collections::FlatMap;
     use crate::WorkloadExt;
-    use std::collections::HashMap;
 
     fn two_stream() -> PhasedWorkload {
         PhasedWorkloadBuilder::new("t", 7)
@@ -557,7 +558,7 @@ mod tests {
         let w = two_stream();
         // Stream 0 gets 3/4 of accesses; its footprint is 32 lines from its
         // base, stream 1's is 1024 lines from a disjoint base.
-        let mut by_base: HashMap<u64, u64> = HashMap::new();
+        let mut by_base: FlatMap<u64, u64> = FlatMap::new();
         for a in w.iter_range(0..40_000) {
             let line = a.addr.0 / LINE_BYTES;
             let base = if line < w.phases[0].streams[1].base_line {
@@ -565,10 +566,10 @@ mod tests {
             } else {
                 1
             };
-            *by_base.entry(base).or_default() += 1;
+            *by_base.or_default(base) += 1;
         }
-        assert_eq!(by_base[&0], 30_000);
-        assert_eq!(by_base[&1], 10_000);
+        assert_eq!(by_base.get(0), Some(&30_000));
+        assert_eq!(by_base.get(1), Some(&10_000));
     }
 
     #[test]
@@ -720,7 +721,8 @@ mod tests {
             )
             .build()
             .unwrap();
-        let pcs: std::collections::HashSet<u64> = w.iter_range(0..1_000).map(|a| a.pc.0).collect();
+        let pcs: crate::collections::FlatSet<u64> =
+            w.iter_range(0..1_000).map(|a| a.pc.0).collect();
         assert!(pcs.len() <= 8);
         assert!(pcs.len() >= 6, "expected most PCs used, got {}", pcs.len());
     }

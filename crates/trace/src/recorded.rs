@@ -83,6 +83,7 @@ impl RecordedTrace {
             let a = workload.access_at(k);
             b = b.push(a.pc, a.addr, a.kind);
         }
+        // lint:allow(no-unwrap): callers capture validated non-empty ranges, so the builder always has records
         b.build().expect("captured range is non-empty")
     }
 
@@ -151,7 +152,7 @@ impl Workload for RecordedTrace {
 
     #[inline]
     fn access_at(&self, k: u64) -> MemAccess {
-        let r = &self.accesses[(k % self.accesses.len() as u64) as usize];
+        let r = &self.accesses[crate::cast::idx(k % self.accesses.len() as u64)];
         MemAccess {
             index: k,
             icount: k * self.mem_period,
@@ -186,7 +187,7 @@ impl<'w> RecordedCursor<'w> {
             trace,
             next: range.start,
             end: range.end.max(range.start),
-            offset: (range.start % trace.accesses.len() as u64) as usize,
+            offset: crate::cast::idx(range.start % trace.accesses.len() as u64),
         }
     }
 }

@@ -519,6 +519,7 @@ fn build(spec: &Spec, scale: Scale, suite_seed: u64) -> PhasedWorkload {
         let len = (ph.paper_len_accesses / scale.instr_div).max(10_000);
         b = b.phase(len, ph.streams.iter().map(|s| s.compile(scale)).collect());
     }
+    // lint:allow(no-unwrap): the static SPEC table always carries at least one phase with streams
     b.build().expect("suite specs are valid by construction")
 }
 
@@ -565,8 +566,8 @@ pub fn spec_workload(name: &str, scale: Scale, suite_seed: u64) -> Option<Phased
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::collections::FlatSet;
     use crate::{Workload, WorkloadExt};
-    use std::collections::HashSet;
 
     #[test]
     fn suite_has_all_names_in_order() {
@@ -578,10 +579,15 @@ mod tests {
     #[test]
     fn workloads_differ_from_each_other() {
         let suite = spec2006(Scale::tiny(), 1);
-        let mut sigs = HashSet::new();
+        let mut sigs: Vec<Vec<u64>> = Vec::new();
         for w in &suite {
             let sig: Vec<u64> = w.iter_range(0..64).map(|a| a.addr.0).collect();
-            assert!(sigs.insert(sig), "{} duplicates another workload", w.name());
+            assert!(
+                !sigs.contains(&sig),
+                "{} duplicates another workload",
+                w.name()
+            );
+            sigs.push(sig);
         }
     }
 
@@ -624,11 +630,9 @@ mod tests {
         // phases.
         let w = spec_workload("soplex", Scale::demo(), 1).unwrap();
         let cycle = w.cycle_len_accesses();
-        let a_pcs: std::collections::HashSet<u64> =
-            w.iter_range(0..5_000).map(|a| a.pc.0).collect();
-        let b_pcs: std::collections::HashSet<u64> =
-            w.iter_range(cycle - 5_000..cycle).map(|a| a.pc.0).collect();
-        assert!(a_pcs.is_disjoint(&b_pcs), "phases share PCs");
+        let a_pcs: FlatSet<u64> = w.iter_range(0..5_000).map(|a| a.pc.0).collect();
+        let b_pcs: FlatSet<u64> = w.iter_range(cycle - 5_000..cycle).map(|a| a.pc.0).collect();
+        assert!(a_pcs.iter().all(|p| !b_pcs.contains(p)), "phases share PCs");
     }
 
     #[test]
@@ -637,7 +641,7 @@ mod tests {
         // workload must touch only a modest number of unique lines — the
         // paper reports an average of 151 key cachelines per region.
         let w = spec_workload("bwaves", Scale::demo(), 1).unwrap();
-        let unique: HashSet<u64> = w
+        let unique: FlatSet<u64> = w
             .iter_range(1_000_000..1_000_000 + 3_333)
             .map(|a| a.line().0)
             .collect();
@@ -651,7 +655,7 @@ mod tests {
     #[test]
     fn mem_periods_vary() {
         let suite = spec2006(Scale::tiny(), 1);
-        let periods: HashSet<u64> = suite.iter().map(|w| w.mem_period()).collect();
+        let periods: FlatSet<u64> = suite.iter().map(|w| w.mem_period()).collect();
         assert!(periods.len() >= 2);
     }
 }

@@ -229,6 +229,7 @@ pub fn tile_checksum(bytes: &[u8]) -> u64 {
     let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ bytes.len() as u64;
     let mut chunks = bytes.chunks_exact(8);
     for c in &mut chunks {
+        // lint:allow(no-unwrap): chunks_exact(8) yields exactly 8-byte slices, so the array conversion is infallible
         h = mix64(h, u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
     }
     let rem = chunks.remainder();
@@ -242,11 +243,13 @@ pub fn tile_checksum(bytes: &[u8]) -> u64 {
 
 #[inline]
 fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    // lint:allow(no-unwrap): the slice is exactly 4 bytes by the range on this line
     u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
 }
 
 #[inline]
 fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    // lint:allow(no-unwrap): the slice is exactly 8 bytes by the range on this line
     u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
 }
 
@@ -268,7 +271,7 @@ fn encode_header(
     h[44..48].copy_from_slice(&branch.biased_permille.to_le_bytes());
     h[48..56].copy_from_slice(&branch.seed.to_le_bytes());
     let name_bytes = name.as_bytes();
-    h[56..60].copy_from_slice(&(name_bytes.len() as u32).to_le_bytes());
+    h[56..60].copy_from_slice(&crate::cast::u32_exact(name_bytes.len() as u64).to_le_bytes());
     h[60..60 + name_bytes.len()].copy_from_slice(name_bytes);
     let sum = tile_checksum(&h[..HEADER_CHECKSUM_AT]);
     h[HEADER_CHECKSUM_AT..HEADER_CHECKSUM_AT + 8].copy_from_slice(&sum.to_le_bytes());
@@ -557,6 +560,7 @@ impl TileFile {
         let h = &map[..FILE_HEADER_BYTES];
         if h[0..8] != FILE_MAGIC {
             return Err(TileError::BadMagic {
+                // lint:allow(no-unwrap): the slice is exactly 8 bytes by the range on this line
                 found: h[0..8].try_into().expect("8 bytes"),
             });
         }
@@ -677,7 +681,7 @@ impl TileFile {
     #[inline]
     fn tile_len(&self, tile: u32) -> u32 {
         if tile + 1 == self.tile_count {
-            (self.record_count - tile as u64 * self.tile_records as u64) as u32
+            crate::cast::u32_exact(self.record_count - tile as u64 * self.tile_records as u64)
         } else {
             self.tile_records
         }
@@ -717,8 +721,8 @@ impl TileFile {
                 detail: format!("instruction range {start_instr}..{end_instr} inconsistent"),
             });
         }
-        let payload = &self.map
-            [at + TILE_HEADER_BYTES..at + TILE_HEADER_BYTES + records as usize * RECORD_BYTES];
+        let payload = &self.map[at + TILE_HEADER_BYTES
+            ..at + TILE_HEADER_BYTES + crate::cast::idx(u64::from(records)) * RECORD_BYTES];
         let stored = read_u64(h, 32);
         let computed = tile_checksum(payload);
         if stored != computed {
@@ -854,8 +858,8 @@ impl TileFile {
     #[inline]
     pub fn record_at(&self, k: u64) -> MemAccess {
         assert!(k < self.record_count, "record {k} out of range");
-        let tile = (k / self.tile_records as u64) as u32;
-        let within = (k % self.tile_records as u64) as usize;
+        let tile = crate::cast::u32_exact(k / self.tile_records as u64);
+        let within = crate::cast::idx(k % self.tile_records as u64);
         let at = self.tile_offset(tile) + TILE_HEADER_BYTES + within * RECORD_BYTES;
         let rec = &self.map[at..at + RECORD_BYTES];
         MemAccess {
@@ -1061,7 +1065,7 @@ impl AccessCursor for TiledCursor {
                 }
                 self.checked_tile = tile as u64;
             }
-            let within = (rec - tile as u64 * tile_records) as usize;
+            let within = crate::cast::idx(rec - tile as u64 * tile_records);
             let take = (self.file.tile_len(tile) as usize - within)
                 .min(max - produced)
                 .min((self.end - self.next).min(usize::MAX as u64) as usize);
@@ -1130,7 +1134,7 @@ impl StreamingTileCursor {
                     let _ = tx.send(Err(e));
                     return;
                 }
-                let within = (rec - tile as u64 * tile_records) as usize;
+                let within = crate::cast::idx(rec - tile as u64 * tile_records);
                 let take = (file.tile_len(tile) as usize - within)
                     .min((end - pos).min(usize::MAX as u64) as usize);
                 let mut batch = recycle_rx.try_recv().unwrap_or_default();

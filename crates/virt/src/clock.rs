@@ -18,6 +18,7 @@ impl HostClock {
     #[inline]
     pub fn charge(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0, "negative charge");
+        // lint:allow(float-accum): HostClock is the sanctioned per-lane sequential accumulator; cross-lane merges go through the plan-ordered RunCost path
         self.seconds += seconds;
     }
 
@@ -194,14 +195,15 @@ impl RunCost {
         let mut free = vec![0.0f64; pool.min(self.units.len())];
         let mut end = 0.0f64;
         for u in &self.units {
+            // lint:allow(float-accum): units iterate in plan order regardless of worker count, so this fold is worker-count-invariant
             chain_done += u.chained_seconds;
             // Earliest-available worker (first on ties: deterministic).
-            let w = free
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite worker times"))
-                .map(|(i, _)| i)
-                .expect("non-empty pool");
+            let mut w = 0usize;
+            for i in 1..free.len() {
+                if free[i] < free[w] {
+                    w = i;
+                }
+            }
             let start = free[w].max(chain_done);
             free[w] = start + u.parallel_seconds;
             end = end.max(free[w]).max(chain_done);

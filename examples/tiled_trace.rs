@@ -21,6 +21,7 @@ fn main() {
     // implied by position, so nothing else needs storing.
     let span = workload.accesses_in_instrs(plan.total_instrs()) + 1;
     let path = std::env::temp_dir().join(format!("delorean-example-{}.dlt", std::process::id()));
+    // lint:allow(no-wallclock): the demo prints real elapsed time for context; it never feeds a report
     let t = Instant::now();
     let summary = pack_workload(&workload, 0..span, &path).expect("pack");
     println!(
@@ -39,9 +40,11 @@ fn main() {
     assert_eq!(tiled.file().tile_records(), DEFAULT_TILE_RECORDS);
 
     let runner = DeLoreanRunner::new(machine, DeLoreanConfig::for_scale(scale));
+    // lint:allow(no-wallclock): the demo prints real elapsed time for context; it never feeds a report
     let t = Instant::now();
     let in_memory = runner.run(&workload, &plan);
     let in_memory_wall = t.elapsed().as_secs_f64();
+    // lint:allow(no-wallclock): the demo prints real elapsed time for context; it never feeds a report
     let t = Instant::now();
     let from_tiles = runner.run(&tiled, &plan);
     let tiled_wall = t.elapsed().as_secs_f64();
