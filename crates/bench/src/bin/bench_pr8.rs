@@ -1,0 +1,358 @@
+//! Speculative warm lane harness: writes `BENCH_PR8.json`, the fifth
+//! point of the repository's perf trajectory.
+//!
+//! `BENCH_PR5.json` records SMARTS at an honest 1.0× for every worker
+//! count — its warm chain is sequential. PR 8 breaks the chain by
+//! speculation: each worker warms its region from a cheap proxy state
+//! (`ProxyStateSource`), a sequential reconciler digest-compares the
+//! proxy against the true carried state, commits matches and re-measures
+//! mismatches. For every workload × machine × proxy cell this harness:
+//!
+//! 1. runs the **verbatim pre-PR 5 sequential SMARTS driver**
+//!    (`delorean_bench::seqdriver::smarts_sequential`) as the accuracy
+//!    oracle;
+//! 2. runs the speculative lane at 1/2/4/8 workers and asserts the
+//!    **equivalence oracle**: bitwise-identical reports across all
+//!    worker counts and proxies, and identical CPI / per-region
+//!    counters against the sequential driver;
+//! 3. records the measured **speculation hit-rate** (identical at every
+//!    worker count by construction — the commit decision is a pure
+//!    function of workload × plan × proxy) and the **modeled**
+//!    speculative wallclock curve
+//!    (`RunCost::speculative_wallclock`), which charges committed
+//!    regions at their parallel speculative cost and missed regions at
+//!    the full sequential re-measure cost.
+//!
+//! Machines: the baseline demo hierarchy, plus (full mode) the same
+//! hierarchy with the stride prefetcher enabled — an honest negative:
+//! the prefetcher's absolute trigger tick makes every window proxy
+//! digest-divergent, so speculation degrades to ≈1.0× instead of
+//! winning. mcf plays the same role on the workload axis (its streaming
+//! reuse never converges inside a directed window).
+//!
+//! Flags: `--quick` (CI smoke: hmmer × baseline machine, 4 regions,
+//! gated at ≥1.15× modeled statmodel speedup at 4 workers), `--out PATH`
+//! (default `BENCH_PR8.json`).
+
+use delorean_bench::seqdriver;
+use delorean_cache::MachineConfig;
+use delorean_sampling::{
+    ProxyStateSource, SamplingConfig, SamplingStrategy, SimulationReport, SmartsRunner,
+    SpeculationExtras,
+};
+use delorean_trace::{spec_workload, Scale};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+const PROXIES: [ProxyStateSource; 3] = [
+    ProxyStateSource::Cold,
+    ProxyStateSource::NearestBoundary,
+    ProxyStateSource::StatModel,
+];
+/// Quick-mode regression gate: modeled speculative speedup of the
+/// statmodel proxy at 4 workers (hmmer, baseline machine).
+const GATE_QUICK_SPEEDUP_4W: f64 = 1.15;
+/// Full-mode floor from the ISSUE acceptance bar: speculation must beat
+/// the sequential chain at 4 workers on hmmer-class workloads.
+const GATE_FULL_SPEEDUP_4W: f64 = 1.0;
+
+struct Cell {
+    workload: String,
+    machine: &'static str,
+    proxy: &'static str,
+    cpi: f64,
+    hits: usize,
+    regions: usize,
+    hit_rate: f64,
+    seq_host_seconds: f64,
+    host_seconds: [f64; WORKERS.len()],
+    modeled_seq_seconds: f64,
+    modeled_seconds: [f64; WORKERS.len()],
+    modeled_speedup: [f64; WORKERS.len()],
+}
+
+fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// CPI + per-region + collected equality against the verbatim
+/// sequential driver (whose `RunCost` predates per-unit recording, so
+/// full struct equality is compared among scheduler runs only).
+fn assert_matches_oracle(cell: &str, oracle: &SimulationReport, new: &SimulationReport) {
+    assert_eq!(
+        oracle.total(),
+        new.total(),
+        "{cell}: diverged from the sequential SMARTS driver"
+    );
+    assert!(
+        oracle.cpi() == new.cpi(),
+        "{cell}: CPI mismatch ({} vs {})",
+        oracle.cpi(),
+        new.cpi()
+    );
+    assert_eq!(
+        oracle.regions.len(),
+        new.regions.len(),
+        "{cell}: region count mismatch"
+    );
+    for (b, n) in oracle.regions.iter().zip(&new.regions) {
+        assert_eq!(b, n, "{cell}: region result diverged");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+
+    let scale = Scale::demo();
+    let regions = if quick { 4 } else { 10 };
+    let plan = SamplingConfig::for_scale(scale)
+        .with_regions(regions)
+        .plan();
+    let workload_names: &[&str] = if quick {
+        &["hmmer"]
+    } else {
+        &["hmmer", "mcf", "povray"]
+    };
+    let machines: Vec<(&'static str, MachineConfig)> = if quick {
+        vec![("baseline", MachineConfig::for_scale(scale))]
+    } else {
+        vec![
+            ("baseline", MachineConfig::for_scale(scale)),
+            (
+                "prefetch",
+                MachineConfig::for_scale(scale).with_prefetch(true),
+            ),
+        ]
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (mname, machine) in &machines {
+        for name in workload_names {
+            let w = spec_workload(name, scale, 1).unwrap();
+
+            // --- Verbatim sequential SMARTS: the accuracy oracle. ---
+            let t = Instant::now();
+            let oracle = seqdriver::smarts_sequential(machine, &w, &plan);
+            let seq_host_seconds = t.elapsed().as_secs_f64();
+
+            // --- Non-speculative scheduler run: the modeled-cost
+            //     baseline every speculative report must also equal. ---
+            let base = SmartsRunner::new(*machine).run_with_workers(&w, &plan, 1);
+            assert_matches_oracle(&format!("{mname}/{name}/chained"), &oracle, &base.report);
+            let modeled_seq_seconds = base.report.cost.region_parallel_wallclock(1);
+
+            for proxy in PROXIES {
+                let cell_name = format!("{mname}/{name}/{}", proxy.name());
+                let runner = SmartsRunner::new(*machine).with_speculation(proxy);
+                let mut host_seconds = [0.0; WORKERS.len()];
+                let mut reports = Vec::with_capacity(WORKERS.len());
+                for (i, &workers) in WORKERS.iter().enumerate() {
+                    let t = Instant::now();
+                    let report = runner.run_with_workers(&w, &plan, workers);
+                    host_seconds[i] = t.elapsed().as_secs_f64();
+                    reports.push(report);
+                }
+
+                // --- Equivalence oracle. ---
+                // (a) Worker count never changes the report or the
+                //     speculation outcomes, bit for bit.
+                for (report, &workers) in reports.iter().zip(&WORKERS[1..]) {
+                    assert_eq!(
+                        reports[0].report, report.report,
+                        "{cell_name}: workers={workers} changed the report"
+                    );
+                    assert_eq!(
+                        reports[0].extras::<SpeculationExtras>(),
+                        report.extras::<SpeculationExtras>(),
+                        "{cell_name}: workers={workers} changed the speculation outcomes"
+                    );
+                }
+                // (b) Speculation never changes the report either: it
+                //     must equal the non-speculative scheduler run in
+                //     full (cost accounting included) ...
+                assert_eq!(
+                    base.report, reports[0].report,
+                    "{cell_name}: speculation changed the report"
+                );
+                // ... and the verbatim sequential driver in substance.
+                assert_matches_oracle(&cell_name, &oracle, &reports[0].report);
+
+                // --- Hit-rate + modeled speculative wallclock curve. ---
+                let new = &reports[0];
+                let extras = new
+                    .extras::<SpeculationExtras>()
+                    .expect("speculative run carries extras");
+                let mut modeled_seconds = [0.0; WORKERS.len()];
+                let mut modeled_speedup = [0.0; WORKERS.len()];
+                for (i, &workers) in WORKERS.iter().enumerate() {
+                    modeled_seconds[i] = new
+                        .report
+                        .cost
+                        .speculative_wallclock(workers, &extras.outcomes);
+                    modeled_speedup[i] = modeled_seq_seconds / modeled_seconds[i];
+                }
+                eprintln!(
+                    "{mname:<9} {name:<7} {:<16} cpi {:>6.3}  hit {:>2}/{:<2}  modeled speedup x{:.2}/x{:.2}/x{:.2}/x{:.2} at {WORKERS:?} workers",
+                    proxy.name(),
+                    new.report.cpi(),
+                    extras.hits(),
+                    extras.outcomes.len(),
+                    modeled_speedup[0],
+                    modeled_speedup[1],
+                    modeled_speedup[2],
+                    modeled_speedup[3],
+                );
+                cells.push(Cell {
+                    workload: name.to_string(),
+                    machine: mname,
+                    proxy: proxy.name(),
+                    cpi: new.report.cpi(),
+                    hits: extras.hits(),
+                    regions: extras.outcomes.len(),
+                    hit_rate: extras.hit_rate(),
+                    seq_host_seconds,
+                    host_seconds,
+                    modeled_seq_seconds,
+                    modeled_seconds,
+                    modeled_speedup,
+                });
+            }
+        }
+    }
+
+    let idx4 = WORKERS.iter().position(|&w| w == 4).unwrap();
+    // Per-proxy geomean speedup curves across workload × machine cells.
+    let mut proxy_geomeans: Vec<(&'static str, [f64; WORKERS.len()])> = Vec::new();
+    for proxy in PROXIES {
+        let mut curve = [0.0; WORKERS.len()];
+        for (i, slot) in curve.iter_mut().enumerate() {
+            let speedups: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.proxy == proxy.name())
+                .map(|c| c.modeled_speedup[i])
+                .collect();
+            *slot = geomean(&speedups);
+        }
+        proxy_geomeans.push((proxy.name(), curve));
+    }
+    // The headline: statmodel proxy on the baseline machine (the
+    // configuration the ISSUE's ≥1.5× hmmer-class target names).
+    let headline: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.proxy == "statmodel" && c.machine == "baseline")
+        .map(|c| c.modeled_speedup[idx4])
+        .collect();
+    let headline_geomean_4w = geomean(&headline);
+    let hmmer_statmodel_4w = cells
+        .iter()
+        .find(|c| c.proxy == "statmodel" && c.machine == "baseline" && c.workload == "hmmer")
+        .map(|c| c.modeled_speedup[idx4])
+        .unwrap_or(0.0);
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- Emit JSON (hand-rolled: the serde shim has no serializer). ---
+    let fmt_curve = |vals: &[f64; WORKERS.len()], digits: usize| -> String {
+        WORKERS
+            .iter()
+            .zip(vals)
+            .map(|(w, v)| format!("\"{w}\": {v:.digits$}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"pr\": 8,");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    let _ = writeln!(j, "  \"regions\": {regions},");
+    let _ = writeln!(j, "  \"host_available_parallelism\": {parallelism},");
+    let _ = writeln!(
+        j,
+        "  \"oracle\": \"speculative SMARTS reports bitwise identical across 1/2/4/8 workers and all proxy sources, equal in full to the non-speculative scheduler run, and matching the verbatim pre-PR 5 sequential SMARTS driver's CPI and per-region counters for every cell\","
+    );
+    j.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"workload\": \"{}\", \"machine\": \"{}\", \"proxy\": \"{}\", \"scale\": \"demo\", \"cpi\": {:.4}, \"speculation_hits\": {}, \"regions\": {}, \"hit_rate\": {:.4}, \"seq_host_seconds\": {:.4}, \"host_seconds\": {{{}}}, \"modeled_seq_seconds\": {:.4}, \"modeled_wall_seconds\": {{{}}}, \"modeled_speedup\": {{{}}}}}{}",
+            json_escape(&c.workload),
+            c.machine,
+            c.proxy,
+            c.cpi,
+            c.hits,
+            c.regions,
+            c.hit_rate,
+            c.seq_host_seconds,
+            fmt_curve(&c.host_seconds, 4),
+            c.modeled_seq_seconds,
+            fmt_curve(&c.modeled_seconds, 4),
+            fmt_curve(&c.modeled_speedup, 3),
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"geomean_modeled_speedup_per_proxy\": {\n");
+    for (i, (pname, curve)) in proxy_geomeans.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    \"{pname}\": {{{}}}{}",
+            fmt_curve(curve, 3),
+            if i + 1 < proxy_geomeans.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    j.push_str("  },\n");
+    let _ = writeln!(
+        j,
+        "  \"statmodel_baseline_geomean_speedup_4_workers\": {headline_geomean_4w:.3},"
+    );
+    let _ = writeln!(
+        j,
+        "  \"hmmer_statmodel_speedup_4_workers\": {hmmer_statmodel_4w:.3},"
+    );
+    let gate = if quick {
+        GATE_QUICK_SPEEDUP_4W
+    } else {
+        GATE_FULL_SPEEDUP_4W
+    };
+    let _ = writeln!(j, "  \"gate_speedup_4_workers\": {gate},");
+    let _ = writeln!(
+        j,
+        "  \"honesty_note\": \"mcf's streaming reuse never converges inside a directed window and the prefetch machine's absolute trigger tick defeats every window proxy, so those cells degrade to ~1x (the reconciler re-measures everything) rather than being excluded; the reference host has {parallelism} vCPU, so measured walls are context only\""
+    );
+    j.push_str("}\n");
+    std::fs::write(&out_path, &j).expect("write BENCH_PR8.json");
+    eprintln!(
+        "statmodel/baseline geomean modeled speedup at 4 workers: {headline_geomean_4w:.2}x (hmmer {hmmer_statmodel_4w:.2}x)"
+    );
+    eprintln!("wrote {out_path}");
+
+    // Regression gate on the statmodel/baseline headline: 1.15x in
+    // quick mode (hmmer only), >1.0x geomean in full mode where the
+    // honest mcf cell drags the mean down.
+    if headline_geomean_4w < gate || headline_geomean_4w <= 1.0 {
+        eprintln!(
+            "ERROR: statmodel/baseline geomean speedup {headline_geomean_4w:.2}x at 4 workers below the {gate}x bar"
+        );
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,20 @@ use delorean_trace::{cast, mix64, LineAddr};
 /// Sentinel tag for an empty way.
 const EMPTY: u64 = u64::MAX;
 
+/// Stable per-policy discriminant folded into state digests — decoupled
+/// from the enum's memory layout so digests do not silently change if
+/// the enum is reordered.
+fn replacement_code(policy: ReplacementPolicy) -> u64 {
+    match policy {
+        ReplacementPolicy::Lru => 1,
+        ReplacementPolicy::Fifo => 2,
+        ReplacementPolicy::Random => 3,
+        ReplacementPolicy::PLru => 4,
+        ReplacementPolicy::Nmru => 5,
+        ReplacementPolicy::Srrip => 6,
+    }
+}
+
 /// Result of a (potentially filling) cache access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum AccessResult {
@@ -339,6 +353,120 @@ impl Cache {
         self.set_bits.clone_from(&snapshot.set_bits);
         self.tick = snapshot.tick;
         self.valid_lines = snapshot.valid_lines;
+    }
+
+    /// Adopt another cache's state, reusing this cache's allocations
+    /// (`clone_from` on the arrays instead of a fresh deep copy). The
+    /// cheap restore path of the speculative warm lane: the reconciler
+    /// repeatedly overwrites a scratch hierarchy with the carried state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two caches have different geometry.
+    pub fn copy_state_from(&mut self, other: &Cache) {
+        assert_eq!(self.tags.len(), other.tags.len(), "cache geometry mismatch");
+        self.cfg = other.cfg;
+        self.tags.clone_from(&other.tags);
+        self.stamps.clone_from(&other.stamps);
+        self.set_bits.clone_from(&other.set_bits);
+        self.tick = other.tick;
+        self.rng = other.rng;
+        self.valid_lines = other.valid_lines;
+        self.stats = other.stats;
+    }
+
+    /// A [`mix64`] fold over the cache's **behaviorally live** state: the
+    /// portion of the microarchitectural state that determines every
+    /// future hit/miss/eviction, and nothing more. Two caches with equal
+    /// digests behave identically on any subsequent access sequence,
+    /// even when their raw [`CacheSnapshot`]s differ in dead bytes.
+    ///
+    /// What is live depends on the replacement policy:
+    ///
+    /// * **LRU / FIFO** — per set, the valid tags in *stamp-rank order*
+    ///   (oldest → newest). Absolute stamp values are dead: every new
+    ///   stamp exceeds all existing ones, so only the relative order can
+    ///   ever influence a victim scan. Way positions are dead too: hits
+    ///   scan all ways, the victim is chosen by minimum stamp (distinct
+    ///   among valid ways — each write uses a fresh tick), and an empty
+    ///   way's identity never outlives its fill. Rank-canonicalizing is
+    ///   what lets a directed warm-up window, replayed from a cold cache,
+    ///   reproduce the live state of the full warm chain exactly.
+    /// * **SRRIP** — tags and RRPV stamps in way order (the victim scan
+    ///   breaks RRPV ties by way index, so positions are live).
+    /// * **PLRU** — tags in way order plus the tree bits (the bits
+    ///   address ways, so positions are live; stamps and tick are dead).
+    /// * **NMRU** — tags in way order, the MRU way pointer, and the RNG
+    ///   and tick that seed victim selection.
+    /// * **Random** — tags in way order plus RNG and tick.
+    ///
+    /// Statistics and `valid_lines` (derived from the tags) are never
+    /// folded.
+    pub fn state_digest(&self, seed: u64) -> u64 {
+        let ways = self.cfg.ways as usize;
+        let mut d = mix64(seed, self.sets ^ (u64::from(self.cfg.ways) << 32));
+        d = mix64(d, replacement_code(self.cfg.replacement));
+        // Scratch for the per-set rank sort (LRU/FIFO only); hoisted out
+        // of the set loop so the digest allocates at most once.
+        let mut by_rank: Vec<(u64, u64)> = Vec::with_capacity(ways);
+        for set in 0..self.sets {
+            let row = self.row(set);
+            match self.cfg.replacement {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                    by_rank.clear();
+                    for w in 0..ways {
+                        let tag = self.tags[row + w];
+                        if tag != EMPTY {
+                            by_rank.push((self.stamps[row + w], tag));
+                        }
+                    }
+                    // Valid stamps are distinct within a cache (each
+                    // write consumes a fresh tick), so this order is
+                    // total and the sort is a pure rank canonicalization.
+                    by_rank.sort_unstable();
+                    d = mix64(d, by_rank.len() as u64);
+                    for &(_, tag) in &by_rank {
+                        d = mix64(d, tag);
+                    }
+                }
+                ReplacementPolicy::Srrip => {
+                    for w in 0..ways {
+                        let tag = self.tags[row + w];
+                        d = mix64(d, tag);
+                        if tag != EMPTY {
+                            d = mix64(d, self.stamps[row + w]);
+                        }
+                    }
+                }
+                ReplacementPolicy::PLru => {
+                    for w in 0..ways {
+                        d = mix64(d, self.tags[row + w]);
+                    }
+                    d = mix64(d, u64::from(self.set_bits[cast::idx(set)]));
+                }
+                ReplacementPolicy::Nmru => {
+                    for w in 0..ways {
+                        d = mix64(d, self.tags[row + w]);
+                    }
+                    d = mix64(d, u64::from(self.set_bits[cast::idx(set)]));
+                }
+                ReplacementPolicy::Random => {
+                    for w in 0..ways {
+                        d = mix64(d, self.tags[row + w]);
+                    }
+                }
+            }
+        }
+        // RNG-driven policies consume (rng, tick) on every victim pick,
+        // so both are live state there; everywhere else they are dead.
+        if matches!(
+            self.cfg.replacement,
+            ReplacementPolicy::Random | ReplacementPolicy::Nmru
+        ) {
+            d = mix64(d, self.rng);
+            d = mix64(d, self.tick);
+        }
+        d
     }
 
     /// Update replacement metadata after a hit on way `w`.
@@ -759,6 +887,93 @@ mod tests {
         let snap = c.snapshot();
         let mut other = tiny(4, ReplacementPolicy::Lru);
         other.restore(&snap);
+    }
+
+    #[test]
+    fn lru_digest_canonicalizes_dead_bytes() {
+        // Two LRU caches driven over the same cyclic line sequence, one
+        // from the start and one from a cycle boundary onward, end at
+        // the same stream position with the same tags and the same
+        // recency *order* — but different absolute stamps and ticks (and
+        // potentially different way assignments). The live-state digest
+        // must see through the dead bytes; the raw snapshot must not.
+        let lines = 6u64; // cycles through sets 0..=1 of the 4-set cache
+        let seq = |i: u64| LineAddr(i % lines);
+        let mut full = tiny(2, ReplacementPolicy::Lru);
+        let mut window = tiny(2, ReplacementPolicy::Lru);
+        for i in 0..3 * lines {
+            full.access(seq(i));
+        }
+        for i in lines..3 * lines {
+            window.access(seq(i));
+        }
+        assert_eq!(full.state_digest(7), window.state_digest(7));
+        assert_ne!(full.snapshot(), window.snapshot(), "stamps must differ");
+        // Equal digests ⇒ identical future behaviour, including victims.
+        for i in 0..200u64 {
+            let line = LineAddr(delorean_trace::mix64(9, i) % 24);
+            assert_eq!(full.access(line), window.access(line), "step {i}");
+            assert_eq!(full.state_digest(7), window.state_digest(7), "step {i}");
+        }
+    }
+
+    #[test]
+    fn digest_differs_when_tags_or_order_differ() {
+        let mut a = tiny(2, ReplacementPolicy::Lru);
+        let mut b = tiny(2, ReplacementPolicy::Lru);
+        a.access(LineAddr(0));
+        b.access(LineAddr(4)); // same set, different line
+        assert_ne!(a.state_digest(7), b.state_digest(7));
+        // Same resident lines, different recency order.
+        let mut c = tiny(2, ReplacementPolicy::Lru);
+        let mut d = tiny(2, ReplacementPolicy::Lru);
+        c.access(LineAddr(0));
+        c.access(LineAddr(4));
+        d.access(LineAddr(4));
+        d.access(LineAddr(0));
+        assert_ne!(c.state_digest(7), d.state_digest(7));
+        // Seed changes the digest.
+        assert_ne!(c.state_digest(7), c.state_digest(8));
+    }
+
+    #[test]
+    fn rng_policies_fold_rng_and_tick() {
+        // Random replacement consumes (rng, tick) on every victim pick,
+        // so two caches with identical tags but different ticks are NOT
+        // behaviourally equal — the digest must distinguish them.
+        let mut a = tiny(2, ReplacementPolicy::Random);
+        let mut b = tiny(2, ReplacementPolicy::Random);
+        a.access(LineAddr(0));
+        b.access(LineAddr(8)); // tick advances; line 8 maps to set 0 too
+        b.invalidate(LineAddr(8));
+        b.access(LineAddr(0));
+        assert_ne!(a.state_digest(7), b.state_digest(7));
+    }
+
+    #[test]
+    fn copy_state_from_matches_clone() {
+        let mut src = tiny(4, ReplacementPolicy::PLru);
+        for i in 0..300u64 {
+            src.access(LineAddr(delorean_trace::mix64(5, i) % 64));
+        }
+        let mut dst = tiny(4, ReplacementPolicy::PLru);
+        dst.access(LineAddr(999)); // dirty the destination first
+        dst.copy_state_from(&src);
+        assert_eq!(dst.snapshot(), src.snapshot());
+        assert_eq!(dst.stats(), src.stats());
+        assert_eq!(dst.state_digest(1), src.state_digest(1));
+        for i in 0..100u64 {
+            let line = LineAddr(delorean_trace::mix64(6, i) % 64);
+            assert_eq!(dst.access(line), src.access(line), "step {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cache geometry mismatch")]
+    fn copy_state_rejects_wrong_geometry() {
+        let src = tiny(2, ReplacementPolicy::Lru);
+        let mut dst = tiny(4, ReplacementPolicy::Lru);
+        dst.copy_state_from(&src);
     }
 
     #[test]

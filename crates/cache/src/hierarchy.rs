@@ -339,6 +339,59 @@ impl Hierarchy {
         self.mshr_d.clear();
     }
 
+    /// A cheap digest of the hierarchy's **behaviorally live** state:
+    /// a [`mix64`](delorean_trace::mix64) fold over all three caches
+    /// (policy-aware, see [`Cache::state_digest`]), the in-flight L1-D
+    /// MSHR entries, and the prefetcher streams if enabled.
+    ///
+    /// This is the commit test of the speculative warm lane: two
+    /// hierarchies with equal digests produce identical [`MemLevel`]
+    /// sequences, statistics deltas and eviction streams for any
+    /// subsequent accesses, so a measurement taken from one is valid for
+    /// the other. The digest deliberately canonicalizes away dead bytes
+    /// (absolute LRU stamps, way permutations in symmetric policies) —
+    /// that is what lets a *directed warm-up window replayed from cold*
+    /// reproduce the live state of a full sequential warm chain and
+    /// commit against it.
+    ///
+    /// Statistics, the MSHR-retirement scratch and the adaptive
+    /// batched-warm hints are not architectural state and are excluded.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = self.l1i.state_digest(0x00d1_0c0d_e57a_7e00);
+        d = self.l1d.state_digest(d);
+        d = self.llc.state_digest(d);
+        d = self.mshr_d.state_digest(d);
+        match &self.prefetcher {
+            Some(pf) => pf.state_digest(d),
+            None => delorean_trace::mix64(d, 0x0ff),
+        }
+    }
+
+    /// Adopt `other`'s complete state in place, reusing this hierarchy's
+    /// allocations (`clone_from` on every tag/stamp array) — the cheap
+    /// restore path for code that repeatedly re-seeds a scratch
+    /// hierarchy, where [`Hierarchy::fork`] would allocate fresh arrays
+    /// per call. Behaviorally equivalent to `*self = other.fork()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two hierarchies were built from different machine
+    /// configurations (geometry or MSHR shape).
+    pub fn copy_state_from(&mut self, other: &Hierarchy) {
+        self.l1i.copy_state_from(&other.l1i);
+        self.l1d.copy_state_from(&other.l1d);
+        self.llc.copy_state_from(&other.llc);
+        self.mshr_d.copy_state_from(&other.mshr_d);
+        match (&mut self.prefetcher, &other.prefetcher) {
+            (Some(mine), Some(theirs)) => mine.copy_state_from(theirs),
+            (mine, theirs) => *mine = theirs.clone(),
+        }
+        self.stats = other.stats;
+        self.retired.clear();
+        self.warm_llc_lookahead = other.warm_llc_lookahead;
+        self.warm_marker = other.warm_marker;
+    }
+
     /// Drop outstanding MSHR state (e.g. at region boundaries).
     pub fn drain_mshrs(&mut self) {
         // Complete the fills the entries stood for, then clear.
@@ -525,6 +578,82 @@ mod tests {
         });
         assert_eq!(h.stats(), oracle.stats());
         assert_eq!(h.snapshot(), oracle.snapshot());
+    }
+
+    #[test]
+    fn state_digest_tracks_behavioural_state() {
+        use delorean_trace::spec_workload;
+        let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
+        let mut a = Hierarchy::new(&machine());
+        let mut b = Hierarchy::new(&machine());
+        assert_eq!(a.state_digest(), b.state_digest(), "cold == cold");
+        a.warm_range(&w, 0..4_000);
+        b.warm_range(&w, 0..4_000);
+        assert_eq!(a.state_digest(), b.state_digest(), "same history");
+        assert_ne!(
+            a.state_digest(),
+            Hierarchy::new(&machine()).state_digest(),
+            "warm != cold"
+        );
+        // A single access can be behaviourally invisible (a hit on the
+        // MRU line of its set), so diverge by a span, not one access.
+        b.warm_range(&w, 4_000..4_256);
+        assert_ne!(a.state_digest(), b.state_digest(), "histories diverged");
+        // Statistics are not architectural state: resetting them leaves
+        // the digest alone.
+        let d = a.state_digest();
+        a.reset_stats();
+        assert_eq!(a.state_digest(), d);
+    }
+
+    #[test]
+    fn directed_window_reproduces_the_warm_chain_digest() {
+        // The speculative warm lane's entire premise, at hierarchy level:
+        // for an LRU machine, the live state at access position B is a
+        // function of a bounded window of recent history, so warming
+        // [B-L, B) from *cold* converges to the same live-state digest as
+        // warming the full prefix [0, B) — while the raw snapshots differ
+        // in dead bytes (absolute stamps).
+        use delorean_trace::spec_workload;
+        let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
+        let boundary = 60_000u64;
+        let window = 30_000u64;
+        let mut chain = Hierarchy::new(&machine());
+        chain.warm_range(&w, 0..boundary);
+        let mut proxy = Hierarchy::new(&machine());
+        proxy.warm_range(&w, boundary - window..boundary);
+        assert_eq!(
+            chain.state_digest(),
+            proxy.state_digest(),
+            "directed window failed to converge to the chain's live state"
+        );
+        // Equal digests ⇒ identical subsequent behaviour.
+        let before = (chain.stats().l1d_hits, chain.stats().memory);
+        chain.reset_stats();
+        proxy.reset_stats();
+        chain.warm_range(&w, boundary..boundary + 5_000);
+        proxy.warm_range(&w, boundary..boundary + 5_000);
+        assert_eq!(chain.stats(), proxy.stats());
+        assert_eq!(chain.state_digest(), proxy.state_digest());
+        let _ = before;
+    }
+
+    #[test]
+    fn copy_state_from_is_fork_without_allocation() {
+        use delorean_trace::spec_workload;
+        let w = spec_workload("mcf", Scale::tiny(), 1).unwrap();
+        let mut src = Hierarchy::new(&machine());
+        src.warm_range(&w, 0..8_000);
+        let mut dst = Hierarchy::new(&machine());
+        dst.warm_range(&w, 0..100); // dirty destination
+        dst.copy_state_from(&src);
+        assert_eq!(dst.state_digest(), src.state_digest());
+        assert_eq!(dst.stats(), src.stats());
+        dst.warm_range(&w, 8_000..12_000);
+        let mut fork = src.fork();
+        fork.warm_range(&w, 8_000..12_000);
+        assert_eq!(dst.snapshot(), fork.snapshot());
+        assert_eq!(dst.stats(), fork.stats());
     }
 
     #[test]

@@ -147,6 +147,39 @@ impl MshrFile {
         self.next_fill_at = u64::MAX;
     }
 
+    /// Adopt another file's state, reusing this file's entry allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity or latency differ — MSHR shape is hardware
+    /// configuration, not state.
+    pub fn copy_state_from(&mut self, other: &MshrFile) {
+        assert_eq!(self.capacity, other.capacity, "MSHR capacity mismatch");
+        assert_eq!(
+            self.latency_accesses, other.latency_accesses,
+            "MSHR latency mismatch"
+        );
+        self.entries.clone_from(&other.entries);
+        self.next_fill_at = other.next_fill_at;
+    }
+
+    /// A [`mix64`](delorean_trace::mix64) fold over the file's live
+    /// state: outstanding entries **in allocation order** (retirement
+    /// preserves order, and the order of the deferred L1 fills is
+    /// architecturally visible), plus the shape parameters. Completion
+    /// times are absolute access indices, which both the warm chain and
+    /// a window-warmed proxy derive from the same access stream —
+    /// `next_fill_at` is derived from the entries and not folded.
+    pub fn state_digest(&self, seed: u64) -> u64 {
+        use delorean_trace::mix64;
+        let mut d = mix64(seed, (self.capacity as u64) << 32 | self.latency_accesses);
+        for &(line, fill_at) in &self.entries {
+            d = mix64(d, line.0);
+            d = mix64(d, fill_at);
+        }
+        d
+    }
+
     fn recompute_next(&mut self) {
         self.next_fill_at = self
             .entries

@@ -10,7 +10,7 @@
 //! not care where the trigger verdicts come from, which is exactly the
 //! paper's point.
 
-use delorean_trace::{LineAddr, Pc};
+use delorean_trace::{mix64, LineAddr, Pc};
 use serde::{Deserialize, Serialize};
 
 /// Confidence threshold to arm a stream.
@@ -122,6 +122,45 @@ impl StridePrefetcher {
     /// Forget all streams (used at region boundaries).
     pub fn reset(&mut self) {
         self.streams.clear();
+    }
+
+    /// A [`mix64`] fold over the prefetcher's live state: streams in
+    /// table order (lookup returns the first PC match and replacement
+    /// breaks `last_used` ties by position, so order is live), each
+    /// stream's full prediction state, and the trigger tick that stamps
+    /// `last_used`. The `issued` counter is a statistic and excluded.
+    ///
+    /// Stream timestamps are *trigger*-relative (not access-indexed), so
+    /// a warm-up proxy generally cannot reproduce them from a window —
+    /// prefetch-enabled machines speculate conservatively, which the
+    /// bench reports honestly.
+    pub fn state_digest(&self, seed: u64) -> u64 {
+        let mut d = mix64(
+            seed,
+            (self.max_streams as u64) << 32 | u64::from(self.degree),
+        );
+        d = mix64(d, self.tick);
+        for s in &self.streams {
+            d = mix64(d, s.pc.0);
+            d = mix64(d, s.last_line);
+            d = mix64(d, s.stride as u64);
+            d = mix64(d, u64::from(s.confidence));
+            d = mix64(d, s.last_used);
+        }
+        d
+    }
+
+    /// Adopt another prefetcher's state, reusing the stream allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table shape differs.
+    pub fn copy_state_from(&mut self, other: &StridePrefetcher) {
+        assert_eq!(self.max_streams, other.max_streams, "stream table mismatch");
+        assert_eq!(self.degree, other.degree, "prefetch degree mismatch");
+        self.streams.clone_from(&other.streams);
+        self.tick = other.tick;
+        self.issued = other.issued;
     }
 }
 

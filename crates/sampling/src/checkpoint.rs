@@ -16,13 +16,14 @@
 
 use crate::config::RegionPlan;
 use crate::driver::{reduce_units, UnitDriver};
+use crate::proxy::{ProxyStateSource, SpeculationExtras};
 use crate::report::SimulationReport;
 use crate::scheduler::RegionScheduler;
 use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, HierarchySnapshot, MachineConfig};
 use delorean_cpu::TimingConfig;
 use delorean_trace::{MemAccess, Workload};
-use delorean_virt::{CostModel, HostClock, WorkKind};
+use delorean_virt::{CostModel, HostClock, SpecUnit, WorkKind};
 
 /// The checkpoints of one (workload, plan, machine) combination.
 #[derive(Clone, Debug)]
@@ -127,6 +128,127 @@ impl CheckpointWarmingRunner {
             snapshots,
             preparation_seconds: clock.seconds(),
         }
+    }
+
+    /// The preparation run through the **speculative warm lane**: the
+    /// warm chain between snapshots is the same chain SMARTS walks, so
+    /// the same protocol applies — each worker builds a proxy of the
+    /// chain state at its region's boundary, digests it, warms its span
+    /// and snapshots; the reconciler advances the true state and on a
+    /// digest match adopts the worker's snapshot and end state, else
+    /// re-warms the span itself.
+    ///
+    /// One wrinkle: [`Hierarchy::snapshot`] drains the MSHRs, so the
+    /// chain state at every boundary after the first is post-drain. The
+    /// spec worker mirrors that by draining its proxy before digesting,
+    /// keeping the comparison apples-to-apples.
+    ///
+    /// Committed snapshots may differ from sequentially-prepared ones in
+    /// *dead* bytes (absolute recency stamps) — but storage accounting
+    /// (valid lines) and every evaluation run built on them are
+    /// functions of the live state only, so `preparation_seconds`,
+    /// [`CheckpointSet::storage_bytes`] and the evaluation
+    /// [`SimulationReport`] are all identical to sequential preparation
+    /// (pinned by `tests/determinism.rs`).
+    pub fn prepare_speculative(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        proxy: ProxyStateSource,
+        workers: usize,
+    ) -> (CheckpointSet, SpeculationExtras) {
+        let p = workload.mem_period();
+        let mult = plan.config.work_multiplier();
+        let mut positions = Vec::with_capacity(plan.regions.len());
+        let mut pos = 0u64;
+        for region in &plan.regions {
+            positions.push(pos);
+            pos = region.warming.start / p;
+        }
+        let positions = &positions;
+
+        struct Speculation {
+            digest: u64,
+            end_state: Hierarchy,
+            snapshot: HierarchySnapshot,
+            proxy_seconds: f64,
+            total_seconds: f64,
+        }
+
+        let ctx = crate::proxy::ProxyContext {
+            machine: &self.machine,
+            cost: &self.cost,
+            workload,
+            p,
+            mult,
+        };
+        let spec = |i: u32, region: &crate::config::Region| -> Speculation {
+            let at = positions[i as usize];
+            let prev = if i == 0 { 0 } else { positions[i as usize - 1] };
+            let (mut h, proxy_seconds) = proxy.build(&ctx, at, prev);
+            // The chain drained its MSHRs when it snapshotted at `at`.
+            h.drain_mshrs();
+            let digest = h.state_digest();
+            let warm_end = region.warming.start / p;
+            let span = warm_end.saturating_sub(at);
+            let warm_seconds = self
+                .cost
+                .instr_seconds(WorkKind::Functional, span * p * mult);
+            h.warm_range(workload, at..warm_end);
+            let snapshot = h.snapshot();
+            Speculation {
+                digest,
+                end_state: h,
+                snapshot,
+                proxy_seconds,
+                total_seconds: proxy_seconds + warm_seconds,
+            }
+        };
+
+        let mut hierarchy = Hierarchy::new(&self.machine);
+        let mut pos_access = 0u64;
+        let mut clock = HostClock::new();
+        let mut outcomes: Vec<SpecUnit> = Vec::with_capacity(plan.regions.len());
+        let snapshots = RegionScheduler::new(workers).run_speculative(
+            &plan.regions,
+            spec,
+            |i: u32, region: &crate::config::Region, s: Speculation| -> HierarchySnapshot {
+                debug_assert_eq!(pos_access, positions[i as usize]);
+                let warm_end = region.warming.start / p;
+                let span = warm_end.saturating_sub(pos_access);
+                clock.charge(
+                    self.cost
+                        .instr_seconds(WorkKind::Functional, span * p * mult),
+                );
+                // drain_mshrs is idempotent on the already-drained chain
+                // (and a no-op on the cold start), so digesting after it
+                // matches the spec worker's comparison point exactly.
+                hierarchy.drain_mshrs();
+                let committed = hierarchy.state_digest() == s.digest;
+                let snapshot = if committed {
+                    hierarchy.copy_state_from(&s.end_state);
+                    s.snapshot
+                } else {
+                    hierarchy.warm_range(workload, pos_access..warm_end);
+                    hierarchy.snapshot()
+                };
+                pos_access = warm_end;
+                outcomes.push(SpecUnit {
+                    unit: i,
+                    committed,
+                    proxy_seconds: s.proxy_seconds,
+                    speculative_seconds: s.total_seconds,
+                });
+                snapshot
+            },
+        );
+        (
+            CheckpointSet {
+                snapshots,
+                preparation_seconds: clock.seconds(),
+            },
+            SpeculationExtras { proxy, outcomes },
+        )
     }
 
     /// An evaluation run from existing checkpoints: load, detailed-warm,
@@ -284,6 +406,31 @@ mod tests {
         let extras = via_trait.extras::<CheckpointExtras>().expect("extras");
         assert_eq!(extras.storage_bytes, checkpoints.storage_bytes());
         assert_eq!(extras.preparation_seconds, checkpoints.preparation_seconds);
+    }
+
+    #[test]
+    fn speculative_preparation_matches_sequential() {
+        let (w, machine, plan) = setup();
+        let runner = CheckpointWarmingRunner::new(machine);
+        let sequential = runner.prepare(&w, &plan);
+        let seq_eval = runner.run_with(&sequential, &w, &plan);
+        for proxy in [
+            ProxyStateSource::Cold,
+            ProxyStateSource::StatModel,
+            ProxyStateSource::Poisoned,
+        ] {
+            for workers in [1usize, 4] {
+                let (set, extras) = runner.prepare_speculative(&w, &plan, proxy, workers);
+                assert_eq!(set.len(), sequential.len());
+                assert_eq!(set.preparation_seconds, sequential.preparation_seconds);
+                assert_eq!(set.storage_bytes(), sequential.storage_bytes());
+                let eval = runner.run_with(&set, &w, &plan);
+                assert_eq!(eval, seq_eval, "proxy {} workers {workers}", proxy.name());
+                if proxy == ProxyStateSource::Poisoned {
+                    assert_eq!(extras.hits(), 0);
+                }
+            }
+        }
     }
 
     #[test]

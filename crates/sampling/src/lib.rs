@@ -50,6 +50,7 @@ mod coolsim;
 mod driver;
 pub mod metrics;
 mod mrrl;
+mod proxy;
 mod report;
 mod scheduler;
 mod smarts;
@@ -59,6 +60,7 @@ pub use checkpoint::{CheckpointExtras, CheckpointSet, CheckpointWarmingRunner};
 pub use config::{Region, RegionPlan, SamplingConfig};
 pub use coolsim::{CoolSimConfig, CoolSimRunner};
 pub use mrrl::MrrlRunner;
+pub use proxy::{ProxyStateSource, SpeculationExtras};
 pub use report::{RegionReport, SimulationReport};
 pub use scheduler::RegionScheduler;
 pub use smarts::SmartsRunner;

@@ -44,6 +44,7 @@ use crate::config::Region;
 use crossbeam::channel::bounded;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Fans a region plan's independent units out across a worker pool and
@@ -196,6 +197,79 @@ impl RegionScheduler {
                 .collect()
         })
     }
+
+    /// Evaluate **speculative** units: `spec` bodies are fully
+    /// independent (each builds its own proxy state — no chain
+    /// dependency, which is the entire point of the speculative warm
+    /// lane) and fan out across `workers − 1` workers immediately, while
+    /// `reconcile` runs on the calling thread **in plan order**, folding
+    /// the sequential carried state and deciding commit vs re-measure
+    /// for each unit as its speculation arrives.
+    ///
+    /// Out-of-order speculation results are buffered until the
+    /// reconciler catches up, so `reconcile(i, …)` always observes units
+    /// `0..i` already reconciled — exactly the sequential fold. With one
+    /// worker the two interleave: spec(0), reconcile(0), spec(1), …
+    ///
+    /// Determinism contract: `spec` must be a pure function of
+    /// `(index, region)`, and `reconcile` must not depend on *when* a
+    /// speculation arrived — then the outputs (and every commit/miss
+    /// decision) are bitwise identical for every worker count.
+    pub fn run_speculative<S: Send, R: Send>(
+        &self,
+        regions: &[Region],
+        spec: impl Fn(u32, &Region) -> S + Sync,
+        mut reconcile: impl FnMut(u32, &Region, S) -> R + Send,
+    ) -> Vec<R> {
+        let n = regions.len();
+        if self.workers <= 1 || n <= 1 {
+            return regions
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let s = spec(i as u32, r);
+                    reconcile(i as u32, r, s)
+                })
+                .collect();
+        }
+        let pool = (self.workers - 1).min(n);
+        let next = AtomicUsize::new(0);
+        let (done_tx, done_rx) = bounded::<(u32, S)>(n);
+        let spec = &spec;
+        let next = &next;
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                let done_tx = done_tx.clone();
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let s = spec(i as u32, &regions[i]);
+                    if done_tx.send((i as u32, s)).is_err() {
+                        return; // reconciler gone (a sibling panicked)
+                    }
+                });
+            }
+            drop(done_tx);
+            let mut pending: Vec<Option<S>> = (0..n).map(|_| None).collect();
+            let mut out = Vec::with_capacity(n);
+            for (i, s) in done_rx.iter() {
+                pending[i as usize] = Some(s);
+                while out.len() < n {
+                    match pending[out.len()].take() {
+                        Some(s) => {
+                            let i = out.len() as u32;
+                            out.push(reconcile(i, &regions[i as usize], s));
+                        }
+                        None => break,
+                    }
+                }
+            }
+            assert_eq!(out.len(), n, "every speculation must arrive");
+            out
+        })
+    }
 }
 
 impl Default for RegionScheduler {
@@ -265,6 +339,35 @@ mod tests {
         assert_eq!(RegionScheduler::sequential().workers(), 1);
         assert_eq!(RegionScheduler::default(), RegionScheduler::sequential());
         assert!(RegionScheduler::host().workers() >= 1);
+    }
+
+    #[test]
+    fn speculative_units_reconcile_in_plan_order() {
+        let rs = regions(6);
+        // The reconciler folds a running product over (index, spec value);
+        // any arrival order must yield the sequential fold.
+        let reference: Vec<u64> = {
+            let mut acc = 1u64;
+            rs.iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    acc = acc.wrapping_mul(r.start_instr + i as u64 + 2);
+                    acc
+                })
+                .collect()
+        };
+        for workers in [1, 2, 3, 8] {
+            let mut acc = 1u64;
+            let got = RegionScheduler::new(workers).run_speculative(
+                &rs,
+                |i, r| r.start_instr + u64::from(i) + 2,
+                |_, _, s| {
+                    acc = acc.wrapping_mul(s);
+                    acc
+                },
+            );
+            assert_eq!(got, reference, "workers={workers}");
+        }
     }
 
     #[test]

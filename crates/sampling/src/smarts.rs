@@ -8,13 +8,14 @@
 //! measures SMARTS at 1.3 MIPS.
 
 use crate::config::{Region, RegionPlan};
-use crate::driver::{reduce_units, UnitDriver};
+use crate::driver::{reduce_units, RegionUnit, UnitDriver};
+use crate::proxy::{ProxyStateSource, SpeculationExtras};
 use crate::scheduler::RegionScheduler;
 use crate::strategy::{SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig};
 use delorean_cpu::TimingConfig;
 use delorean_trace::{MemAccess, Workload};
-use delorean_virt::{CostModel, HostClock, WorkKind};
+use delorean_virt::{CostModel, HostClock, SpecUnit, WorkKind};
 
 /// The SMARTS (functional warming) runner.
 #[derive(Clone, Debug)]
@@ -23,6 +24,7 @@ pub struct SmartsRunner {
     timing: TimingConfig,
     cost: CostModel,
     workers: usize,
+    proxy: Option<ProxyStateSource>,
 }
 
 impl SmartsRunner {
@@ -33,7 +35,23 @@ impl SmartsRunner {
             timing: TimingConfig::table1(),
             cost: CostModel::paper_host(),
             workers: 1,
+            proxy: None,
         }
+    }
+
+    /// Enable the speculative warm lane: [`run`] and
+    /// [`run_with_workers`] go through
+    /// [`run_speculative_with_workers`](Self::run_speculative_with_workers)
+    /// with this proxy source, attaching [`SpeculationExtras`] to the
+    /// report. The report itself stays bitwise identical to the
+    /// non-speculative run — speculation is a scheduling strategy, not a
+    /// semantic one.
+    ///
+    /// [`run`]: SamplingStrategy::run
+    /// [`run_with_workers`]: SamplingStrategy::run_with_workers
+    pub fn with_speculation(mut self, proxy: ProxyStateSource) -> Self {
+        self.proxy = Some(proxy);
+        self
     }
 
     /// Override the timing configuration.
@@ -55,6 +73,123 @@ impl SmartsRunner {
     pub fn with_region_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
+    }
+
+    /// SMARTS through the **speculative warm lane**.
+    ///
+    /// Every region becomes an independent speculation task: build a
+    /// proxy of the chain state at the region's boundary (see
+    /// [`ProxyStateSource`]), record its digest, then warm and measure
+    /// in place from it — no chain dependency, so tasks fan out across
+    /// `workers − 1` workers at once. The reconciler advances the true
+    /// carried state in plan order: when its digest equals the proxy's,
+    /// the worker's start state was behaviourally identical to the
+    /// chain's, so its measurement *and its end state* are adopted
+    /// verbatim (the chain skips the region's warm work entirely — the
+    /// source of the modeled speedup); otherwise the region is
+    /// re-warmed and re-measured from the true state.
+    ///
+    /// Either way every unit's chained charge is
+    /// `chain_step`'s — identical arithmetic to the sequential path —
+    /// so the [`SimulationReport`](crate::SimulationReport) is bitwise
+    /// identical to sequential SMARTS at every worker count and for
+    /// every proxy source (pinned by `tests/determinism.rs`). The
+    /// speculation outcomes ride along as [`SpeculationExtras`], from
+    /// which
+    /// [`RunCost::speculative_wallclock`](delorean_virt::RunCost::speculative_wallclock)
+    /// models the lane's wall-clock.
+    pub fn run_speculative_with_workers(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        proxy: ProxyStateSource,
+        workers: usize,
+    ) -> StrategyReport {
+        let p = workload.mem_period();
+        let mult = plan.config.work_multiplier();
+        // Chain access positions are pure plan arithmetic — neither the
+        // worker count nor speculation outcomes can shift them.
+        let mut positions = Vec::with_capacity(plan.regions.len());
+        let mut pos = 0u64;
+        for region in &plan.regions {
+            positions.push(pos);
+            pos = region.detailed.end / p;
+        }
+        let positions = &positions;
+
+        struct Speculation {
+            digest: u64,
+            end_state: Hierarchy,
+            unit: RegionUnit,
+            proxy_seconds: f64,
+            total_seconds: f64,
+        }
+
+        let ctx = crate::proxy::ProxyContext {
+            machine: &self.machine,
+            cost: &self.cost,
+            workload,
+            p,
+            mult,
+        };
+        let spec = |i: u32, region: &Region| -> Speculation {
+            let at = positions[i as usize];
+            let prev = if i == 0 { 0 } else { positions[i as usize - 1] };
+            let (mut h, proxy_seconds) = proxy.build(&ctx, at, prev);
+            let digest = h.state_digest();
+            let step = chain_step(&self.cost, workload, region, at, p, mult);
+            h.warm_range(workload, step.warm);
+            // Measure in place: the shared access core mutates the
+            // hierarchy through the measured span exactly as the
+            // chain's functional replay would, so `h` ends at the next
+            // boundary's state.
+            let driver = UnitDriver::new(workload, &self.timing, &self.cost);
+            let mut source = |a: &MemAccess, now: u64| h.access_data(a.pc, a.line(), now);
+            let unit = driver.measure_region(region, &mut source);
+            let total_seconds = proxy_seconds + step.seconds + unit.seconds;
+            Speculation {
+                digest,
+                end_state: h,
+                unit,
+                proxy_seconds,
+                total_seconds,
+            }
+        };
+
+        let mut hierarchy = Hierarchy::new(&self.machine);
+        let mut pos_access = 0u64;
+        let mut chained = Vec::with_capacity(plan.regions.len());
+        let mut outcomes: Vec<SpecUnit> = Vec::with_capacity(plan.regions.len());
+        let units = RegionScheduler::new(workers).run_speculative(
+            &plan.regions,
+            spec,
+            |i: u32, region: &Region, s: Speculation| -> RegionUnit {
+                debug_assert_eq!(pos_access, positions[i as usize]);
+                let step = chain_step(&self.cost, workload, region, pos_access, p, mult);
+                chained.push(step.seconds);
+                let committed = hierarchy.state_digest() == s.digest;
+                let unit = if committed {
+                    hierarchy.copy_state_from(&s.end_state);
+                    s.unit
+                } else {
+                    hierarchy.warm_range(workload, step.warm);
+                    let driver = UnitDriver::new(workload, &self.timing, &self.cost);
+                    let mut source =
+                        |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
+                    driver.measure_region(region, &mut source)
+                };
+                pos_access = step.next_pos;
+                outcomes.push(SpecUnit {
+                    unit: i,
+                    committed,
+                    proxy_seconds: s.proxy_seconds,
+                    speculative_seconds: s.total_seconds,
+                });
+                unit
+            },
+        );
+        let report = reduce_units(workload, plan, self.name(), &chained, units);
+        StrategyReport::new(report).with_extras(SpeculationExtras { proxy, outcomes })
     }
 }
 
@@ -94,6 +229,9 @@ impl SamplingStrategy for SmartsRunner {
         plan: &RegionPlan,
         workers: usize,
     ) -> StrategyReport {
+        if let Some(proxy) = self.proxy {
+            return self.run_speculative_with_workers(workload, plan, proxy, workers);
+        }
         let p = workload.mem_period();
         let mult = plan.config.work_multiplier();
         let mut hierarchy = Hierarchy::new(&self.machine);
@@ -249,6 +387,85 @@ mod tests {
         assert!(
             mips > 0.6 && mips < 3.0,
             "SMARTS speed should sit near functional-simulation speed, got {mips}"
+        );
+    }
+
+    #[test]
+    fn speculative_reports_are_bitwise_sequential() {
+        let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
+        let plan = quick_plan();
+        let machine = MachineConfig::for_scale(Scale::tiny());
+        let runner = SmartsRunner::new(machine);
+        let sequential = runner.run(&w, &plan);
+        for proxy in [
+            ProxyStateSource::Cold,
+            ProxyStateSource::NearestBoundary,
+            ProxyStateSource::StatModel,
+            ProxyStateSource::Poisoned,
+        ] {
+            for workers in [1usize, 4] {
+                let spec = runner.run_speculative_with_workers(&w, &plan, proxy, workers);
+                assert_eq!(
+                    spec.report,
+                    sequential.report,
+                    "proxy {} workers {workers}",
+                    proxy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn statmodel_proxy_commits_on_hmmer() {
+        let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
+        let plan = quick_plan();
+        let machine = MachineConfig::for_scale(Scale::tiny());
+        let spec = SmartsRunner::new(machine).run_speculative_with_workers(
+            &w,
+            &plan,
+            ProxyStateSource::StatModel,
+            4,
+        );
+        let extras = spec.extras::<SpeculationExtras>().expect("extras");
+        assert!(
+            extras.hit_rate() > 0.5,
+            "statmodel hit rate {} on hmmer",
+            extras.hit_rate()
+        );
+        let speedup = spec.report.cost.speculative_speedup(4, &extras.outcomes);
+        assert!(speedup > 1.0, "modeled speedup {speedup}");
+    }
+
+    #[test]
+    fn poisoned_proxy_never_commits_but_still_reports_sequential() {
+        let w = spec_workload("mcf", Scale::tiny(), 1).unwrap();
+        let plan = quick_plan();
+        let machine = MachineConfig::for_scale(Scale::tiny());
+        let spec = SmartsRunner::new(machine).run_speculative_with_workers(
+            &w,
+            &plan,
+            ProxyStateSource::Poisoned,
+            4,
+        );
+        let extras = spec.extras::<SpeculationExtras>().expect("extras");
+        assert_eq!(extras.hits(), 0, "poison must never commit");
+        let sequential = SmartsRunner::new(machine).run(&w, &plan);
+        assert_eq!(spec.report, sequential.report);
+    }
+
+    #[test]
+    fn with_speculation_routes_the_strategy_entry_points() {
+        let w = spec_workload("hmmer", Scale::tiny(), 1).unwrap();
+        let plan = quick_plan();
+        let machine = MachineConfig::for_scale(Scale::tiny());
+        let runner = SmartsRunner::new(machine)
+            .with_speculation(ProxyStateSource::Cold)
+            .with_region_workers(2);
+        let report = runner.run(&w, &plan);
+        assert!(report.extras::<SpeculationExtras>().is_some());
+        assert_eq!(
+            report.report,
+            SmartsRunner::new(machine).run(&w, &plan).report
         );
     }
 

@@ -30,11 +30,13 @@ pub mod per_pc;
 mod reuse;
 mod statcache;
 pub mod statcc;
+mod warmup;
 pub mod wss;
 
 pub use histogram::LogHistogram;
 pub use reuse::ReuseProfile;
 pub use statcache::StatCacheModel;
+pub use warmup::{plan_warm_window, profile_from_lines, WindowPlan};
 
 #[cfg(test)]
 mod model_validation {

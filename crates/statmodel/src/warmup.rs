@@ -1,0 +1,138 @@
+//! Directed warm-window sizing: the statistical model as a *warming
+//! proxy* (the DeLorean thesis applied to SMARTS's chained warm lane).
+//!
+//! A region's warm state under LRU-class replacement is a function of a
+//! bounded window of recent history — the last `C` *distinct* lines per
+//! cache, in last-touch order. [`ReuseProfile::critical_reuse_distance`]
+//! already answers "how many accesses back must I look so that the
+//! intervening stack distance covers the cache?"; this module probes a
+//! short suffix of the access stream before a region boundary, converts
+//! it into a reuse profile, and turns the critical distance into a
+//! directed warm window. A speculative worker then warms only
+//! `[boundary - window, boundary)` from cold instead of replaying the
+//! blind prefix `[0, boundary)`.
+
+use crate::ReuseProfile;
+use delorean_trace::{LineAddr, LineMap};
+
+/// The outcome of sizing a directed warm window for one region boundary.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WindowPlan {
+    /// Accesses inspected by the probe.
+    pub probe_len: u64,
+    /// Critical reuse distance for the target cache (`u64::MAX` when the
+    /// probe's working set fits entirely — no eviction pressure).
+    pub critical_rd: u64,
+    /// Chosen warm-window length in accesses (never exceeds the prefix).
+    pub window: u64,
+}
+
+/// Build a [`ReuseProfile`] from a full (unsampled) stream of line
+/// addresses: every reuse is recorded at weight 1, first touches as cold.
+pub fn profile_from_lines(lines: impl IntoIterator<Item = LineAddr>) -> ReuseProfile {
+    let mut profile = ReuseProfile::new();
+    let mut last: LineMap<u64> = LineMap::new();
+    for (t, line) in lines.into_iter().enumerate() {
+        let t = t as u64;
+        match last.insert(line, t) {
+            Some(prev) => profile.record(t - prev - 1, 1.0),
+            None => profile.record_cold(1.0),
+        }
+    }
+    profile
+}
+
+/// Size a directed warm window from a probe of the accesses immediately
+/// preceding a region boundary.
+///
+/// `cache_lines` is the capacity of the largest cache that must converge
+/// (the LLC); `prefix_len` is the full warm-chain prefix the window may
+/// never exceed; `margin` multiplies the critical distance so the window
+/// also covers smaller caches' recency state and rides out probe noise
+/// (2–4 is a good range; the PR 8 bench uses 3).
+///
+/// When the probe shows no eviction pressure (`critical_rd == u64::MAX`,
+/// tiny working set), the window falls back to `margin` probe lengths —
+/// the live state is then "everything recently touched", and a few
+/// probe-spans of history reproduce every live line's last touch for
+/// phase-structured workloads.
+///
+/// # Panics
+///
+/// Panics if `margin` is zero.
+pub fn plan_warm_window(
+    probe: &[LineAddr],
+    cache_lines: u64,
+    prefix_len: u64,
+    margin: u64,
+) -> WindowPlan {
+    assert!(margin > 0, "window margin must be positive");
+    let probe_len = probe.len() as u64;
+    let profile = profile_from_lines(probe.iter().copied());
+    let critical_rd = profile.critical_reuse_distance(cache_lines);
+    let bound = if critical_rd == u64::MAX {
+        probe_len
+    } else {
+        critical_rd.min(probe_len)
+    };
+    let window = bound.saturating_mul(margin).min(prefix_len);
+    WindowPlan {
+        probe_len,
+        critical_rd,
+        window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_trace::mix64;
+
+    #[test]
+    fn tiny_working_set_windows_fall_back_to_probe_spans() {
+        // 32 lines cycling: fits any realistic LLC, no eviction pressure.
+        let probe: Vec<LineAddr> = (0..4_000u64).map(|i| LineAddr(i % 32)).collect();
+        let plan = plan_warm_window(&probe, 1024, 1_000_000, 3);
+        // Cold mass keeps the critical distance finite, but it sits far
+        // beyond the probe, so the probe span bounds the window.
+        assert!(plan.critical_rd > plan.probe_len);
+        assert_eq!(plan.window, 12_000);
+    }
+
+    #[test]
+    fn eviction_pressure_directs_the_window() {
+        // Random traffic over 4096 lines against a 512-line cache: the
+        // critical distance is far below the probe length, so the window
+        // tracks it instead of the probe span.
+        let probe: Vec<LineAddr> = (0..50_000u64)
+            .map(|i| LineAddr(mix64(11, i) % 4096))
+            .collect();
+        let plan = plan_warm_window(&probe, 512, 10_000_000, 3);
+        assert_ne!(plan.critical_rd, u64::MAX);
+        assert!(plan.critical_rd < 50_000, "rd = {}", plan.critical_rd);
+        assert_eq!(plan.window, 3 * plan.critical_rd);
+    }
+
+    #[test]
+    fn window_never_exceeds_the_prefix() {
+        let probe: Vec<LineAddr> = (0..1_000u64).map(|i| LineAddr(i % 8)).collect();
+        let plan = plan_warm_window(&probe, 64, 500, 4);
+        assert_eq!(plan.window, 500);
+    }
+
+    #[test]
+    fn profile_from_lines_counts_reuses_and_colds() {
+        let p = profile_from_lines([1, 2, 1, 3, 2].map(LineAddr));
+        assert_eq!(p.total_weight(), 5.0);
+        assert_eq!(p.reuse_weight(), 2.0);
+        // line 1 reused at distance 1 (one access between), line 2 at 2.
+        assert!(p.p_reuse_ge(1) > 0.99);
+        assert!((p.p_reuse_ge(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be positive")]
+    fn zero_margin_panics() {
+        let _ = plan_warm_window(&[LineAddr(1)], 64, 100, 0);
+    }
+}

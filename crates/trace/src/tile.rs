@@ -892,6 +892,7 @@ pub struct TiledTrace {
     file: Arc<TileFile>,
     streaming: bool,
     channel_tiles: usize,
+    batch_len: usize,
 }
 
 impl TiledTrace {
@@ -928,6 +929,7 @@ impl TiledTrace {
             file: Arc::new(file),
             streaming: false,
             channel_tiles: 4,
+            batch_len: usize::MAX,
         }
     }
 
@@ -947,6 +949,15 @@ impl TiledTrace {
         self
     }
 
+    /// Cap (in records) on each batch the streaming decoder hands over
+    /// the channel (default: a whole tile span). Smaller batches trade
+    /// handoff frequency for lower first-record latency and a smaller
+    /// per-batch footprint; `records` is clamped to at least 1.
+    pub fn with_batch_len(mut self, records: usize) -> Self {
+        self.batch_len = records.max(1);
+        self
+    }
+
     /// The underlying tile file.
     pub fn file(&self) -> &TileFile {
         &self.file
@@ -960,7 +971,12 @@ impl TiledTrace {
     /// A streaming cursor with its own background decoder thread,
     /// regardless of the [`with_streaming`](Self::with_streaming) mode.
     pub fn streaming_cursor(&self, range: Range<u64>) -> StreamingTileCursor {
-        StreamingTileCursor::new(Arc::clone(&self.file), range, self.channel_tiles)
+        StreamingTileCursor::with_batch_len(
+            Arc::clone(&self.file),
+            range,
+            self.channel_tiles,
+            self.batch_len,
+        )
     }
 }
 
@@ -1101,8 +1117,22 @@ pub struct StreamingTileCursor {
 
 impl StreamingTileCursor {
     /// A streaming cursor over `file` accesses with `index ∈ range`,
-    /// with the decoder at most `channel_tiles` tiles ahead.
+    /// with the decoder at most `channel_tiles` tiles ahead and whole
+    /// tile spans per batch.
     pub fn new(file: Arc<TileFile>, range: Range<u64>, channel_tiles: usize) -> Self {
+        Self::with_batch_len(file, range, channel_tiles, usize::MAX)
+    }
+
+    /// Like [`new`](Self::new), but each decoded batch is capped at
+    /// `batch_len` records (clamped to at least 1), so consumers see
+    /// their first records before a whole tile has decoded.
+    pub fn with_batch_len(
+        file: Arc<TileFile>,
+        range: Range<u64>,
+        channel_tiles: usize,
+        batch_len: usize,
+    ) -> Self {
+        let batch_len = batch_len.max(1);
         let start = range.start;
         let end = range.end.max(range.start);
         if start >= end {
@@ -1136,6 +1166,7 @@ impl StreamingTileCursor {
                 }
                 let within = crate::cast::idx(rec - tile as u64 * tile_records);
                 let take = (file.tile_len(tile) as usize - within)
+                    .min(batch_len)
                     .min((end - pos).min(usize::MAX as u64) as usize);
                 let mut batch = recycle_rx.try_recv().unwrap_or_default();
                 batch.clear();
@@ -1285,6 +1316,41 @@ mod tests {
                 assert_eq!(cur.position(), cur.end());
             }
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn decoder_batch_len_is_clamped_and_byte_identical() {
+        let w = spec_workload("hmmer", Scale::tiny(), 5).unwrap();
+        let path = temp("batchlen");
+        pack_workload_with(&w, 0..1_000, &path, 128).unwrap();
+        let t = TiledTrace::open(&path).unwrap();
+        // Degenerate (0 → clamped to 1), sub-tile, non-divisor and
+        // beyond-tile caps must all reproduce access_at byte for byte,
+        // including across the cyclic wrap.
+        for batch_len in [0usize, 1, 7, 128, 100_000] {
+            let t = t.clone().with_streaming(true).with_batch_len(batch_len);
+            let mut cur = t.cursor(900..1_400);
+            let mut buf = Vec::new();
+            let mut k = 900u64;
+            while cur.fill(&mut buf, 97) > 0 {
+                for a in &buf {
+                    assert_eq!(*a, t.access_at(k), "index {k} batch_len={batch_len}");
+                    k += 1;
+                }
+            }
+            assert_eq!(k, 1_400, "batch_len={batch_len}");
+        }
+        // The direct constructor applies the same clamp.
+        let file = Arc::new(TileFile::open(&path).unwrap());
+        let mut cur = StreamingTileCursor::with_batch_len(file, 0..10, 2, 0);
+        let mut buf = Vec::new();
+        let mut seen = 0u64;
+        while cur.fill(&mut buf, 3) > 0 {
+            seen += buf.len() as u64;
+        }
+        assert_eq!(seen, 10);
+        assert!(cur.error().is_none());
         std::fs::remove_file(&path).unwrap();
     }
 

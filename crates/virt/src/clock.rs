@@ -223,6 +223,108 @@ impl RunCost {
             serial / parallel
         }
     }
+
+    /// Estimated wall-clock of the run executed by the **speculative warm
+    /// lane** on `workers` host workers, given the per-unit speculation
+    /// outcomes recorded by the scheduler.
+    ///
+    /// The model is deterministic list scheduling, in plan order:
+    ///
+    /// * `workers − 1` speculation workers receive all spec tasks at
+    ///   t = 0 (spec tasks have no chain dependency — that is the whole
+    ///   point); each task is assigned to the earliest-available worker
+    ///   (first on ties). Its proxy digest is ready at
+    ///   `start + proxy_seconds`; its measurement at
+    ///   `start + speculative_seconds`.
+    /// * One reconciler advances the true carried state in plan order:
+    ///   it waits for unit *m*'s digest, then on a **commit** merely
+    ///   waits for the speculative measurement (adopting the worker's
+    ///   end state is free in this model), while on a **miss** it
+    ///   performs the unit's full chained warm plus measurement itself.
+    ///
+    /// With one worker there is nobody to speculate, so the lane
+    /// degrades to the serial sum — identical to
+    /// [`Self::region_parallel_wallclock`]`(1)`. Committed units replace the
+    /// blind chained prefix warm with the worker's (directed, shorter)
+    /// speculative warm, so the modeled speedup reflects genuine work
+    /// reduction and may exceed the worker count. Like every model here
+    /// it depends only on recorded costs, never on the host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is non-empty and not aligned one-to-one with the
+    /// recorded units.
+    pub fn speculative_wallclock(&self, workers: usize, spec: &[SpecUnit]) -> f64 {
+        if self.units.is_empty() {
+            return self.serial_wallclock();
+        }
+        if workers <= 1 || spec.is_empty() {
+            return self.region_parallel_wallclock(workers);
+        }
+        assert_eq!(
+            spec.len(),
+            self.units.len(),
+            "speculation outcomes must align with recorded units"
+        );
+        let pool = (workers - 1).max(1);
+        let mut free = vec![0.0f64; pool.min(spec.len())];
+        let mut digest_ready = vec![0.0f64; spec.len()];
+        let mut spec_done = vec![0.0f64; spec.len()];
+        for (i, s) in spec.iter().enumerate() {
+            debug_assert!(s.proxy_seconds >= 0.0 && s.speculative_seconds >= s.proxy_seconds);
+            let mut w = 0usize;
+            for k in 1..free.len() {
+                if free[k] < free[w] {
+                    w = k;
+                }
+            }
+            digest_ready[i] = free[w] + s.proxy_seconds;
+            spec_done[i] = free[w] + s.speculative_seconds;
+            free[w] = spec_done[i];
+        }
+        let mut t = 0.0f64;
+        for (i, (u, s)) in self.units.iter().zip(spec).enumerate() {
+            t = t.max(digest_ready[i]);
+            if s.committed {
+                t = t.max(spec_done[i]);
+            } else {
+                // lint:allow(float-accum): plan-ordered reconciler fold, worker-count-invariant by construction
+                t += u.chained_seconds + u.parallel_seconds;
+            }
+        }
+        t
+    }
+
+    /// Modeled speedup of the speculative warm lane at `workers` workers
+    /// over the sequential chained run (1.0 when empty).
+    pub fn speculative_speedup(&self, workers: usize, spec: &[SpecUnit]) -> f64 {
+        let serial = self.region_parallel_wallclock(1);
+        let wall = self.speculative_wallclock(workers, spec);
+        if wall <= 0.0 {
+            1.0
+        } else {
+            serial / wall
+        }
+    }
+}
+
+/// Speculation outcome of one region unit, recorded by the speculative
+/// warm lane and consumed by
+/// [`RunCost::speculative_wallclock`]. Kept *outside* [`RunCost`] so the
+/// simulation report (which embeds the cost) stays bitwise identical to
+/// the sequential run's.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpecUnit {
+    /// Unit (region) index, in plan order.
+    pub unit: u32,
+    /// Whether the reconciler committed the speculative measurement.
+    pub committed: bool,
+    /// Seconds from the spec task's start until its proxy digest exists
+    /// (proxy construction: directed window warm from the proxy source).
+    pub proxy_seconds: f64,
+    /// Total seconds of the spec task (proxy + region warm + detailed
+    /// measurement); always ≥ `proxy_seconds`.
+    pub speculative_seconds: f64,
 }
 
 #[cfg(test)]
@@ -312,6 +414,79 @@ mod tests {
             parallel_seconds: 0.5,
         };
         assert!((u.seconds() - 2.5).abs() < 1e-12);
+    }
+
+    fn spec(unit: u32, committed: bool, proxy: f64, total: f64) -> SpecUnit {
+        SpecUnit {
+            unit,
+            committed,
+            proxy_seconds: proxy,
+            speculative_seconds: total,
+        }
+    }
+
+    #[test]
+    fn committed_speculation_beats_the_chain() {
+        let mut r = RunCost::new(4);
+        for u in 0..4 {
+            r.push_unit(u, 5.0, 1.0);
+        }
+        let all: Vec<SpecUnit> = (0..4).map(|u| spec(u, true, 0.5, 2.0)).collect();
+        // Serial chain: 4 × 6 = 24 s.
+        assert!((r.speculative_wallclock(1, &all) - 24.0).abs() < 1e-12);
+        // 4 workers → 3 spec workers. Units 0..2 start at 0 (done at 2),
+        // unit 3 starts at 2 on worker 0 (done at 4). The reconciler
+        // commits everything, so the wallclock is the last spec finish.
+        assert!((r.speculative_wallclock(4, &all) - 4.0).abs() < 1e-12);
+        // Work reduction lets speedup exceed the worker count.
+        assert!((r.speculative_speedup(4, &all) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missed_speculation_degrades_to_roughly_serial() {
+        let mut r = RunCost::new(3);
+        for u in 0..3 {
+            r.push_unit(u, 5.0, 1.0);
+        }
+        let none: Vec<SpecUnit> = (0..3).map(|u| spec(u, false, 0.5, 2.0)).collect();
+        // The reconciler re-does every unit (18 s) after waiting 0.5 s
+        // for the first digest; later digests are already available.
+        let wall = r.speculative_wallclock(4, &none);
+        assert!((wall - 18.5).abs() < 1e-12, "wall = {wall}");
+        assert!(r.speculative_speedup(4, &none) < 1.0);
+    }
+
+    #[test]
+    fn mixed_outcomes_interleave_commit_and_redo() {
+        let mut r = RunCost::new(2);
+        r.push_unit(0, 5.0, 1.0);
+        r.push_unit(1, 5.0, 1.0);
+        let mixed = [spec(0, false, 0.5, 2.0), spec(1, true, 0.5, 2.0)];
+        // 2 workers → 1 spec worker: unit 0 digest at 0.5, task done 2.0;
+        // unit 1 starts at 2.0, digest 2.5, done 4.0. Reconciler: waits
+        // 0.5, redoes unit 0 (6 s) → 6.5; unit 1 committed, done at 4.0
+        // already → 6.5.
+        assert!((r.speculative_wallclock(2, &mixed) - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speculation_without_outcomes_falls_back_to_chained_model() {
+        let mut r = RunCost::new(2);
+        r.push_unit(0, 5.0, 1.0);
+        r.push_unit(1, 5.0, 1.0);
+        assert_eq!(
+            r.speculative_wallclock(4, &[]),
+            r.region_parallel_wallclock(4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "align with recorded units")]
+    fn misaligned_outcomes_panic() {
+        let mut r = RunCost::new(2);
+        r.push_unit(0, 1.0, 1.0);
+        r.push_unit(1, 1.0, 1.0);
+        let _ = r.speculative_wallclock(4, &[spec(0, true, 0.1, 0.2)]);
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod cost;
 mod engines;
 mod watch;
 
-pub use clock::{HostClock, PassCost, RunCost, UnitCost};
+pub use clock::{HostClock, PassCost, RunCost, SpecUnit, UnitCost};
 pub use cost::{mips, CostModel, WorkKind};
 pub use engines::{
     fast_forward, functional_scan, functional_scan_batched, watchpoint_scan, WatchScanStats,

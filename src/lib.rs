@@ -71,9 +71,9 @@ pub mod prelude {
     };
     pub use delorean_cpu::TimingConfig;
     pub use delorean_sampling::{
-        CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, RegionPlan,
-        RegionScheduler, SamplingConfig, SamplingStrategy, SimulationReport, SmartsRunner,
-        StrategyReport,
+        CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, ProxyStateSource,
+        RegionPlan, RegionScheduler, SamplingConfig, SamplingStrategy, SimulationReport,
+        SmartsRunner, SpeculationExtras, StrategyReport,
     };
     pub use delorean_trace::{
         pack_workload, spec2006, spec_workload, Scale, TiledTrace, Workload, WorkloadExt,

@@ -124,6 +124,88 @@ fn region_scheduler_reports_are_identical_at_any_worker_count() {
 }
 
 #[test]
+fn speculative_warm_lane_reports_are_bitwise_sequential_for_every_proxy() {
+    // The PR 8 contract: breaking SMARTS's warm chain by speculation
+    // must never change the report — every proxy source, at every
+    // worker count, reproduces the sequential chained run in full
+    // (regions, counters and the f64 cost accounting), and the
+    // commit/miss outcomes themselves are worker-count invariant.
+    let scale = Scale::tiny();
+    let machine = MachineConfig::for_scale(scale);
+    let plan = SamplingConfig::for_scale(scale).with_regions(3).plan();
+    let w = spec_workload("hmmer", scale, 42).unwrap();
+    let sequential = SmartsRunner::new(machine).run_with_workers(&w, &plan, 1);
+
+    for proxy in [
+        ProxyStateSource::Cold,
+        ProxyStateSource::NearestBoundary,
+        ProxyStateSource::StatModel,
+        ProxyStateSource::Poisoned,
+    ] {
+        let runner = SmartsRunner::new(machine).with_speculation(proxy);
+        let at_one = runner.run_with_workers(&w, &plan, 1);
+        assert_eq!(
+            sequential.report,
+            at_one.report,
+            "{}: speculation changed the sequential report",
+            proxy.name()
+        );
+        for workers in [2, 4, 8] {
+            let spec = runner.run_with_workers(&w, &plan, workers);
+            assert_eq!(
+                sequential.report,
+                spec.report,
+                "{}: diverged at {workers} workers",
+                proxy.name()
+            );
+            assert_eq!(
+                at_one.extras::<SpeculationExtras>(),
+                spec.extras::<SpeculationExtras>(),
+                "{}: outcomes changed at {workers} workers",
+                proxy.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn poisoned_proxy_forces_full_re_measure_and_still_matches() {
+    // A proxy that is wrong for every region is the worst case: the
+    // reconciler must re-measure everything from the true carried
+    // state — and the report must still equal sequential SMARTS.
+    let scale = Scale::tiny();
+    let machine = MachineConfig::for_scale(scale);
+    let plan = SamplingConfig::for_scale(scale).with_regions(3).plan();
+    let w = spec_workload("astar", scale, 42).unwrap();
+    let sequential = SmartsRunner::new(machine).run_with_workers(&w, &plan, 1);
+    let poisoned = SmartsRunner::new(machine)
+        .with_speculation(ProxyStateSource::Poisoned)
+        .run_with_workers(&w, &plan, 4);
+    let extras = poisoned
+        .extras::<SpeculationExtras>()
+        .expect("speculative runs carry extras");
+    assert_eq!(extras.hits(), 0, "a poisoned proxy must never commit");
+    assert_eq!(sequential.report, poisoned.report);
+
+    // Checkpoint preparation shares the warm chain and the same
+    // guarantee: speculative preparation produces the same snapshots,
+    // cost and downstream evaluation report.
+    let runner = CheckpointWarmingRunner::new(machine);
+    let seq_set = runner.prepare(&w, &plan);
+    for proxy in [ProxyStateSource::StatModel, ProxyStateSource::Poisoned] {
+        for workers in [2, 8] {
+            let (spec_set, _extras) = runner.prepare_speculative(&w, &plan, proxy, workers);
+            assert_eq!(
+                seq_set.preparation_seconds,
+                spec_set.preparation_seconds,
+                "{}: preparation cost diverged at {workers} workers",
+                proxy.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn different_seeds_give_different_executions_same_structure() {
     let scale = Scale::tiny();
     let machine = MachineConfig::for_scale(scale);
