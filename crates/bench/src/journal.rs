@@ -1,0 +1,343 @@
+//! Sweep-journal entry codec: durable cell results for the batch
+//! executor.
+//!
+//! [`BatchExecutor::run_matrix_journaled`](crate::BatchExecutor::run_matrix_journaled)
+//! appends one entry per completed strategy×workload cell to a
+//! [`delorean_trace::journal`] file; after a crash or kill, resuming
+//! restores every journaled cell verbatim and re-executes only the
+//! missing ones. This module owns the entry payload format — a
+//! hand-rolled little-endian encoding of [`SimulationReport`] (the
+//! workspace's `serde` is a marker-only shim, so there is no derived
+//! serialization to lean on) — and the journal *tag* binding a file to
+//! one sweep configuration.
+//!
+//! The codec is **exact**: every `f64` travels as its IEEE-754 bit
+//! pattern, so a decoded report is `==` the one encoded — which is what
+//! lets a resumed sweep's matrix compare bitwise equal to an
+//! uninterrupted run's.
+
+use delorean_cpu::DetailedResult;
+use delorean_sampling::{RegionPlan, RegionReport, SamplingStrategy, SimulationReport};
+use delorean_trace::tile::tile_checksum;
+use delorean_virt::RunCost;
+
+/// Journal entry kind for one completed cell (`[cell u32][report]`).
+pub const CELL_ENTRY_KIND: u32 = 1;
+
+/// Compute the journal tag binding a file to one sweep configuration:
+/// the strategy list (names, in order), the workload list (names, in
+/// order) and the region plan's exact boundaries. Worker counts are
+/// deliberately excluded — scheduling never changes results, so a sweep
+/// may resume at a different parallelism.
+pub fn sweep_tag(
+    strategies: &[Box<dyn SamplingStrategy>],
+    workload_names: &[&str],
+    plan: &RegionPlan,
+) -> u64 {
+    let mut bytes = Vec::new();
+    push_u32(&mut bytes, strategies.len() as u32);
+    for s in strategies {
+        push_str(&mut bytes, s.name());
+    }
+    push_u32(&mut bytes, workload_names.len() as u32);
+    for name in workload_names {
+        push_str(&mut bytes, name);
+    }
+    push_u32(&mut bytes, plan.regions.len() as u32);
+    for r in &plan.regions {
+        push_u32(&mut bytes, r.index);
+        push_u64(&mut bytes, r.start_instr);
+        push_u64(&mut bytes, r.warming.start);
+        push_u64(&mut bytes, r.warming.end);
+        push_u64(&mut bytes, r.detailed.start);
+        push_u64(&mut bytes, r.detailed.end);
+    }
+    tile_checksum(&bytes)
+}
+
+/// Encode one completed cell: the flat cell index followed by the full
+/// report.
+pub fn encode_cell(cell: u32, report: &SimulationReport) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    push_u32(&mut bytes, cell);
+    push_str(&mut bytes, &report.workload);
+    push_str(&mut bytes, &report.strategy);
+    push_u32(&mut bytes, report.regions.len() as u32);
+    for r in &report.regions {
+        push_u32(&mut bytes, r.region);
+        push_detailed(&mut bytes, &r.detailed);
+    }
+    push_u64(&mut bytes, report.collected_reuse_distances);
+    push_cost(&mut bytes, &report.cost);
+    push_u64(&mut bytes, report.covered_instrs);
+    bytes
+}
+
+/// Decode a cell entry. `None` means the payload is structurally
+/// invalid (wrong length, bad UTF-8) — the caller should drop the entry
+/// and re-execute the cell; a checksummed journal makes this unreachable
+/// short of a format change.
+pub fn decode_cell(bytes: &[u8]) -> Option<(u32, SimulationReport)> {
+    let mut r = Take { bytes, at: 0 };
+    let cell = r.u32()?;
+    let workload = r.string()?;
+    let strategy = r.string()?;
+    let n_regions = r.u32()? as usize;
+    let mut regions = Vec::with_capacity(n_regions.min(4096));
+    for _ in 0..n_regions {
+        let region = r.u32()?;
+        let detailed = r.detailed()?;
+        regions.push(RegionReport { region, detailed });
+    }
+    let collected_reuse_distances = r.u64()?;
+    let cost = r.cost()?;
+    let covered_instrs = r.u64()?;
+    if r.at != bytes.len() {
+        return None;
+    }
+    Some((
+        cell,
+        SimulationReport {
+            workload,
+            strategy,
+            regions,
+            collected_reuse_distances,
+            cost,
+            covered_instrs,
+        },
+    ))
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    // Bit-exact: NaN payloads, signed zeros and subnormals all survive.
+    push_u64(out, v.to_bits());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_detailed(out: &mut Vec<u8>, d: &DetailedResult) {
+    push_u64(out, d.instructions);
+    push_f64(out, d.cycles);
+    push_u64(out, d.mem_accesses);
+    for c in d.level_counts {
+        push_u64(out, c);
+    }
+    push_u64(out, d.branches);
+    push_u64(out, d.mispredicts);
+}
+
+fn push_cost(out: &mut Vec<u8>, cost: &RunCost) {
+    push_u64(out, cost.regions());
+    push_u32(out, cost.passes().len() as u32);
+    for p in cost.passes() {
+        push_str(out, &p.name);
+        push_f64(out, p.seconds);
+    }
+    push_u32(out, cost.units().len() as u32);
+    for u in cost.units() {
+        push_u32(out, u.unit);
+        push_f64(out, u.chained_seconds);
+        push_f64(out, u.parallel_seconds);
+    }
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Take<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Take<'_> {
+    fn chunk(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.at.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let c = &self.bytes[self.at..end];
+        self.at = end;
+        Some(c)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let c = self.chunk(4)?;
+        Some(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let c = self.chunk(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(c);
+        Some(u64::from_le_bytes(b))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let c = self.chunk(len)?;
+        String::from_utf8(c.to_vec()).ok()
+    }
+
+    fn detailed(&mut self) -> Option<DetailedResult> {
+        let instructions = self.u64()?;
+        let cycles = self.f64()?;
+        let mem_accesses = self.u64()?;
+        let mut level_counts = [0u64; 4];
+        for c in &mut level_counts {
+            *c = self.u64()?;
+        }
+        let branches = self.u64()?;
+        let mispredicts = self.u64()?;
+        Some(DetailedResult {
+            instructions,
+            cycles,
+            mem_accesses,
+            level_counts,
+            branches,
+            mispredicts,
+        })
+    }
+
+    fn cost(&mut self) -> Option<RunCost> {
+        let regions = self.u64()?;
+        let n_passes = self.u32()? as usize;
+        let mut passes = Vec::with_capacity(n_passes.min(4096));
+        for _ in 0..n_passes {
+            let name = self.string()?;
+            let seconds = self.f64()?;
+            passes.push(delorean_virt::PassCost { name, seconds });
+        }
+        let n_units = self.u32()? as usize;
+        let mut units = Vec::with_capacity(n_units.min(4096));
+        for _ in 0..n_units {
+            let unit = self.u32()?;
+            let chained_seconds = self.f64()?;
+            let parallel_seconds = self.f64()?;
+            units.push(delorean_virt::UnitCost {
+                unit,
+                chained_seconds,
+                parallel_seconds,
+            });
+        }
+        Some(RunCost::from_parts(passes, regions, units))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_virt::HostClock;
+
+    fn sample_report() -> SimulationReport {
+        let mut cost = RunCost::new(2);
+        let mut clock = HostClock::new();
+        clock.charge(1.25);
+        cost.push("warm", clock);
+        let mut clock = HostClock::new();
+        clock.charge(0.375);
+        cost.push("measure", clock);
+        cost.push_unit(0, 0.5, 1.5);
+        cost.push_unit(1, 0.0, 2.25);
+        SimulationReport {
+            workload: "hmmer".into(),
+            strategy: "smarts".into(),
+            regions: vec![
+                RegionReport {
+                    region: 0,
+                    detailed: DetailedResult {
+                        instructions: 10_000,
+                        cycles: 12_345.678,
+                        mem_accesses: 2_500,
+                        level_counts: [2000, 300, 150, 50],
+                        branches: 1_200,
+                        mispredicts: 37,
+                    },
+                },
+                RegionReport {
+                    region: 1,
+                    detailed: DetailedResult {
+                        instructions: 10_000,
+                        cycles: 9_999.25,
+                        mem_accesses: 2_400,
+                        level_counts: [1900, 290, 160, 50],
+                        branches: 1_100,
+                        mispredicts: 31,
+                    },
+                },
+            ],
+            collected_reuse_distances: 4_321,
+            cost,
+            covered_instrs: 2_000_000,
+        }
+    }
+
+    #[test]
+    fn cell_round_trips_bitwise() {
+        let report = sample_report();
+        let bytes = encode_cell(7, &report);
+        let (cell, decoded) = decode_cell(&bytes).unwrap();
+        assert_eq!(cell, 7);
+        assert_eq!(decoded, report);
+    }
+
+    #[test]
+    fn f64_bit_patterns_survive() {
+        let mut report = sample_report();
+        report.regions[0].detailed.cycles = -0.0;
+        report.regions[1].detailed.cycles = f64::MIN_POSITIVE / 2.0; // subnormal
+        let bytes = encode_cell(0, &report);
+        let (_, decoded) = decode_cell(&bytes).unwrap();
+        assert_eq!(
+            decoded.regions[0].detailed.cycles.to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(
+            decoded.regions[1].detailed.cycles.to_bits(),
+            report.regions[1].detailed.cycles.to_bits()
+        );
+    }
+
+    #[test]
+    fn truncated_or_oversized_payloads_are_rejected() {
+        let report = sample_report();
+        let bytes = encode_cell(3, &report);
+        assert!(decode_cell(&bytes[..bytes.len() - 1]).is_none());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(decode_cell(&padded).is_none());
+        assert!(decode_cell(&[]).is_none());
+    }
+
+    #[test]
+    fn tag_binds_strategy_set_and_plan() {
+        use delorean_cache::MachineConfig;
+        use delorean_sampling::{SamplingConfig, SmartsRunner};
+        use delorean_trace::Scale;
+
+        let machine = MachineConfig::for_scale(Scale::tiny());
+        let strategies: Vec<Box<dyn SamplingStrategy>> = vec![Box::new(SmartsRunner::new(machine))];
+        let plan_a = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(2)
+            .plan();
+        let plan_b = SamplingConfig::for_scale(Scale::tiny())
+            .with_regions(3)
+            .plan();
+        let a = sweep_tag(&strategies, &["hmmer"], &plan_a);
+        assert_eq!(a, sweep_tag(&strategies, &["hmmer"], &plan_a));
+        assert_ne!(a, sweep_tag(&strategies, &["hmmer"], &plan_b));
+        assert_ne!(a, sweep_tag(&strategies, &["lbm"], &plan_a));
+    }
+}

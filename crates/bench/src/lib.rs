@@ -33,6 +33,7 @@
 
 pub mod experiments;
 pub mod hierloop;
+pub mod journal;
 mod options;
 pub mod probeloop;
 mod runs;
@@ -44,6 +45,6 @@ pub mod warmloop;
 pub use options::ExpOptions;
 pub use runs::{
     compare_all, compare_one, headline_strategies, plan_for, BatchExecutor, BenchmarkComparison,
-    StrategyOutputs,
+    MatrixRun, StrategyOutputs,
 };
 pub use table::Table;

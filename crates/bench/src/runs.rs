@@ -8,16 +8,21 @@
 //! `tests/strategy_layer.rs`). All experiment drivers and the
 //! `run_all`/figure binaries funnel through this one code path.
 
+use crate::journal::{decode_cell, encode_cell, sweep_tag, CELL_ENTRY_KIND};
 use crate::options::ExpOptions;
 use delorean_cache::MachineConfig;
 use delorean_core::{DeLoreanConfig, DeLoreanOutput, DeLoreanRunner};
 use delorean_sampling::{
-    CoolSimConfig, CoolSimRunner, RegionPlan, SamplingConfig, SamplingStrategy, SimulationReport,
-    SmartsRunner, StrategyReport,
+    CoolSimConfig, CoolSimRunner, FaultPolicy, RegionPlan, SamplingConfig, SamplingStrategy,
+    SimulationReport, SmartsRunner, StrategyReport, UnitFailure,
 };
-use delorean_trace::{spec2006, Scale, Workload};
+use delorean_trace::fault::{self, FaultSite};
+use delorean_trace::{spec2006, JournalError, JournalWriter, Scale, Workload};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// Executes (strategy × workload) batches on a worker pool.
 ///
@@ -107,15 +112,181 @@ impl BatchExecutor {
         )
     }
 
+    /// Run every strategy over every workload with **per-cell panic
+    /// isolation**: each cell is guarded, retried within `policy`'s
+    /// budget, and quarantined (a `None` slot plus a typed failure) on
+    /// exhaustion — a faulting cell never takes the sweep down with it.
+    /// On a clean run every slot is `Some` and each report is bitwise
+    /// identical to [`run_matrix`](BatchExecutor::run_matrix)'s.
+    pub fn run_matrix_isolated<W: Workload>(
+        &self,
+        strategies: &[Box<dyn SamplingStrategy>],
+        workloads: &[W],
+        plan: &RegionPlan,
+        policy: &FaultPolicy,
+    ) -> MatrixRun {
+        // lint:allow(no-unwrap): None journal path cannot produce a journal error
+        self.run_matrix_durable(strategies, workloads, plan, policy, None)
+            .expect("isolated run without a journal cannot fail to open one")
+    }
+
+    /// Like [`run_matrix_isolated`](BatchExecutor::run_matrix_isolated),
+    /// with a **durable journal**: each completed cell's reduced report
+    /// is appended (checksummed) to `journal` the moment it finishes, so
+    /// a killed sweep loses at most the cells in flight. If `journal`
+    /// already exists it is *resumed*: its valid prefix (torn tails are
+    /// truncated) restores completed cells verbatim and only missing
+    /// cells execute, so a resumed sweep's matrix is `==` an
+    /// uninterrupted one's. The journal is bound to the sweep's
+    /// configuration by tag ([`sweep_tag`](crate::journal::sweep_tag));
+    /// resuming with a different strategy set, workload list or plan is
+    /// a hard [`JournalError::TagMismatch`].
+    ///
+    /// Journaled cells carry no strategy extras — only the
+    /// [`SimulationReport`] is durable.
+    pub fn run_matrix_journaled<W: Workload>(
+        &self,
+        strategies: &[Box<dyn SamplingStrategy>],
+        workloads: &[W],
+        plan: &RegionPlan,
+        policy: &FaultPolicy,
+        journal: &Path,
+    ) -> Result<MatrixRun, JournalError> {
+        self.run_matrix_durable(strategies, workloads, plan, policy, Some(journal))
+    }
+
+    /// The shared isolated/durable matrix engine.
+    fn run_matrix_durable<W: Workload>(
+        &self,
+        strategies: &[Box<dyn SamplingStrategy>],
+        workloads: &[W],
+        plan: &RegionPlan,
+        policy: &FaultPolicy,
+        journal: Option<&Path>,
+    ) -> Result<MatrixRun, JournalError> {
+        // Flat cell list, workload-major: cell = w * strategies + s.
+        let jobs: Vec<(&dyn SamplingStrategy, &W)> = workloads
+            .iter()
+            .flat_map(|w| strategies.iter().map(move |s| (s.as_ref(), w)))
+            .collect();
+
+        // Restore journaled cells (resume) or start a fresh journal.
+        let mut restored: Vec<Option<SimulationReport>> = (0..jobs.len()).map(|_| None).collect();
+        let writer = match journal {
+            Some(path) => {
+                let names: Vec<&str> = workloads.iter().map(|w| w.name()).collect();
+                let tag = sweep_tag(strategies, &names, plan);
+                let writer = if path.exists() {
+                    let (writer, prefix) = JournalWriter::resume(path, tag)?;
+                    for entry in prefix {
+                        if entry.kind != CELL_ENTRY_KIND {
+                            continue;
+                        }
+                        if let Some((cell, report)) = decode_cell(&entry.payload) {
+                            if let Some(slot) = restored.get_mut(cell as usize) {
+                                *slot = Some(report);
+                            }
+                        }
+                    }
+                    writer
+                } else {
+                    JournalWriter::create(path, tag)?
+                };
+                Some(Mutex::new(writer))
+            }
+            None => None,
+        };
+        let resumed_cells = restored.iter().filter(|r| r.is_some()).count();
+
+        // Execute the missing cells, each as one guarded, retryable
+        // fault unit; append to the journal the moment a cell completes
+        // (completion order is racy, but entries are keyed by cell
+        // index, so the resume assembly below is order-independent).
+        let pending: Vec<(u32, &dyn SamplingStrategy, &W)> = jobs
+            .iter()
+            .enumerate()
+            .filter(|&(cell, _)| restored[cell].is_none())
+            .map(|(cell, &(s, w))| (cell as u32, s, w))
+            .collect();
+        let executed_cells = pending.len();
+        let region_workers = self.region_workers;
+        let journal_faults = AtomicUsize::new(0);
+        let executed: Vec<(u32, Result<StrategyReport, UnitFailure>)> =
+            self.pool_for(&jobs).install(|| {
+                pending
+                    .par_iter()
+                    .map(|&(cell, strategy, workload)| {
+                        let result = fault::run_unit_guarded(cell, policy, || {
+                            fault::hit(FaultSite::UnitEntry, u64::from(cell));
+                            match region_workers {
+                                Some(n) => strategy.run_with_workers(workload, plan, n),
+                                None => strategy.run(workload, plan),
+                            }
+                        });
+                        if let (Some(writer), Ok(report)) = (writer.as_ref(), result.as_ref()) {
+                            // A failed append must never unwind through
+                            // the run it records: the cell's result
+                            // stays in memory, it is just not durable.
+                            let payload = encode_cell(cell, &report.report);
+                            let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                            if w.append(CELL_ENTRY_KIND, &payload).is_err() {
+                                journal_faults.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        (cell, result)
+                    })
+                    .collect()
+            });
+
+        // Assemble in cell order: journaled cells verbatim (no extras),
+        // executed cells with their extras, quarantined cells as None.
+        let mut slots: Vec<Option<StrategyReport>> = restored
+            .into_iter()
+            .map(|r| r.map(StrategyReport::new))
+            .collect();
+        let mut quarantined = Vec::new();
+        for (cell, result) in executed {
+            match result {
+                Ok(report) => slots[cell as usize] = Some(report),
+                Err(failure) => quarantined.push(failure),
+            }
+        }
+        let mut rows = Vec::with_capacity(workloads.len());
+        let mut it = slots.into_iter();
+        for _ in workloads {
+            rows.push(it.by_ref().take(strategies.len()).collect());
+        }
+        Ok(MatrixRun {
+            matrix: rows,
+            quarantined,
+            resumed_cells,
+            executed_cells,
+            journal_faults: journal_faults.into_inner(),
+        })
+    }
+
     /// Evaluate a flat list of (strategy, workload) cells on the pool.
     fn run_cells<W: Workload>(
         &self,
         jobs: Vec<(&dyn SamplingStrategy, &W)>,
         plan: &RegionPlan,
     ) -> Vec<StrategyReport> {
+        let region_workers = self.region_workers;
+        self.pool_for(&jobs).install(|| {
+            jobs.par_iter()
+                .map(|&(strategy, workload)| match region_workers {
+                    Some(n) => strategy.run_with_workers(workload, plan, n),
+                    None => strategy.run(workload, plan),
+                })
+                .collect()
+        })
+    }
+
+    /// The worker pool for a cell list, leaving room for each cell's own
+    /// threads (its region-scheduler workers, or whatever nested
+    /// parallelism it reports).
+    fn pool_for<W: Workload>(&self, jobs: &[(&dyn SamplingStrategy, &W)]) -> rayon::ThreadPool {
         let workers = self.threads.unwrap_or_else(|| {
-            // Leave room for each cell's own threads (its region-scheduler
-            // workers, or whatever nested parallelism it reports).
             let nested = self.region_workers.unwrap_or_else(|| {
                 jobs.iter()
                     .map(|&(s, _)| s.internal_parallelism())
@@ -124,19 +295,48 @@ impl BatchExecutor {
             });
             (rayon::current_num_threads() / nested).max(1)
         });
-        let region_workers = self.region_workers;
         ThreadPoolBuilder::new()
             .num_threads(workers)
             .build()
             .expect("worker pool")
-            .install(|| {
-                jobs.par_iter()
-                    .map(|&(strategy, workload)| match region_workers {
-                        Some(n) => strategy.run_with_workers(workload, plan, n),
-                        None => strategy.run(workload, plan),
-                    })
-                    .collect()
-            })
+    }
+}
+
+/// The outcome of a fault-isolated (optionally journaled) matrix run.
+///
+/// `matrix[w][s]` mirrors [`BatchExecutor::run_matrix`]'s layout with
+/// `None` marking quarantined cells. The counters distinguish where
+/// results came from: `resumed_cells` were restored verbatim from the
+/// journal, `executed_cells` ran this time.
+#[derive(Debug)]
+pub struct MatrixRun {
+    /// Workload-major cell results; `None` where the cell exhausted its
+    /// retry budget.
+    pub matrix: Vec<Vec<Option<StrategyReport>>>,
+    /// Typed failures of quarantined cells, in cell order (the failure's
+    /// `unit` is the flat cell index `w * strategies + s`).
+    pub quarantined: Vec<UnitFailure>,
+    /// Cells restored from the journal's valid prefix.
+    pub resumed_cells: usize,
+    /// Cells executed (not restored) in this run.
+    pub executed_cells: usize,
+    /// Journal appends that failed (the cell result is in memory but
+    /// not durable); 0 outside fault-injection harnesses.
+    pub journal_faults: usize,
+}
+
+impl MatrixRun {
+    /// Whether every cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// The plain reports, if the run is complete.
+    pub fn into_reports(self) -> Option<Vec<Vec<SimulationReport>>> {
+        self.matrix
+            .into_iter()
+            .map(|row| row.into_iter().map(|c| Some(c?.into_report())).collect())
+            .collect()
     }
 }
 

@@ -349,10 +349,10 @@ impl Hierarchy {
     /// sequences, statistics deltas and eviction streams for any
     /// subsequent accesses, so a measurement taken from one is valid for
     /// the other. The digest deliberately canonicalizes away dead bytes
-    /// (absolute LRU stamps, way permutations in symmetric policies) —
-    /// that is what lets a *directed warm-up window replayed from cold*
-    /// reproduce the live state of a full sequential warm chain and
-    /// commit against it.
+    /// (absolute LRU stamps, way permutations in symmetric policies,
+    /// the prefetcher's absolute trigger tick) — that is what lets a
+    /// *directed warm-up window replayed from cold* reproduce the live
+    /// state of a full sequential warm chain and commit against it.
     ///
     /// Statistics, the MSHR-retirement scratch and the adaptive
     /// batched-warm hints are not architectural state and are excluded.

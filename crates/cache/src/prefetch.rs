@@ -124,28 +124,40 @@ impl StridePrefetcher {
         self.streams.clear();
     }
 
-    /// A [`mix64`] fold over the prefetcher's live state: streams in
-    /// table order (lookup returns the first PC match and replacement
-    /// breaks `last_used` ties by position, so order is live), each
-    /// stream's full prediction state, and the trigger tick that stamps
-    /// `last_used`. The `issued` counter is a statistic and excluded.
+    /// A [`mix64`] fold over the prefetcher's **behaviorally live**
+    /// state, canonicalized: streams in recency order (most recently
+    /// triggered first), each with its prediction state (`pc`,
+    /// `last_line`, `stride`) and its confidence clamped to the arm
+    /// threshold. The `issued` counter is a statistic and excluded.
     ///
-    /// Stream timestamps are *trigger*-relative (not access-indexed), so
-    /// a warm-up proxy generally cannot reproduce them from a window —
-    /// prefetch-enabled machines speculate conservatively, which the
-    /// bench reports honestly.
+    /// Two canonicalizations make behaviorally equal states digest
+    /// equal:
+    ///
+    /// * **Absolute trigger ticks are dropped.** `tick` and the raw
+    ///   `last_used` stamps only act through the recency *order*: every
+    ///   trigger stamps one stream with a strictly increasing tick, so
+    ///   stamps are distinct, LRU replacement compares nothing but
+    ///   their order, and a future allocation always outranks them.
+    ///   This is what lets a warm-up window replayed from cold — whose
+    ///   absolute trigger count differs from the live chain's — commit
+    ///   against sequential state when it reproduces the same streams
+    ///   in the same recency order.
+    /// * **Confidence saturates at the arm threshold.** Any confidence
+    ///   at or above the threshold predicts identically: further
+    ///   confirmations keep the stream armed, and a stride break resets
+    ///   to 1 regardless of how high it was.
     pub fn state_digest(&self, seed: u64) -> u64 {
         let mut d = mix64(
             seed,
             (self.max_streams as u64) << 32 | u64::from(self.degree),
         );
-        d = mix64(d, self.tick);
-        for s in &self.streams {
+        let mut by_recency: Vec<&Stream> = self.streams.iter().collect();
+        by_recency.sort_by_key(|s| std::cmp::Reverse(s.last_used));
+        for s in by_recency {
             d = mix64(d, s.pc.0);
             d = mix64(d, s.last_line);
             d = mix64(d, s.stride as u64);
-            d = mix64(d, u64::from(s.confidence));
-            d = mix64(d, s.last_used);
+            d = mix64(d, u64::from(s.confidence.min(ARM_THRESHOLD)));
         }
         d
     }
@@ -237,5 +249,73 @@ mod tests {
     #[should_panic(expected = "degenerate prefetcher")]
     fn zero_streams_panics() {
         let _ = StridePrefetcher::new(0, 1);
+    }
+
+    #[test]
+    fn digest_ignores_absolute_trigger_ticks() {
+        let mut a = StridePrefetcher::paper_default();
+        let mut b = StridePrefetcher::paper_default();
+        // b burns 37 ticks on streams that are then forgotten, so its
+        // absolute tick and last_used stamps are offset from a's.
+        for k in 0..37 {
+            b.on_trigger(Pc(0xdead + k), LineAddr(k));
+        }
+        b.reset();
+        for (pc, line) in [
+            (Pc(1), LineAddr(10)),
+            (Pc(2), LineAddr(100)),
+            (Pc(1), LineAddr(20)),
+            (Pc(2), LineAddr(108)),
+            (Pc(1), LineAddr(30)),
+        ] {
+            a.on_trigger(pc, line);
+            b.on_trigger(pc, line);
+        }
+        assert_eq!(a.state_digest(7), b.state_digest(7), "tick canonicalized");
+        // And the digest promise holds: identical future behavior.
+        assert_eq!(
+            a.on_trigger(Pc(2), LineAddr(116)),
+            b.on_trigger(Pc(2), LineAddr(116))
+        );
+    }
+
+    #[test]
+    fn digest_saturates_confidence_at_the_arm_threshold() {
+        let mut a = StridePrefetcher::paper_default();
+        let mut b = StridePrefetcher::paper_default();
+        // Same stream endpoint (stride 10, last line 40), different
+        // confirmation counts (confidence 2 vs 4) — behaviorally equal.
+        for line in [20, 30, 40] {
+            a.on_trigger(Pc(1), LineAddr(line));
+        }
+        for line in [0, 10, 20, 30, 40] {
+            b.on_trigger(Pc(1), LineAddr(line));
+        }
+        assert_eq!(a.state_digest(7), b.state_digest(7), "confidence clamped");
+        assert_eq!(
+            a.on_trigger(Pc(1), LineAddr(50)),
+            b.on_trigger(Pc(1), LineAddr(50))
+        );
+    }
+
+    #[test]
+    fn digest_still_separates_recency_order_and_content() {
+        // Recency order is live state: with a full table it decides the
+        // next eviction, so the digest must distinguish it.
+        let mut a = StridePrefetcher::new(2, 1);
+        let mut b = StridePrefetcher::new(2, 1);
+        a.on_trigger(Pc(1), LineAddr(5));
+        a.on_trigger(Pc(2), LineAddr(9));
+        b.on_trigger(Pc(2), LineAddr(9));
+        b.on_trigger(Pc(1), LineAddr(5));
+        assert_ne!(a.state_digest(7), b.state_digest(7), "recency order");
+
+        // Sub-threshold confidence differences still distinguish.
+        let mut c = StridePrefetcher::paper_default();
+        let mut d = StridePrefetcher::paper_default();
+        c.on_trigger(Pc(1), LineAddr(10)); // confidence 0
+        d.on_trigger(Pc(1), LineAddr(0));
+        d.on_trigger(Pc(1), LineAddr(10)); // confidence 1, stride learned
+        assert_ne!(c.state_digest(7), d.state_digest(7), "confidence 0 vs 1");
     }
 }

@@ -19,7 +19,9 @@
 //! The grid covers every replacement policy × MSHR shape × prefetcher
 //! on/off, because each knob routes different bits into the digest.
 
-use delorean_cache::{CacheConfig, Hierarchy, HierarchyConfig, MachineConfig, ReplacementPolicy};
+use delorean_cache::{
+    CacheConfig, Hierarchy, HierarchyConfig, MachineConfig, ReplacementPolicy, StridePrefetcher,
+};
 use delorean_trace::{LineAddr, Pc};
 
 /// splitmix64 — the workspace's deterministic stand-in for a test RNG.
@@ -136,4 +138,63 @@ fn digest_equal_states_are_behaviorally_identical() {
             }
         }
     }
+}
+
+#[test]
+fn prefetcher_tick_offsets_never_split_behaviorally_equal_states() {
+    // The canonicalization the speculative warm lane relies on: a
+    // prefetcher replayed from cold (window proxy) carries a different
+    // absolute trigger count than the live chain's, but if it reproduces
+    // the same streams in the same recency order it must digest equal —
+    // and the digest promise (identical future behavior) must hold.
+    for seed in [3u64, 11, 42, 1234] {
+        let mut a = StridePrefetcher::paper_default();
+        let mut b = StridePrefetcher::paper_default();
+        // Offset b's trigger clock with junk streams it then forgets.
+        for k in 0..(seed % 97 + 1) {
+            b.on_trigger(Pc(0xffff + k), LineAddr(k));
+        }
+        b.reset();
+        // Common history: a few striding PCs with occasional breaks,
+        // enough volume to roll the 8-entry table over repeatedly.
+        for k in 0..500u64 {
+            let r = mix(seed ^ k);
+            let pc = Pc(1 + r % 5);
+            let line = LineAddr(if r.is_multiple_of(7) {
+                r % 1000
+            } else {
+                k.wrapping_mul(2 + pc.0) % 1000
+            });
+            let ra = a.on_trigger(pc, line);
+            let rb = b.on_trigger(pc, line);
+            assert_eq!(ra, rb, "seed {seed}: behavior diverged at trigger {k}");
+        }
+        assert_eq!(
+            a.state_digest(9),
+            b.state_digest(9),
+            "seed {seed}: tick offset split the digest"
+        );
+    }
+}
+
+#[test]
+fn prefetcher_confidence_saturation_never_splits_armed_streams() {
+    // Confidence 2 and confidence 40 predict identically (armed is
+    // armed; a stride break resets both to 1), so they must digest
+    // equal — while sub-threshold differences (0 vs 1) must not.
+    let mut a = StridePrefetcher::paper_default();
+    let mut b = StridePrefetcher::paper_default();
+    for line in [20u64, 30, 40] {
+        a.on_trigger(Pc(1), LineAddr(line));
+    }
+    for line in (0..=40u64).step_by(10) {
+        b.on_trigger(Pc(1), LineAddr(line));
+    }
+    assert_eq!(a.state_digest(1), b.state_digest(1));
+    // Stride break: both reset to confidence 1 and stay equal.
+    assert_eq!(
+        a.on_trigger(Pc(1), LineAddr(1000)),
+        b.on_trigger(Pc(1), LineAddr(1000))
+    );
+    assert_eq!(a.state_digest(1), b.state_digest(1));
 }

@@ -16,6 +16,7 @@ use crate::stats::TtStats;
 use delorean_cache::MachineConfig;
 use delorean_cpu::TimingConfig;
 use delorean_sampling::{RegionPlan, RegionReport, SimulationReport};
+use delorean_trace::fault::{self, FaultPolicy, FaultSite, UnitFailure};
 use delorean_trace::Workload;
 use delorean_virt::{CostModel, HostClock, RunCost};
 use rayon::prelude::*;
@@ -116,10 +117,110 @@ impl DesignSpaceExplorer {
                 "analyst machines must share the base L1-D geometry"
             );
         }
+        let warmup = self.warm_all(workload, plan);
+
+        // One analyst per machine, all fed from the same artifacts. The
+        // analysts are mutually independent — reuse distances are
+        // microarchitecture-independent, which is the whole point of §3.3
+        // — so they fan out across worker threads. Each analyst is a
+        // deterministic function of (machine, artifacts) and results are
+        // collected in machine order, so the output is identical to the
+        // serial loop for any thread count.
+        let per_machine: Vec<(DeLoreanOutput, f64)> = analyst_machines
+            .par_iter()
+            .map(|machine| self.analyst_output(workload, plan, &warmup, machine))
+            .collect();
+        let (outputs, analyst_seconds) = per_machine.into_iter().unzip();
+        DseOutput {
+            outputs,
+            warming_seconds: warmup.warming_seconds(),
+            analyst_seconds,
+        }
+    }
+
+    /// Like [`run`](DesignSpaceExplorer::run), with per-analyst panic
+    /// isolation.
+    ///
+    /// The shared warm-up is one guarded, retryable unit (it is a pure
+    /// function of the workload and plan); if it exhausts its budget the
+    /// whole exploration is quarantined behind it. Each analyst is then
+    /// an independent guarded unit (indices follow machine order):
+    /// faulted analysts retry from the top, and exhausted ones leave a
+    /// `None` slot so the surviving sweep keeps its machine indexing. A
+    /// clean isolated run produces outputs byte-identical to
+    /// [`run`](DesignSpaceExplorer::run)'s.
+    pub fn run_isolated(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        analyst_machines: &[MachineConfig],
+        policy: &FaultPolicy,
+    ) -> DsePartial {
+        assert!(
+            !analyst_machines.is_empty(),
+            "need at least one analyst configuration"
+        );
+        for m in analyst_machines {
+            assert_eq!(
+                m.hierarchy.l1d, self.base_machine.hierarchy.l1d,
+                "analyst machines must share the base L1-D geometry"
+            );
+        }
+        let warmup = match fault::run_unit_guarded(0, policy, || self.warm_all(workload, plan)) {
+            Ok(w) => w,
+            Err(failure) => {
+                return DsePartial {
+                    outputs: analyst_machines.iter().map(|_| None).collect(),
+                    warming_seconds: 0.0,
+                    analyst_seconds: analyst_machines.iter().map(|_| None).collect(),
+                    quarantined: vec![failure],
+                }
+            }
+        };
+        let indexed: Vec<(u32, &MachineConfig)> = analyst_machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i as u32, m))
+            .collect();
+        let per_machine: Vec<Result<(DeLoreanOutput, f64), UnitFailure>> = indexed
+            .par_iter()
+            .map(|&(unit, machine)| {
+                fault::run_unit_guarded(unit, policy, || {
+                    fault::hit(FaultSite::UnitEntry, u64::from(unit));
+                    self.analyst_output(workload, plan, &warmup, machine)
+                })
+            })
+            .collect();
+        let mut outputs = Vec::with_capacity(per_machine.len());
+        let mut analyst_seconds = Vec::with_capacity(per_machine.len());
+        let mut quarantined = Vec::new();
+        for result in per_machine {
+            match result {
+                Ok((out, seconds)) => {
+                    outputs.push(Some(out));
+                    analyst_seconds.push(Some(seconds));
+                }
+                Err(failure) => {
+                    outputs.push(None);
+                    analyst_seconds.push(None);
+                    quarantined.push(failure);
+                }
+            }
+        }
+        DsePartial {
+            outputs,
+            warming_seconds: warmup.warming_seconds(),
+            analyst_seconds,
+            quarantined,
+        }
+    }
+
+    /// Run the shared Scout + Explorer warm-up over every region. A pure
+    /// function of the workload and plan, so the isolated path may retry
+    /// it as a whole.
+    fn warm_all(&self, workload: &dyn Workload, plan: &RegionPlan) -> DseWarmup {
         let mult = plan.config.work_multiplier();
         let n_explorers = self.config.explorer_windows_instrs.len();
-
-        // Shared warming passes.
         let mut scout_clock = HostClock::new();
         let mut explorer_clocks = vec![HostClock::new(); n_explorers];
         let mut artifacts: Vec<RegionArtifacts> = Vec::with_capacity(plan.regions.len());
@@ -138,71 +239,112 @@ impl DesignSpaceExplorer {
             ));
             prev_end = region.detailed.end;
         }
-        let warming_seconds =
-            // lint:allow(float-accum): explorer clocks are indexed by pipeline stage, a fixed order independent of scheduling
-            scout_clock.seconds() + explorer_clocks.iter().map(|c| c.seconds()).sum::<f64>();
-
-        // One analyst per machine, all fed from the same artifacts. The
-        // analysts are mutually independent — reuse distances are
-        // microarchitecture-independent, which is the whole point of §3.3
-        // — so they fan out across worker threads. Each analyst is a
-        // deterministic function of (machine, artifacts) and results are
-        // collected in machine order, so the output is identical to the
-        // serial loop for any thread count.
-        let per_machine: Vec<(DeLoreanOutput, f64)> = analyst_machines
-            .par_iter()
-            .map(|machine| {
-                let mut analyst_clock = HostClock::new();
-                let mut stats = TtStats::default();
-                let mut dsw_counts = DswCounts::default();
-                let mut reports = Vec::with_capacity(artifacts.len());
-                for a in &artifacts {
-                    let out = run_analyst(
-                        workload,
-                        machine,
-                        &self.timing,
-                        &self.cost,
-                        &mut analyst_clock,
-                        &a.region,
-                        &a.input,
-                        mult,
-                    );
-                    accumulate(&mut stats, a);
-                    dsw_counts.merge(&out.counts);
-                    reports.push(RegionReport {
-                        region: a.region.index,
-                        detailed: out.detailed,
-                    });
-                }
-                let seconds = analyst_clock.seconds();
-
-                let mut run_cost = RunCost::new(plan.regions.len() as u64);
-                run_cost.push("scout", scout_clock);
-                for (k, c) in explorer_clocks.iter().enumerate() {
-                    run_cost.push(format!("explorer-{}", k + 1), *c);
-                }
-                run_cost.push("analyst", analyst_clock);
-                let output = DeLoreanOutput {
-                    report: SimulationReport {
-                        workload: workload.name().to_string(),
-                        strategy: "delorean".into(),
-                        regions: reports,
-                        collected_reuse_distances: stats.collected_reuse_distances(),
-                        cost: run_cost,
-                        covered_instrs: plan.represented_instrs(),
-                    },
-                    stats,
-                    dsw_counts,
-                };
-                (output, seconds)
-            })
-            .collect();
-        let (outputs, analyst_seconds) = per_machine.into_iter().unzip();
-        DseOutput {
-            outputs,
-            warming_seconds,
-            analyst_seconds,
+        DseWarmup {
+            artifacts,
+            scout_clock,
+            explorer_clocks,
         }
+    }
+
+    /// Evaluate one analyst machine against the shared warm-up: the
+    /// per-machine unit body shared by the plain and fault-isolated
+    /// fan-outs. Deterministic in `(machine, warmup)`, and retryable
+    /// because the artifacts are only read.
+    fn analyst_output(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        warmup: &DseWarmup,
+        machine: &MachineConfig,
+    ) -> (DeLoreanOutput, f64) {
+        let mult = plan.config.work_multiplier();
+        let mut analyst_clock = HostClock::new();
+        let mut stats = TtStats::default();
+        let mut dsw_counts = DswCounts::default();
+        let mut reports = Vec::with_capacity(warmup.artifacts.len());
+        for a in &warmup.artifacts {
+            let out = run_analyst(
+                workload,
+                machine,
+                &self.timing,
+                &self.cost,
+                &mut analyst_clock,
+                &a.region,
+                &a.input,
+                mult,
+            );
+            accumulate(&mut stats, a);
+            dsw_counts.merge(&out.counts);
+            reports.push(RegionReport {
+                region: a.region.index,
+                detailed: out.detailed,
+            });
+        }
+        let seconds = analyst_clock.seconds();
+
+        let mut run_cost = RunCost::new(plan.regions.len() as u64);
+        run_cost.push("scout", warmup.scout_clock);
+        for (k, c) in warmup.explorer_clocks.iter().enumerate() {
+            run_cost.push(format!("explorer-{}", k + 1), *c);
+        }
+        run_cost.push("analyst", analyst_clock);
+        let output = DeLoreanOutput {
+            report: SimulationReport {
+                workload: workload.name().to_string(),
+                strategy: "delorean".into(),
+                regions: reports,
+                collected_reuse_distances: stats.collected_reuse_distances(),
+                cost: run_cost,
+                covered_instrs: plan.represented_instrs(),
+            },
+            stats,
+            dsw_counts,
+        };
+        (output, seconds)
+    }
+}
+
+/// The shared warm-up product: per-region artifacts plus the pass clocks
+/// every analyst's cost report copies.
+struct DseWarmup {
+    artifacts: Vec<RegionArtifacts>,
+    scout_clock: HostClock,
+    explorer_clocks: Vec<HostClock>,
+}
+
+impl DseWarmup {
+    fn warming_seconds(&self) -> f64 {
+        let explorer: f64 = self
+            .explorer_clocks
+            .iter()
+            .map(|c| c.seconds())
+            // lint:allow(float-accum): explorer clocks are indexed by pipeline stage, a fixed order independent of scheduling
+            .sum();
+        self.scout_clock.seconds() + explorer
+    }
+}
+
+/// Result of a fault-isolated design-space exploration: slots keyed by
+/// machine index so the sweep's shape survives quarantines.
+#[derive(Debug)]
+pub struct DsePartial {
+    /// One completed output per analyst machine, `None` where the
+    /// analyst was quarantined (or the warm-up itself failed).
+    pub outputs: Vec<Option<DeLoreanOutput>>,
+    /// Host seconds spent in the shared warming passes (0 when the
+    /// warm-up was quarantined).
+    pub warming_seconds: f64,
+    /// Host seconds per analyst, aligned with `outputs`.
+    pub analyst_seconds: Vec<Option<f64>>,
+    /// Units that exhausted their retry budget, in machine order (or the
+    /// single warm-up failure).
+    pub quarantined: Vec<UnitFailure>,
+}
+
+impl DsePartial {
+    /// True when every analyst completed.
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
     }
 }
 

@@ -10,8 +10,8 @@ use crate::MAX_EXPLORERS;
 use delorean_cache::MachineConfig;
 use delorean_cpu::TimingConfig;
 use delorean_sampling::{
-    Region, RegionPlan, RegionReport, RegionScheduler, SamplingStrategy, SimulationReport,
-    StrategyReport,
+    FaultPolicy, PartialReport, Region, RegionPlan, RegionReport, RegionScheduler,
+    SamplingStrategy, SimulationReport, StrategyReport, UnitFailure,
 };
 use delorean_trace::Workload;
 use delorean_virt::{CostModel, HostClock, RunCost, WorkKind};
@@ -280,10 +280,48 @@ impl DeLoreanRunner {
         plan: &RegionPlan,
         workers: usize,
     ) -> DeLoreanOutput {
+        let units = RegionScheduler::new(workers)
+            .run_units(&plan.regions, self.region_output(workload, plan));
+        self.reduce_outputs(workload, plan, units.into_iter().map(Some).collect())
+    }
+
+    /// Run region-parallel with per-unit panic isolation: each region's
+    /// Scout → Explorers → Analyst chain is guarded, retried from the
+    /// top (it is a pure function of `(index, region)` — `prev_end`
+    /// comes from the plan) and quarantined on budget exhaustion. A
+    /// clean run reduces exactly the same unit sequence as [`run_at`],
+    /// so its output is byte-identical.
+    ///
+    /// [`run_at`]: DeLoreanRunner::run_at
+    pub fn run_at_isolated(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+        policy: &FaultPolicy,
+    ) -> (DeLoreanOutput, Vec<UnitFailure>) {
+        let (units, quarantined) = RegionScheduler::new(workers).run_units_isolated(
+            &plan.regions,
+            policy,
+            self.region_output(workload, plan),
+        );
+        (self.reduce_outputs(workload, plan, units), quarantined)
+    }
+
+    /// The per-region unit body shared by the plain and fault-isolated
+    /// paths: Scout → Explorer chain → Analyst over one region, with all
+    /// pass clocks local to the unit. A pure function of
+    /// `(index, region)`, so the isolated path may retry it from the
+    /// top.
+    fn region_output<'a>(
+        &'a self,
+        workload: &'a dyn Workload,
+        plan: &'a RegionPlan,
+    ) -> impl Fn(u32, &Region) -> RegionOutput + Sync + 'a {
         let mult = plan.config.work_multiplier();
         let n_explorers = self.config.explorer_windows_instrs.len();
 
-        let units = RegionScheduler::new(workers).run_units(&plan.regions, |i, region| {
+        move |i: u32, region: &Region| {
             let prev_end = if i == 0 {
                 0
             } else {
@@ -324,11 +362,21 @@ impl DeLoreanRunner {
                 explorer_seconds: explorer_clocks.iter().map(|c| c.seconds()).collect(),
                 analyst_seconds: analyst_clock.seconds(),
             }
-        });
+        }
+    }
 
-        // Input-ordered reduction: fold per-pass clocks, statistics and
-        // DSW counts region by region, so the assembled output (f64
-        // sums included) has one fixed shape for every worker count.
+    /// Input-ordered reduction: fold per-pass clocks, statistics and
+    /// DSW counts region by region, so the assembled output (f64 sums
+    /// included) has one fixed shape for every worker count. Quarantined
+    /// units arrive as `None` and contribute nothing — no pass seconds,
+    /// no cost unit, no statistics.
+    fn reduce_outputs(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        units: Vec<Option<RegionOutput>>,
+    ) -> DeLoreanOutput {
+        let n_explorers = self.config.explorer_windows_instrs.len();
         let mut scout_clock = HostClock::new();
         let mut explorer_clocks = vec![HostClock::new(); n_explorers];
         let mut analyst_clock = HostClock::new();
@@ -337,6 +385,7 @@ impl DeLoreanRunner {
         let mut regions = Vec::with_capacity(plan.regions.len());
         let mut cost = RunCost::new(plan.regions.len() as u64);
         for unit in units {
+            let Some(unit) = unit else { continue };
             scout_clock.charge(unit.scout_seconds);
             for (clock, s) in explorer_clocks.iter_mut().zip(&unit.explorer_seconds) {
                 clock.charge(*s);
@@ -409,6 +458,24 @@ impl SamplingStrategy for DeLoreanRunner {
         workers: usize,
     ) -> StrategyReport {
         self.run_at(workload, plan, workers).into()
+    }
+
+    /// Region-parallel with per-unit panic isolation (see
+    /// [`DeLoreanRunner::run_at_isolated`]); the time-traveling extras
+    /// are dropped here — harness code that needs partial statistics
+    /// should call `run_at_isolated` directly.
+    fn run_isolated(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+        policy: &FaultPolicy,
+    ) -> PartialReport {
+        let (out, quarantined) = self.run_at_isolated(workload, plan, workers, policy);
+        PartialReport {
+            report: out.report,
+            quarantined,
+        }
     }
 
     /// The configured region-scheduler worker count.

@@ -14,14 +14,15 @@
 //! paper cites 142 KiB per Live point vs 20–100 MiB per Flex point), and
 //! evaluation-run speed including checkpoint load time.
 
-use crate::config::RegionPlan;
-use crate::driver::{reduce_units, UnitDriver};
+use crate::config::{Region, RegionPlan};
+use crate::driver::{reduce_units, reduce_units_partial, RegionUnit, UnitDriver};
 use crate::proxy::{ProxyStateSource, SpeculationExtras};
 use crate::report::SimulationReport;
 use crate::scheduler::RegionScheduler;
-use crate::strategy::{SamplingStrategy, StrategyReport};
+use crate::strategy::{PartialReport, SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, HierarchySnapshot, MachineConfig};
 use delorean_cpu::TimingConfig;
+use delorean_trace::fault::{self, FaultPolicy};
 use delorean_trace::{MemAccess, Workload};
 use delorean_virt::{CostModel, HostClock, SpecUnit, WorkKind};
 
@@ -286,7 +287,22 @@ impl CheckpointWarmingRunner {
             plan.regions.len(),
             "checkpoint/plan mismatch"
         );
-        let units = RegionScheduler::new(workers).run_units(&plan.regions, |i, region| {
+        let units = RegionScheduler::new(workers)
+            .run_units(&plan.regions, self.eval_unit(checkpoints, workload));
+        reduce_units(workload, plan, "checkpoint", &[], units)
+    }
+
+    /// The per-region evaluation unit shared by the plain and
+    /// fault-isolated paths: restore the region's snapshot into a fresh
+    /// hierarchy, then detailed-warm and measure — a pure function of
+    /// `(index, region)` given the checkpoint set, so the isolated path
+    /// may retry it from the top.
+    fn eval_unit<'a>(
+        &'a self,
+        checkpoints: &'a CheckpointSet,
+        workload: &'a dyn Workload,
+    ) -> impl Fn(u32, &Region) -> RegionUnit + Sync + 'a {
+        move |i: u32, region: &Region| {
             let mut driver = UnitDriver::new(workload, &self.timing, &self.cost);
             let snap = &checkpoints.snapshots[i as usize];
             // Load the checkpoint from storage.
@@ -296,8 +312,7 @@ impl CheckpointWarmingRunner {
             // Detailed warming + region on the restored state.
             let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
             driver.measure_region(region, &mut source)
-        });
-        reduce_units(workload, plan, "checkpoint", &[], units)
+        }
     }
 }
 
@@ -329,6 +344,48 @@ impl SamplingStrategy for CheckpointWarmingRunner {
             storage_bytes: checkpoints.storage_bytes(),
             preparation_seconds: checkpoints.preparation_seconds,
         })
+    }
+
+    /// Checkpointed warming with per-unit panic isolation.
+    ///
+    /// Preparation is a sequential warm chain over a locally owned
+    /// hierarchy — a pure function of the workload and plan — so the
+    /// *whole* prepare step is one guarded, retryable unit. Once the
+    /// checkpoint set exists, evaluation units restore independent
+    /// snapshots and are retried/quarantined individually.
+    fn run_isolated(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+        policy: &FaultPolicy,
+    ) -> PartialReport {
+        let checkpoints = match fault::run_unit_guarded(0, policy, || self.prepare(workload, plan))
+        {
+            Ok(set) => set,
+            Err(failure) => {
+                // Preparation never completed: no region has a snapshot,
+                // so the whole sweep is quarantined behind unit 0.
+                let report = SimulationReport {
+                    workload: workload.name().to_string(),
+                    strategy: self.name().to_string(),
+                    ..Default::default()
+                };
+                return PartialReport {
+                    report,
+                    quarantined: vec![failure],
+                };
+            }
+        };
+        let (units, quarantined) = RegionScheduler::new(workers).run_units_isolated(
+            &plan.regions,
+            policy,
+            self.eval_unit(&checkpoints, workload),
+        );
+        PartialReport {
+            report: reduce_units_partial(workload, plan, self.name(), &[], units),
+            quarantined,
+        }
     }
 
     fn internal_parallelism(&self) -> usize {

@@ -18,13 +18,14 @@
 //! samples at all, forcing a pessimistic miss default (the source of
 //! CoolSim's CPI overestimation for soplex and GemsFDTD in Figures 9/10).
 
-use crate::config::RegionPlan;
-use crate::driver::{reduce_units, UnitDriver};
+use crate::config::{Region, RegionPlan};
+use crate::driver::{reduce_units, reduce_units_partial, RegionUnit, UnitDriver};
 use crate::scheduler::RegionScheduler;
-use crate::strategy::{SamplingStrategy, StrategyReport};
+use crate::strategy::{PartialReport, SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig, MemLevel};
 use delorean_cpu::TimingConfig;
 use delorean_statmodel::per_pc::{PcPrediction, PcProfiles};
+use delorean_trace::fault::FaultPolicy;
 use delorean_trace::{
     CounterRng, InterestFilter, LineMap, MemAccess, Scale, Workload, CURSOR_BATCH,
 };
@@ -136,28 +137,17 @@ impl CoolSimRunner {
         self.workers = workers.max(1);
         self
     }
-}
 
-impl SamplingStrategy for CoolSimRunner {
-    fn name(&self) -> &str {
-        "coolsim"
-    }
-
-    fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
-        self.run_with_workers(workload, plan, self.workers)
-    }
-
-    /// CoolSim under the region scheduler: every region is one fully
-    /// independent unit — it owns its watchpoint set, pending-sample
-    /// map, per-PC profiles and lukewarm hierarchy outright, and the
-    /// sampling decisions come from a stateless counter-based RNG — so
-    /// the whole plan fans out with no carried lane at all.
-    fn run_with_workers(
-        &self,
-        workload: &dyn Workload,
+    /// The per-region unit body shared by the plain and fault-isolated
+    /// paths. A pure function of `(index, region)` — each call owns its
+    /// watchpoint set, pending-sample map, per-PC profiles and lukewarm
+    /// hierarchy outright, and sampling decisions come from a stateless
+    /// counter RNG — so the isolated path may retry it from the top.
+    fn region_unit<'a>(
+        &'a self,
+        workload: &'a dyn Workload,
         plan: &RegionPlan,
-        workers: usize,
-    ) -> StrategyReport {
+    ) -> impl Fn(u32, &Region) -> RegionUnit + Sync + 'a {
         let p = workload.mem_period();
         let mult = plan.config.work_multiplier();
         let rng = CounterRng::new(self.config.seed);
@@ -165,7 +155,7 @@ impl SamplingStrategy for CoolSimRunner {
         let llc_lines = self.machine.hierarchy.llc.lines();
         let trap_seconds = self.cost.trap_seconds;
 
-        let units = RegionScheduler::new(workers).run_units(&plan.regions, |_i, region| {
+        move |_i: u32, region: &Region| {
             let mut driver = UnitDriver::new(workload, &self.timing, &self.cost);
             // --- Profile the warm-up interval with random watchpoints. ---
             let interval = region.warmup_interval(spacing);
@@ -244,8 +234,54 @@ impl SamplingStrategy for CoolSimRunner {
                 }
             };
             driver.measure_region(region, &mut source)
-        });
+        }
+    }
+}
+
+impl SamplingStrategy for CoolSimRunner {
+    fn name(&self) -> &str {
+        "coolsim"
+    }
+
+    fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
+        self.run_with_workers(workload, plan, self.workers)
+    }
+
+    /// CoolSim under the region scheduler: every region is one fully
+    /// independent unit — it owns its watchpoint set, pending-sample
+    /// map, per-PC profiles and lukewarm hierarchy outright, and the
+    /// sampling decisions come from a stateless counter-based RNG — so
+    /// the whole plan fans out with no carried lane at all.
+    fn run_with_workers(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+    ) -> StrategyReport {
+        let units = RegionScheduler::new(workers)
+            .run_units(&plan.regions, self.region_unit(workload, plan));
         reduce_units(workload, plan, self.name(), &[], units).into()
+    }
+
+    /// CoolSim with per-unit panic isolation: the same independent unit
+    /// body, retried from the top on a fault and quarantined on
+    /// exhaustion.
+    fn run_isolated(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+        policy: &FaultPolicy,
+    ) -> PartialReport {
+        let (units, quarantined) = RegionScheduler::new(workers).run_units_isolated(
+            &plan.regions,
+            policy,
+            self.region_unit(workload, plan),
+        );
+        PartialReport {
+            report: reduce_units_partial(workload, plan, self.name(), &[], units),
+            quarantined,
+        }
     }
 
     fn internal_parallelism(&self) -> usize {

@@ -102,11 +102,39 @@ pub(crate) fn reduce_units(
     chained: &[f64],
     units: Vec<RegionUnit>,
 ) -> SimulationReport {
+    reduce_units_partial(
+        workload,
+        plan,
+        strategy,
+        chained,
+        units.into_iter().map(Some).collect(),
+    )
+}
+
+/// [`reduce_units`] over a plan with **quarantined holes**: `None`
+/// slots (units the fault-isolated scheduler gave up on) are skipped
+/// entirely — no region report, no cost unit, no chained charge. With
+/// every slot `Some` the fold is *the* fold of [`reduce_units`] (which
+/// delegates here), so a clean isolated run's report is bitwise
+/// identical to the plain path's.
+///
+/// `covered_instrs` intentionally stays the full plan's figure: the
+/// report still describes the same sampling design, and the caller's
+/// [`PartialReport`](crate::PartialReport) names exactly which units
+/// are missing from it.
+pub(crate) fn reduce_units_partial(
+    workload: &dyn Workload,
+    plan: &RegionPlan,
+    strategy: &str,
+    chained: &[f64],
+    units: Vec<Option<RegionUnit>>,
+) -> SimulationReport {
     let mut clock = HostClock::new();
     let mut cost = RunCost::new(plan.regions.len() as u64);
     let mut regions = Vec::with_capacity(units.len());
     let mut collected = 0u64;
     for (i, unit) in units.into_iter().enumerate() {
+        let Some(unit) = unit else { continue };
         let chain = chained.get(i).copied().unwrap_or(0.0);
         clock.charge(chain);
         clock.charge(unit.seconds);

@@ -62,9 +62,14 @@ pub use coolsim::{CoolSimConfig, CoolSimRunner};
 pub use mrrl::MrrlRunner;
 pub use proxy::{ProxyStateSource, SpeculationExtras};
 pub use report::{RegionReport, SimulationReport};
-pub use scheduler::RegionScheduler;
+pub use scheduler::{LostUnits, RegionScheduler};
 pub use smarts::SmartsRunner;
-pub use strategy::{SamplingStrategy, StrategyReport};
+pub use strategy::{PartialReport, SamplingStrategy, StrategyReport};
+
+// Fault-isolation vocabulary, re-exported so harness code can configure
+// retry budgets and inspect quarantines without a direct trace-crate
+// dependency.
+pub use delorean_trace::fault::{FaultPolicy, UnitFailure, UnitFault};
 
 use delorean_cpu::{
     simulate_detailed, DetailedResult, OutcomeSource, TimingConfig, TournamentPredictor,

@@ -14,13 +14,14 @@
 //! ("even though the interval is shortened, these techniques still need
 //! to simulate all of them").
 
-use crate::config::RegionPlan;
-use crate::driver::{reduce_units, UnitDriver};
+use crate::config::{Region, RegionPlan};
+use crate::driver::{reduce_units, reduce_units_partial, RegionUnit, UnitDriver};
 use crate::scheduler::RegionScheduler;
-use crate::strategy::{SamplingStrategy, StrategyReport};
+use crate::strategy::{PartialReport, SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig};
 use delorean_cpu::TimingConfig;
 use delorean_statmodel::LogHistogram;
+use delorean_trace::fault::FaultPolicy;
 use delorean_trace::{LineMap, MemAccess, Workload, WorkloadExt};
 use delorean_virt::{CostModel, WorkKind};
 
@@ -90,32 +91,20 @@ impl MrrlRunner {
         }
         hist.quantile(self.percentile)
     }
-}
 
-impl SamplingStrategy for MrrlRunner {
-    fn name(&self) -> &str {
-        "mrrl"
-    }
-
-    fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
-        self.run_with_workers(workload, plan, self.workers)
-    }
-
-    /// MRRL under the region scheduler: each region profiles its own
-    /// reuse latencies and warms a **fresh** hierarchy over its own
-    /// window, and the fast-forward skip is derived from the *plan*
-    /// (the previous region's end), not from execution state — so every
-    /// region is one independent parallel unit.
-    fn run_with_workers(
-        &self,
-        workload: &dyn Workload,
-        plan: &RegionPlan,
-        workers: usize,
-    ) -> StrategyReport {
+    /// The per-region unit body shared by the plain and fault-isolated
+    /// paths: a pure function of `(index, region)` — the fast-forward
+    /// skip comes from the *plan*, and each unit warms its own fresh
+    /// hierarchy — so the isolated path may retry it from the top.
+    fn region_unit<'a>(
+        &'a self,
+        workload: &'a dyn Workload,
+        plan: &'a RegionPlan,
+    ) -> impl Fn(u32, &Region) -> RegionUnit + Sync + 'a {
         let p = workload.mem_period();
         let mult = plan.config.work_multiplier();
 
-        let units = RegionScheduler::new(workers).run_units(&plan.regions, |i, region| {
+        move |i: u32, region: &Region| {
             let mut driver = UnitDriver::new(workload, &self.timing, &self.cost);
             let prev_end = if i == 0 {
                 0
@@ -144,8 +133,54 @@ impl SamplingStrategy for MrrlRunner {
 
             let mut source = |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
             driver.measure_region(region, &mut source)
-        });
+        }
+    }
+}
+
+impl SamplingStrategy for MrrlRunner {
+    fn name(&self) -> &str {
+        "mrrl"
+    }
+
+    fn run(&self, workload: &dyn Workload, plan: &RegionPlan) -> StrategyReport {
+        self.run_with_workers(workload, plan, self.workers)
+    }
+
+    /// MRRL under the region scheduler: each region profiles its own
+    /// reuse latencies and warms a **fresh** hierarchy over its own
+    /// window, and the fast-forward skip is derived from the *plan*
+    /// (the previous region's end), not from execution state — so every
+    /// region is one independent parallel unit.
+    fn run_with_workers(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+    ) -> StrategyReport {
+        let units = RegionScheduler::new(workers)
+            .run_units(&plan.regions, self.region_unit(workload, plan));
         reduce_units(workload, plan, self.name(), &[], units).into()
+    }
+
+    /// MRRL with per-unit panic isolation: the same independent unit
+    /// body, retried from the top on a fault and quarantined on
+    /// exhaustion.
+    fn run_isolated(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+        policy: &FaultPolicy,
+    ) -> PartialReport {
+        let (units, quarantined) = RegionScheduler::new(workers).run_units_isolated(
+            &plan.regions,
+            policy,
+            self.region_unit(workload, plan),
+        );
+        PartialReport {
+            report: reduce_units_partial(workload, plan, self.name(), &[], units),
+            quarantined,
+        }
     }
 
     fn internal_parallelism(&self) -> usize {

@@ -8,12 +8,13 @@
 //! measures SMARTS at 1.3 MIPS.
 
 use crate::config::{Region, RegionPlan};
-use crate::driver::{reduce_units, RegionUnit, UnitDriver};
+use crate::driver::{reduce_units, reduce_units_partial, RegionUnit, UnitDriver};
 use crate::proxy::{ProxyStateSource, SpeculationExtras};
 use crate::scheduler::RegionScheduler;
-use crate::strategy::{SamplingStrategy, StrategyReport};
+use crate::strategy::{PartialReport, SamplingStrategy, StrategyReport};
 use delorean_cache::{Hierarchy, MachineConfig};
 use delorean_cpu::TimingConfig;
+use delorean_trace::fault::FaultPolicy;
 use delorean_trace::{MemAccess, Workload};
 use delorean_virt::{CostModel, HostClock, SpecUnit, WorkKind};
 
@@ -107,53 +108,9 @@ impl SmartsRunner {
     ) -> StrategyReport {
         let p = workload.mem_period();
         let mult = plan.config.work_multiplier();
-        // Chain access positions are pure plan arithmetic — neither the
-        // worker count nor speculation outcomes can shift them.
-        let mut positions = Vec::with_capacity(plan.regions.len());
-        let mut pos = 0u64;
-        for region in &plan.regions {
-            positions.push(pos);
-            pos = region.detailed.end / p;
-        }
-        let positions = &positions;
-
-        struct Speculation {
-            digest: u64,
-            end_state: Hierarchy,
-            unit: RegionUnit,
-            proxy_seconds: f64,
-            total_seconds: f64,
-        }
-
-        let ctx = crate::proxy::ProxyContext {
-            machine: &self.machine,
-            cost: &self.cost,
-            workload,
-            p,
-            mult,
-        };
-        let spec = |i: u32, region: &Region| -> Speculation {
-            let at = positions[i as usize];
-            let prev = if i == 0 { 0 } else { positions[i as usize - 1] };
-            let (mut h, proxy_seconds) = proxy.build(&ctx, at, prev);
-            let digest = h.state_digest();
-            let step = chain_step(&self.cost, workload, region, at, p, mult);
-            h.warm_range(workload, step.warm);
-            // Measure in place: the shared access core mutates the
-            // hierarchy through the measured span exactly as the
-            // chain's functional replay would, so `h` ends at the next
-            // boundary's state.
-            let driver = UnitDriver::new(workload, &self.timing, &self.cost);
-            let mut source = |a: &MemAccess, now: u64| h.access_data(a.pc, a.line(), now);
-            let unit = driver.measure_region(region, &mut source);
-            let total_seconds = proxy_seconds + step.seconds + unit.seconds;
-            Speculation {
-                digest,
-                end_state: h,
-                unit,
-                proxy_seconds,
-                total_seconds,
-            }
+        let positions = &chain_positions(plan, p);
+        let spec = |i: u32, region: &Region| {
+            self.speculate(workload, positions, proxy, p, mult, i, region)
         };
 
         let mut hierarchy = Hierarchy::new(&self.machine);
@@ -191,6 +148,137 @@ impl SmartsRunner {
         let report = reduce_units(workload, plan, self.name(), &chained, units);
         StrategyReport::new(report).with_extras(SpeculationExtras { proxy, outcomes })
     }
+
+    /// One speculation task: build the proxy state for region `i`'s
+    /// boundary, record its digest, then warm and measure in place.
+    /// Shared verbatim by the plain and fault-isolated speculative
+    /// lanes — a pure function of `(i, region)`, which is what makes it
+    /// safe for the isolated lane to retry from the top.
+    #[allow(clippy::too_many_arguments)] // mirrors the chain-step tuple one-for-one
+    fn speculate(
+        &self,
+        workload: &dyn Workload,
+        positions: &[u64],
+        proxy: ProxyStateSource,
+        p: u64,
+        mult: u64,
+        i: u32,
+        region: &Region,
+    ) -> Speculation {
+        let ctx = crate::proxy::ProxyContext {
+            machine: &self.machine,
+            cost: &self.cost,
+            workload,
+            p,
+            mult,
+        };
+        let at = positions[i as usize];
+        let prev = if i == 0 { 0 } else { positions[i as usize - 1] };
+        let (mut h, proxy_seconds) = proxy.build(&ctx, at, prev);
+        let digest = h.state_digest();
+        let step = chain_step(&self.cost, workload, region, at, p, mult);
+        h.warm_range(workload, step.warm);
+        // Measure in place: the shared access core mutates the
+        // hierarchy through the measured span exactly as the
+        // chain's functional replay would, so `h` ends at the next
+        // boundary's state.
+        let driver = UnitDriver::new(workload, &self.timing, &self.cost);
+        let mut source = |a: &MemAccess, now: u64| h.access_data(a.pc, a.line(), now);
+        let unit = driver.measure_region(region, &mut source);
+        let total_seconds = proxy_seconds + step.seconds + unit.seconds;
+        Speculation {
+            digest,
+            end_state: h,
+            unit,
+            proxy_seconds,
+            total_seconds,
+        }
+    }
+
+    /// The speculative warm lane under **panic isolation**: spec tasks
+    /// whose retries are exhausted degrade to the reconciler's miss
+    /// path (full redo from the true chain state — never a quarantine),
+    /// while reconciler-commit faults are retried at the injection gate
+    /// and genuine reconciler deaths poison the rest of the chain. A
+    /// clean run's report is bitwise identical to
+    /// [`run_speculative_with_workers`](Self::run_speculative_with_workers)'s
+    /// (speculation extras are not carried by partial reports).
+    pub fn run_speculative_isolated_with_workers(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        proxy: ProxyStateSource,
+        workers: usize,
+        policy: &FaultPolicy,
+    ) -> PartialReport {
+        let p = workload.mem_period();
+        let mult = plan.config.work_multiplier();
+        let positions = &chain_positions(plan, p);
+        let spec = |i: u32, region: &Region| {
+            self.speculate(workload, positions, proxy, p, mult, i, region)
+        };
+
+        let mut hierarchy = Hierarchy::new(&self.machine);
+        let mut pos_access = 0u64;
+        let mut chained = Vec::with_capacity(plan.regions.len());
+        let (outputs, quarantined) = RegionScheduler::new(workers).run_speculative_isolated(
+            &plan.regions,
+            policy,
+            spec,
+            |i: u32, region: &Region, s: Option<Speculation>| -> RegionUnit {
+                debug_assert_eq!(pos_access, positions[i as usize]);
+                let step = chain_step(&self.cost, workload, region, pos_access, p, mult);
+                chained.push(step.seconds);
+                let unit = match s {
+                    Some(sp) if hierarchy.state_digest() == sp.digest => {
+                        hierarchy.copy_state_from(&sp.end_state);
+                        sp.unit
+                    }
+                    _ => {
+                        // Miss path — taken both for a digest mismatch
+                        // and for a degraded (faulted-out) speculation:
+                        // identical chain arithmetic either way, which
+                        // is why spec faults cannot move the report.
+                        hierarchy.warm_range(workload, step.warm);
+                        let driver = UnitDriver::new(workload, &self.timing, &self.cost);
+                        let mut source =
+                            |a: &MemAccess, now: u64| hierarchy.access_data(a.pc, a.line(), now);
+                        driver.measure_region(region, &mut source)
+                    }
+                };
+                pos_access = step.next_pos;
+                unit
+            },
+        );
+        let report = reduce_units_partial(workload, plan, self.name(), &chained, outputs);
+        PartialReport {
+            report,
+            quarantined,
+        }
+    }
+}
+
+/// One region's speculation outcome: the proxy digest, the end state to
+/// adopt on commit, the measured unit, and the lane's modeled seconds.
+struct Speculation {
+    digest: u64,
+    end_state: Hierarchy,
+    unit: RegionUnit,
+    proxy_seconds: f64,
+    total_seconds: f64,
+}
+
+/// Chain access positions at each region boundary — pure plan
+/// arithmetic, so neither the worker count nor speculation outcomes can
+/// shift them.
+fn chain_positions(plan: &RegionPlan, p: u64) -> Vec<u64> {
+    let mut positions = Vec::with_capacity(plan.regions.len());
+    let mut pos = 0u64;
+    for region in &plan.regions {
+        positions.push(pos);
+        pos = region.detailed.end / p;
+    }
+    positions
 }
 
 impl SamplingStrategy for SmartsRunner {
@@ -286,6 +374,72 @@ impl SamplingStrategy for SmartsRunner {
         let outputs = RegionScheduler::new(workers).run_seeded(&plan.regions, seed, body);
         let (chained, units): (Vec<f64>, Vec<_>) = outputs.into_iter().unzip();
         reduce_units(workload, plan, self.name(), &chained, units).into()
+    }
+
+    /// SMARTS with per-unit panic isolation.
+    ///
+    /// Always takes the **fork-based seeded path** — even at one worker,
+    /// where the plain run measures in place on the chain hierarchy. An
+    /// in-place measurement mutates the carried state as it goes, so a
+    /// mid-flight fault would leave the chain unrecoverable; the fork
+    /// path hands each body its own [`Hierarchy::fork`], making bodies
+    /// retryable from a cloned seed and keeping the chain pristine. The
+    /// two paths charge identical costs by construction (see
+    /// [`run_with_workers`](SamplingStrategy::run_with_workers)), so a
+    /// clean isolated run is still bitwise identical to the plain run.
+    ///
+    /// With speculation enabled the run goes through
+    /// [`run_speculative_isolated_with_workers`](SmartsRunner::run_speculative_isolated_with_workers)
+    /// instead.
+    fn run_isolated(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+        policy: &FaultPolicy,
+    ) -> PartialReport {
+        if let Some(proxy) = self.proxy {
+            return self
+                .run_speculative_isolated_with_workers(workload, plan, proxy, workers, policy);
+        }
+        let p = workload.mem_period();
+        let mult = plan.config.work_multiplier();
+        let mut hierarchy = Hierarchy::new(&self.machine);
+        let mut pos_access: u64 = 0;
+
+        let seed = move |_i: u32, region: &Region| {
+            let step = chain_step(&self.cost, workload, region, pos_access, p, mult);
+            hierarchy.warm_range(workload, step.warm);
+            let unit_state = hierarchy.fork();
+            hierarchy.warm_range(workload, step.measured);
+            pos_access = step.next_pos;
+            (unit_state, step.seconds)
+        };
+
+        let body = |_i: u32, region: &Region, (mut warm, chain_seconds): (Hierarchy, f64)| {
+            let driver = UnitDriver::new(workload, &self.timing, &self.cost);
+            let mut source = |a: &MemAccess, now: u64| warm.access_data(a.pc, a.line(), now);
+            (chain_seconds, driver.measure_region(region, &mut source))
+        };
+
+        let (outputs, quarantined) =
+            RegionScheduler::new(workers).run_seeded_isolated(&plan.regions, policy, seed, body);
+        let mut chained = vec![0.0; outputs.len()];
+        let mut units = Vec::with_capacity(outputs.len());
+        for (i, o) in outputs.into_iter().enumerate() {
+            match o {
+                Some((c, u)) => {
+                    chained[i] = c;
+                    units.push(Some(u));
+                }
+                None => units.push(None),
+            }
+        }
+        let report = reduce_units_partial(workload, plan, self.name(), &chained, units);
+        PartialReport {
+            report,
+            quarantined,
+        }
     }
 
     fn internal_parallelism(&self) -> usize {

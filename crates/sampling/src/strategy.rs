@@ -17,6 +17,7 @@
 
 use crate::config::RegionPlan;
 use crate::report::SimulationReport;
+use delorean_trace::fault::{self, FaultPolicy, UnitFailure};
 use delorean_trace::Workload;
 use std::any::Any;
 use std::fmt;
@@ -84,6 +85,50 @@ pub trait SamplingStrategy: Send + Sync {
         self.run(workload, plan)
     }
 
+    /// Run with **panic isolation and deterministic retry**: unit
+    /// faults are caught, retried within `policy`'s budget, and
+    /// quarantined on exhaustion, so the run always completes with a
+    /// typed [`PartialReport`] instead of unwinding.
+    ///
+    /// The contract mirrors
+    /// [`run_with_workers`](SamplingStrategy::run_with_workers): on a
+    /// fully clean run (no faults, or only faults that retries
+    /// absorbed) the returned report must be **bitwise identical** to
+    /// the plain run at every worker count — isolation is scheduling,
+    /// never semantics (`tests/fault_injection.rs` pins this for all
+    /// five strategies).
+    ///
+    /// Scheduler-backed strategies override this with per-unit
+    /// isolation through the `RegionScheduler`'s `*_isolated` runners;
+    /// the default guards the whole run as a single unit (one retryable
+    /// fault domain — sound because strategies are pure functions of
+    /// their inputs). Strategy extras are not carried by partial
+    /// reports.
+    fn run_isolated(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        workers: usize,
+        policy: &FaultPolicy,
+    ) -> PartialReport {
+        match fault::run_unit_guarded(0, policy, || {
+            self.run_with_workers(workload, plan, workers).into_report()
+        }) {
+            Ok(report) => PartialReport {
+                report,
+                quarantined: Vec::new(),
+            },
+            Err(failure) => PartialReport {
+                report: SimulationReport {
+                    workload: workload.name().to_string(),
+                    strategy: self.name().to_string(),
+                    ..Default::default()
+                },
+                quarantined: vec![failure],
+            },
+        }
+    }
+
     /// Number of threads one [`run`](SamplingStrategy::run) call spawns
     /// internally (1 for single-threaded strategies; the configured
     /// region-worker count for scheduler-backed runners). Batch
@@ -91,6 +136,37 @@ pub trait SamplingStrategy: Send + Sync {
     /// nested parallelism does not oversubscribe the host.
     fn internal_parallelism(&self) -> usize {
         1
+    }
+}
+
+/// The outcome of a fault-isolated run
+/// ([`SamplingStrategy::run_isolated`]): the report assembled from
+/// every unit that completed, plus the plan-ordered list of units that
+/// exhausted their retries and were quarantined.
+///
+/// A clean run has an empty quarantine list and a report bitwise
+/// identical to the plain (non-isolated) run's; a partial run's report
+/// simply omits the quarantined regions (its `regions` vector and cost
+/// units skip them, while `covered_instrs` still describes the full
+/// sampling design).
+#[derive(Debug)]
+pub struct PartialReport {
+    /// The report over the units that completed.
+    pub report: SimulationReport,
+    /// Units that exhausted their retry budget (or were chain-poisoned
+    /// by one that did), in plan order. Empty for a clean run.
+    pub quarantined: Vec<UnitFailure>,
+}
+
+impl PartialReport {
+    /// Whether every unit completed (the report is a full run).
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// The report, discarding the quarantine list.
+    pub fn into_report(self) -> SimulationReport {
+        self.report
     }
 }
 

@@ -69,7 +69,9 @@ mod branch;
 pub mod cast;
 mod collections;
 mod cursor;
+pub mod fault;
 mod iter;
+pub mod journal;
 mod pattern;
 mod phased;
 mod recorded;
@@ -84,7 +86,11 @@ pub use collections::{
     FlatKey, FlatMap, FlatSet, InterestFilter, LineMap, LineSet, PageMap, PageSet, PcMap,
 };
 pub use cursor::{AccessCursor, IndexedCursor, CURSOR_BATCH};
+pub use fault::{
+    FaultKind, FaultPlan, FaultPolicy, FaultSite, InjectedFault, UnitFailure, UnitFault,
+};
 pub use iter::AccessIter;
+pub use journal::{JournalEntry, JournalError, JournalReader, JournalWriter};
 pub use pattern::{Pattern, PatternCursor};
 pub use phased::{PhaseSpec, PhasedCursor, PhasedWorkload, PhasedWorkloadBuilder, StreamSpec};
 pub use recorded::{RecordedAccess, RecordedCursor, RecordedTrace, RecordedTraceBuilder};

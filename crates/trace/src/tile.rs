@@ -163,6 +163,13 @@ pub enum TileError {
         /// Checksum computed over the payload.
         computed: u64,
     },
+    /// The background decoder thread of a streaming cursor died
+    /// (panicked or exited early) before producing every record its
+    /// range promised.
+    DecoderFailed {
+        /// Best-effort description of how the decoder died.
+        detail: String,
+    },
     /// The file (or the range being packed) contains no records.
     EmptyTrace,
     /// Invalid construction parameters (writer side).
@@ -201,6 +208,9 @@ impl fmt::Display for TileError {
                 f,
                 "tile {tile} checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
             ),
+            TileError::DecoderFailed { detail } => {
+                write!(f, "streaming decoder thread failed: {detail}")
+            }
             TileError::EmptyTrace => write!(f, "tile file contains no records"),
             TileError::Invalid { detail } => write!(f, "invalid tile parameters: {detail}"),
         }
@@ -242,13 +252,13 @@ pub fn tile_checksum(bytes: &[u8]) -> u64 {
 }
 
 #[inline]
-fn read_u32(bytes: &[u8], at: usize) -> u32 {
+pub(crate) fn read_u32(bytes: &[u8], at: usize) -> u32 {
     // lint:allow(no-unwrap): the slice is exactly 4 bytes by the range on this line
     u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
 }
 
 #[inline]
-fn read_u64(bytes: &[u8], at: usize) -> u64 {
+pub(crate) fn read_u64(bytes: &[u8], at: usize) -> u64 {
     // lint:allow(no-unwrap): the slice is exactly 8 bytes by the range on this line
     u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
 }
@@ -1157,6 +1167,10 @@ impl StreamingTileCursor {
             while pos < end {
                 let rec = pos % count;
                 let tile = (rec / tile_records) as u32;
+                // Named fault-injection site: an armed plan can kill
+                // the decoder here, exercising the cursor's
+                // truncation-detection path below.
+                crate::fault::hit(crate::fault::FaultSite::DecoderThread, tile as u64);
                 // `check_tile` is a no-op on eagerly-verified files;
                 // otherwise errors propagate in-band: the cursor ends
                 // its stream and surfaces them.
@@ -1233,9 +1247,25 @@ impl AccessCursor for StreamingTileCursor {
                         self.error = Some(e);
                         break;
                     }
-                    // Disconnected (decoder finished) or no decoder:
-                    // the stream is over.
-                    Some(Err(_)) | None => break,
+                    // Disconnected or no decoder. With records still
+                    // due (`next < end`) this is NOT a clean
+                    // end-of-stream: the decoder died before finishing
+                    // (it only returns early on a send to a dropped
+                    // cursor, which we are not). Join it and surface a
+                    // typed error instead of silently truncating.
+                    Some(Err(_)) | None => {
+                        if self.next < self.end {
+                            let detail = match self.decoder.take() {
+                                Some(handle) => match handle.join() {
+                                    Ok(()) => "decoder thread exited early".to_string(),
+                                    Err(payload) => decoder_panic_detail(payload.as_ref()),
+                                },
+                                None => "decoder thread missing".to_string(),
+                            };
+                            self.error = Some(TileError::DecoderFailed { detail });
+                        }
+                        break;
+                    }
                 }
             }
             let take = (self.cur.len() - self.cur_pos)
@@ -1248,6 +1278,23 @@ impl AccessCursor for StreamingTileCursor {
         }
         produced
     }
+}
+
+/// Best-effort description of a joined decoder thread's panic payload.
+fn decoder_panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(e) = payload.downcast_ref::<TileError>() {
+        return format!("decoder thread panicked: {e}");
+    }
+    if let Some(p) = payload.downcast_ref::<crate::fault::InjectedPanic>() {
+        return format!("decoder thread panicked: {}", p.0);
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return format!("decoder thread panicked: {s}");
+    }
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        return format!("decoder thread panicked: {s}");
+    }
+    "decoder thread panicked".to_string()
 }
 
 impl Drop for StreamingTileCursor {

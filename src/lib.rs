@@ -63,7 +63,7 @@ pub use delorean_virt as virt;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
-    pub use delorean_bench::BatchExecutor;
+    pub use delorean_bench::{BatchExecutor, MatrixRun};
     pub use delorean_cache::{CacheConfig, HierarchyConfig, MachineConfig};
     pub use delorean_core::dse::DesignSpaceExplorer;
     pub use delorean_core::{
@@ -71,9 +71,10 @@ pub mod prelude {
     };
     pub use delorean_cpu::TimingConfig;
     pub use delorean_sampling::{
-        CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, MrrlRunner, ProxyStateSource,
-        RegionPlan, RegionScheduler, SamplingConfig, SamplingStrategy, SimulationReport,
-        SmartsRunner, SpeculationExtras, StrategyReport,
+        CheckpointWarmingRunner, CoolSimConfig, CoolSimRunner, FaultPolicy, MrrlRunner,
+        PartialReport, ProxyStateSource, RegionPlan, RegionScheduler, SamplingConfig,
+        SamplingStrategy, SimulationReport, SmartsRunner, SpeculationExtras, StrategyReport,
+        UnitFailure, UnitFault,
     };
     pub use delorean_trace::{
         pack_workload, spec2006, spec_workload, Scale, TiledTrace, Workload, WorkloadExt,
