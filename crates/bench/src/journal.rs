@@ -34,10 +34,19 @@ pub fn sweep_tag(
     workload_names: &[&str],
     plan: &RegionPlan,
 ) -> u64 {
+    let names: Vec<&str> = strategies.iter().map(|s| s.name()).collect();
+    sweep_tag_names(&names, workload_names, plan)
+}
+
+/// [`sweep_tag`] from strategy *names* alone — for callers (the shard
+/// broker) that identify strategies by name without instantiating
+/// them. Identical inputs produce identical tags, so a journal written
+/// by either side resumes on the other.
+pub fn sweep_tag_names(strategy_names: &[&str], workload_names: &[&str], plan: &RegionPlan) -> u64 {
     let mut bytes = Vec::new();
-    push_u32(&mut bytes, strategies.len() as u32);
-    for s in strategies {
-        push_str(&mut bytes, s.name());
+    push_u32(&mut bytes, strategy_names.len() as u32);
+    for name in strategy_names {
+        push_str(&mut bytes, name);
     }
     push_u32(&mut bytes, workload_names.len() as u32);
     for name in workload_names {

@@ -77,8 +77,16 @@ impl<'a> UnitDriver<'a> {
 }
 
 /// The finished output of one region unit.
-#[derive(Clone, Debug)]
-pub(crate) struct RegionUnit {
+///
+/// This is the serialization boundary of the region-parallel runtime:
+/// a unit is a plain value — region result, parallel-lane seconds,
+/// collected reuse distances — so decomposable strategies can evaluate
+/// units anywhere (another thread, another process, another host) and
+/// ship them back for the plan-ordered fold
+/// ([`reduce_region_units`]). Producing units out of order, in
+/// batches, or redundantly never changes the folded report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionUnit {
     /// The measured region result.
     pub report: RegionReport,
     /// Parallel-lane host seconds this unit consumed.
@@ -129,6 +137,39 @@ pub(crate) fn reduce_units_partial(
     chained: &[f64],
     units: Vec<Option<RegionUnit>>,
 ) -> SimulationReport {
+    reduce_named(workload.name(), plan, strategy, chained, units)
+}
+
+/// Fold independently-evaluated units back into a [`SimulationReport`]
+/// in plan order — the public face of the in-process fold, for callers
+/// (the shard broker) that hold serialized units and the workload's
+/// *name* rather than the workload itself.
+///
+/// For strategies whose regions are fully independent (empty chained
+/// lane: CoolSim, MRRL), feeding this the units produced by
+/// [`SamplingStrategy::run_unit_span`](crate::SamplingStrategy::run_unit_span)
+/// over the whole plan yields a report **bitwise identical** to
+/// [`SamplingStrategy::run`](crate::SamplingStrategy::run) — the fold
+/// is literally the same code with the same fixed `f64` summation
+/// tree. `None` slots are quarantined holes, skipped exactly as the
+/// fault-isolated in-process path skips them.
+pub fn reduce_region_units(
+    workload_name: &str,
+    plan: &RegionPlan,
+    strategy: &str,
+    units: Vec<Option<RegionUnit>>,
+) -> SimulationReport {
+    reduce_named(workload_name, plan, strategy, &[], units)
+}
+
+/// The one fold every reduce path shares.
+fn reduce_named(
+    workload_name: &str,
+    plan: &RegionPlan,
+    strategy: &str,
+    chained: &[f64],
+    units: Vec<Option<RegionUnit>>,
+) -> SimulationReport {
     let mut clock = HostClock::new();
     let mut cost = RunCost::new(plan.regions.len() as u64);
     let mut regions = Vec::with_capacity(units.len());
@@ -144,7 +185,7 @@ pub(crate) fn reduce_units_partial(
     }
     cost.push(strategy, clock);
     SimulationReport {
-        workload: workload.name().to_string(),
+        workload: workload_name.to_string(),
         strategy: strategy.into(),
         regions,
         collected_reuse_distances: collected,

@@ -59,6 +59,7 @@ mod strategy;
 pub use checkpoint::{CheckpointExtras, CheckpointSet, CheckpointWarmingRunner};
 pub use config::{Region, RegionPlan, SamplingConfig};
 pub use coolsim::{CoolSimConfig, CoolSimRunner};
+pub use driver::{reduce_region_units, RegionUnit};
 pub use mrrl::MrrlRunner;
 pub use proxy::{ProxyStateSource, SpeculationExtras};
 pub use report::{RegionReport, SimulationReport};

@@ -183,6 +183,28 @@ impl SamplingStrategy for MrrlRunner {
         }
     }
 
+    /// MRRL decomposes fully: the unit body is a pure function of
+    /// `(index, region)` — the fast-forward skip comes from the *plan*
+    /// (the previous region's end), never from execution state — so
+    /// any span of plan regions evaluates anywhere and folds back
+    /// bitwise identically.
+    fn run_unit_span(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        span: std::ops::Range<u32>,
+    ) -> Option<Vec<RegionUnit>> {
+        let hi = (span.end as usize).min(plan.regions.len());
+        let lo = (span.start as usize).min(hi);
+        let unit = self.region_unit(workload, plan);
+        Some(
+            plan.regions[lo..hi]
+                .iter()
+                .map(|r| unit(r.index, r))
+                .collect(),
+        )
+    }
+
     fn internal_parallelism(&self) -> usize {
         self.workers
     }

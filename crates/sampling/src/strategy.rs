@@ -16,12 +16,13 @@
 //! [`StrategyReport::extras`] or [`StrategyReport::split`].
 
 use crate::config::RegionPlan;
+use crate::driver::RegionUnit;
 use crate::report::SimulationReport;
 use delorean_trace::fault::{self, FaultPolicy, UnitFailure};
 use delorean_trace::Workload;
 use std::any::Any;
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Deref, Range};
 
 /// A sampled-simulation warming strategy, executable through a trait
 /// object.
@@ -127,6 +128,33 @@ pub trait SamplingStrategy: Send + Sync {
                 quarantined: vec![failure],
             },
         }
+    }
+
+    /// Evaluate the plan regions with `span` indices as standalone
+    /// [`RegionUnit`]s, or `None` if this strategy does not decompose.
+    ///
+    /// This is the shard layer's unit-granular lease surface: a
+    /// strategy whose regions are **fully independent** (the unit body
+    /// is a pure function of `(index, region)` and the chained lane is
+    /// empty — CoolSim, MRRL) returns the exact units its in-process
+    /// [`run`](SamplingStrategy::run) would produce for that span, so
+    /// a broker may fan spans across processes and fold them with
+    /// [`reduce_region_units`](crate::reduce_region_units) into a
+    /// report bitwise identical to the in-process one. Strategies with
+    /// carried state between regions (SMARTS's warm chain, checkpoint
+    /// preparation, DeLorean's multi-pass cost structure) return
+    /// `None` (the default) and are leased as whole cells instead.
+    ///
+    /// `span` is clamped to the plan; an empty clamped span yields an
+    /// empty vector, not `None`.
+    fn run_unit_span(
+        &self,
+        workload: &dyn Workload,
+        plan: &RegionPlan,
+        span: Range<u32>,
+    ) -> Option<Vec<RegionUnit>> {
+        let _ = (workload, plan, span);
+        None
     }
 
     /// Number of threads one [`run`](SamplingStrategy::run) call spawns

@@ -1,0 +1,368 @@
+//! `shard-broker`: run a strategy×workload sweep across worker
+//! processes.
+//!
+//! ```text
+//! shard-broker --smoke
+//! shard-broker [--workers N] [--socket PATH --expect N]
+//!              [--scale tiny|demo|paper] [--regions R] [--seed S]
+//!              [--workloads a,b,...] [--strategies x,y,...]
+//!              [--llc BYTES] [--split K] [--journal PATH]
+//! ```
+//!
+//! `--workers N` (default 2) spawns `N` local `shard-worker` children
+//! over stdio; `--socket PATH --expect N` listens on a Unix socket and
+//! waits for `N` externally-started workers to connect. `--journal`
+//! makes the sweep durable/resumable.
+//!
+//! `--smoke` runs the CI end-to-end check: a reference in-process
+//! sweep, a broker+2-workers run with one worker killed mid-sweep, a
+//! journaled run halted and resumed by a second broker, and a
+//! span-leased run — each asserted bitwise equal to the reference.
+//! Exits nonzero on any mismatch.
+
+use delorean_bench::BatchExecutor;
+use delorean_shard::{Broker, BrokerConfig, JobRequest, ShardRun, SweepSpec};
+use delorean_trace::Scale;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, ExitCode, Stdio};
+
+fn worker_bin() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me
+        .parent()
+        .ok_or_else(|| "broker binary has no parent directory".to_string())?;
+    let path = dir.join("shard-worker");
+    if !path.exists() {
+        return Err(format!(
+            "worker binary not found at {} (build the workspace first)",
+            path.display()
+        ));
+    }
+    Ok(path)
+}
+
+/// Spawn a stdio worker child and attach it to the broker.
+fn spawn_worker(broker: &Broker, extra_args: &[&str]) -> Result<Child, String> {
+    let mut child = Command::new(worker_bin()?)
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn shard-worker: {e}"))?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| "worker stdout not piped".to_string())?;
+    let stdin = child
+        .stdin
+        .take()
+        .ok_or_else(|| "worker stdin not piped".to_string())?;
+    broker.attach(stdout, stdin);
+    Ok(child)
+}
+
+fn reap(mut children: Vec<Child>) {
+    for child in &mut children {
+        let _ = child.wait();
+    }
+}
+
+/// Compare a shard matrix against the in-process reference, bit for
+/// bit per cell.
+fn assert_matches(
+    label: &str,
+    run: &ShardRun,
+    reference: &[Vec<delorean_sampling::StrategyReport>],
+) -> Result<(), String> {
+    if !run.run.quarantined.is_empty() {
+        return Err(format!(
+            "{label}: {} cell(s) unexpectedly quarantined: {}",
+            run.run.quarantined.len(),
+            run.run.quarantined[0]
+        ));
+    }
+    for (w, (row, ref_row)) in run.run.matrix.iter().zip(reference).enumerate() {
+        for (s, (cell, ref_cell)) in row.iter().zip(ref_row).enumerate() {
+            match cell {
+                Some(report) if report.report == ref_cell.report => {}
+                Some(_) => {
+                    return Err(format!(
+                        "{label}: cell w{w}/s{s} differs from the reference"
+                    ))
+                }
+                None => return Err(format!("{label}: cell w{w}/s{s} missing")),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn smoke() -> Result<(), String> {
+    let scale = Scale::tiny();
+    let spec = SweepSpec::new(scale, 3)
+        .with_suite_seed(3)
+        .with_workloads(&["hmmer", "mcf"])
+        .with_strategies(&["smarts", "coolsim", "mrrl", "checkpoint", "delorean"]);
+    let plan = spec.plan();
+    let strategies = spec.build_strategies().map_err(|e| e.to_string())?;
+    let workloads = spec.build_workloads().map_err(|e| e.to_string())?;
+    let reference = BatchExecutor::with_threads(2).run_matrix(&strategies, &workloads, &plan);
+    println!(
+        "smoke: reference matrix computed ({} cells)",
+        spec.n_cells()
+    );
+
+    // Phase 1: two workers, one abandons (dies silently) after two
+    // leases — the broker must re-lease its in-flight cell and finish.
+    {
+        let broker = Broker::new(BrokerConfig::default());
+        let children = vec![
+            spawn_worker(&broker, &["--abandon-after", "2"])?,
+            spawn_worker(&broker, &[])?,
+        ];
+        let run = broker.run_matrix(spec.clone()).map_err(|e| e.to_string())?;
+        assert_matches("kill-a-worker", &run, &reference)?;
+        if run.lease_losses == 0 {
+            return Err("kill-a-worker: expected at least one lease loss".to_string());
+        }
+        broker.shutdown();
+        reap(children);
+        println!(
+            "smoke: kill-a-worker matrix identical ({} lease loss(es))",
+            run.lease_losses
+        );
+    }
+
+    // Phase 2: journaled run halted after 4 completions (a broker
+    // kill), then a second broker resumes the journal to completion.
+    {
+        let journal =
+            std::env::temp_dir().join(format!("delorean-shard-smoke-{}.dlj", std::process::id()));
+        let _ = std::fs::remove_file(&journal);
+        let first = Broker::new(BrokerConfig::default());
+        let children = vec![spawn_worker(&first, &[])?, spawn_worker(&first, &[])?];
+        let halted = first
+            .submit(
+                JobRequest::new(spec.clone())
+                    .with_journal(journal.clone())
+                    .with_cell_budget(4),
+            )
+            .wait()
+            .map_err(|e| e.to_string())?;
+        first.shutdown();
+        reap(children);
+        if !halted.halted && halted.run.quarantined.is_empty() {
+            let complete = halted.run.matrix.iter().flatten().all(|c| c.is_some());
+            if complete {
+                return Err("halted run unexpectedly completed everything".to_string());
+            }
+        }
+        let second = Broker::new(BrokerConfig::default());
+        let children = vec![spawn_worker(&second, &[])?, spawn_worker(&second, &[])?];
+        let resumed = second
+            .submit(JobRequest::new(spec.clone()).with_journal(journal.clone()))
+            .wait()
+            .map_err(|e| e.to_string())?;
+        second.shutdown();
+        reap(children);
+        assert_matches("broker-restart", &resumed, &reference)?;
+        if resumed.run.resumed_cells < 4 {
+            return Err(format!(
+                "broker-restart: expected >= 4 resumed cells, got {}",
+                resumed.run.resumed_cells
+            ));
+        }
+        let _ = std::fs::remove_file(&journal);
+        println!(
+            "smoke: broker-restart matrix identical ({} resumed, {} executed)",
+            resumed.run.resumed_cells, resumed.run.executed_cells
+        );
+    }
+
+    // Phase 3: span leases — decomposable strategies split into region
+    // spans, folded broker-side, still bitwise identical.
+    {
+        let span_spec = SweepSpec::new(scale, 3)
+            .with_suite_seed(3)
+            .with_workloads(&["hmmer", "mcf"])
+            .with_strategies(&["coolsim", "mrrl"])
+            .with_split_regions(2);
+        let span_strategies = span_spec.build_strategies().map_err(|e| e.to_string())?;
+        let span_reference =
+            BatchExecutor::with_threads(2).run_matrix(&span_strategies, &workloads, &plan);
+        let broker = Broker::new(BrokerConfig::default());
+        let children = vec![spawn_worker(&broker, &[])?, spawn_worker(&broker, &[])?];
+        let run = broker.run_matrix(span_spec).map_err(|e| e.to_string())?;
+        broker.shutdown();
+        reap(children);
+        assert_matches("span-leases", &run, &span_reference)?;
+        println!("smoke: span-leased matrix identical");
+    }
+
+    println!("smoke: all phases passed");
+    Ok(())
+}
+
+struct ServeArgs {
+    workers: usize,
+    socket: Option<String>,
+    expect: usize,
+    spec: SweepSpec,
+    journal: Option<PathBuf>,
+}
+
+fn parse_serve_args() -> Result<Option<ServeArgs>, String> {
+    let mut workers = 2usize;
+    let mut socket = None;
+    let mut expect = 0usize;
+    let mut scale = Scale::demo();
+    let mut regions = 4u32;
+    let mut seed = 1u64;
+    let mut workload_names = vec!["hmmer".to_string(), "mcf".to_string()];
+    let mut strategy_names = vec![
+        "smarts".to_string(),
+        "coolsim".to_string(),
+        "delorean".to_string(),
+    ];
+    let mut llc = None;
+    let mut split = None;
+    let mut journal = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--smoke" => return Ok(None),
+            "--workers" => workers = value("--workers")?.parse().map_err(|e| format!("{e}"))?,
+            "--socket" => socket = Some(value("--socket")?),
+            "--expect" => expect = value("--expect")?.parse().map_err(|e| format!("{e}"))?,
+            "--scale" => {
+                scale = match value("--scale")?.as_str() {
+                    "tiny" => Scale::tiny(),
+                    "demo" => Scale::demo(),
+                    "paper" => Scale::paper(),
+                    other => return Err(format!("unknown scale {other:?}")),
+                }
+            }
+            "--regions" => regions = value("--regions")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--workloads" => {
+                workload_names = value("--workloads")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--strategies" => {
+                strategy_names = value("--strategies")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--llc" => llc = Some(value("--llc")?.parse().map_err(|e| format!("{e}"))?),
+            "--split" => split = Some(value("--split")?.parse().map_err(|e| format!("{e}"))?),
+            "--journal" => journal = Some(PathBuf::from(value("--journal")?)),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let mut spec = SweepSpec::new(scale, regions).with_suite_seed(seed);
+    spec.workloads = workload_names;
+    spec.strategies = strategy_names;
+    spec.llc_paper_bytes = llc;
+    spec.split_regions = split;
+    Ok(Some(ServeArgs {
+        workers,
+        socket,
+        expect,
+        spec,
+        journal,
+    }))
+}
+
+fn serve(args: ServeArgs) -> Result<(), String> {
+    let broker = Broker::new(BrokerConfig::default());
+    let mut children = Vec::new();
+    match &args.socket {
+        Some(path) => {
+            let expect = args.expect.max(1);
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path).map_err(|e| format!("bind {path}: {e}"))?;
+            eprintln!("shard-broker: waiting for {expect} worker(s) on {path}");
+            for _ in 0..expect {
+                let (stream, _) = listener.accept().map_err(|e| format!("accept: {e}"))?;
+                let write = stream
+                    .try_clone()
+                    .map_err(|e| format!("clone socket: {e}"))?;
+                broker.attach(stream, write);
+            }
+        }
+        None => {
+            for _ in 0..args.workers.max(1) {
+                children.push(spawn_worker(&broker, &[])?);
+            }
+        }
+    }
+    let mut request = JobRequest::new(args.spec.clone());
+    if let Some(path) = args.journal {
+        request = JobRequest::new(args.spec.clone()).with_journal(path);
+    }
+    let run = broker.submit(request).wait().map_err(|e| e.to_string())?;
+    broker.shutdown();
+    reap(children);
+    println!(
+        "sweep complete: {} resumed, {} executed, {} quarantined, {} lease loss(es)",
+        run.run.resumed_cells,
+        run.run.executed_cells,
+        run.run.quarantined.len(),
+        run.lease_losses
+    );
+    for (w, row) in run.run.matrix.iter().enumerate() {
+        for (s, cell) in row.iter().enumerate() {
+            match cell {
+                Some(report) => println!(
+                    "  {:<12} {:<11} cpi {:.4}",
+                    args.spec.workloads[w],
+                    args.spec.strategies[s],
+                    report.report.cpi()
+                ),
+                None => println!(
+                    "  {:<12} {:<11} QUARANTINED",
+                    args.spec.workloads[w], args.spec.strategies[s]
+                ),
+            }
+        }
+    }
+    for failure in &run.run.quarantined {
+        eprintln!("  quarantined: {failure}");
+    }
+    if run.run.quarantined.is_empty() {
+        Ok(())
+    } else {
+        Err("sweep finished with quarantined cells".to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_serve_args() {
+        Ok(None) => match smoke() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("shard-broker --smoke FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(Some(args)) => match serve(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("shard-broker: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("shard-broker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

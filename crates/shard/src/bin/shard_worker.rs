@@ -1,0 +1,124 @@
+//! `shard-worker`: serve sweep-cell leases to a broker.
+//!
+//! Transport is child stdio by default (the broker spawns workers and
+//! owns their pipes) or a Unix socket with `--socket PATH` (the worker
+//! connects to a listening broker).
+//!
+//! ```text
+//! shard-worker [--socket PATH] [--region-workers N]
+//!              [--abandon-after N]
+//!              [--fault-seed S --fault-every P --fault-strikes K]
+//! ```
+//!
+//! `--abandon-after N` makes the worker drop its connection without
+//! replying once `N` leases have been served — the harness's
+//! kill-a-worker knob. The `--fault-*` flags arm a deterministic
+//! injected-fault plan consulted purely per `(cell, attempt)`;
+//! identical flags give identical quarantine decisions on any worker.
+
+use delorean_shard::{worker_loop, WorkerOptions};
+use delorean_trace::fault::{FaultKind, FaultPlan, FaultSite};
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+
+fn parse_args() -> Result<(WorkerOptions, Option<String>), String> {
+    let mut opts = WorkerOptions::default();
+    let mut socket = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_every: u64 = 1;
+    let mut fault_strikes: u32 = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--socket" => socket = Some(value("--socket")?),
+            "--region-workers" => {
+                opts.region_workers = Some(
+                    value("--region-workers")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--region-workers: {e}"))?,
+                )
+            }
+            "--abandon-after" => {
+                opts.abandon_after = Some(
+                    value("--abandon-after")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--abandon-after: {e}"))?,
+                )
+            }
+            "--fault-seed" => {
+                fault_seed = Some(
+                    value("--fault-seed")?
+                        .parse::<u64>()
+                        .map_err(|e| format!("--fault-seed: {e}"))?,
+                )
+            }
+            "--fault-every" => {
+                fault_every = value("--fault-every")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--fault-every: {e}"))?
+            }
+            "--fault-strikes" => {
+                fault_strikes = value("--fault-strikes")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("--fault-strikes: {e}"))?
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if let Some(seed) = fault_seed {
+        opts.fault = Some(
+            FaultPlan::new(seed)
+                .at(FaultSite::UnitEntry)
+                .every(fault_every)
+                .strikes(fault_strikes)
+                .kinds(&[FaultKind::Panic]),
+        );
+    }
+    Ok((opts, socket))
+}
+
+fn main() -> ExitCode {
+    let (opts, socket) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("shard-worker: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match socket {
+        Some(path) => {
+            let stream = match UnixStream::connect(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("shard-worker: connect {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let write = match stream.try_clone() {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("shard-worker: clone socket: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            worker_loop(stream, write, &opts)
+        }
+        None => worker_loop(std::io::stdin(), std::io::stdout(), &opts),
+    };
+    match outcome {
+        Ok(summary) => {
+            eprintln!(
+                "shard-worker: served {} lease(s), {} failure(s){}",
+                summary.leases_served,
+                summary.failures,
+                if summary.abandoned { ", abandoned" } else { "" }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("shard-worker: wire error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Little-endian byte codec shared by the wire protocol and the sweep
+//! spec.
+//!
+//! Same conventions as the bench journal's cell codec: every `f64`
+//! travels as its IEEE-754 bit pattern (decoded values are `==` the
+//! encoded ones, bit for bit), strings are length-prefixed UTF-8, and
+//! the reader is bounds-checked — a truncated or padded payload decodes
+//! to `None`, never a panic.
+
+use delorean_cpu::DetailedResult;
+use delorean_sampling::{RegionReport, RegionUnit};
+
+pub(crate) fn push_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn push_f64(out: &mut Vec<u8>, v: f64) {
+    // Bit-exact: NaN payloads, signed zeros and subnormals all survive.
+    push_u64(out, v.to_bits());
+}
+
+pub(crate) fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn push_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    push_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Encode a span of [`RegionUnit`]s for a `SpanDone` payload.
+pub fn encode_units(units: &[RegionUnit]) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_u32(&mut out, units.len() as u32);
+    for u in units {
+        push_u32(&mut out, u.report.region);
+        push_detailed(&mut out, &u.report.detailed);
+        push_f64(&mut out, u.seconds);
+        push_u64(&mut out, u.collected);
+    }
+    out
+}
+
+/// Decode a `SpanDone` unit payload. `None` on any structural damage.
+pub fn decode_units(bytes: &[u8]) -> Option<Vec<RegionUnit>> {
+    let mut r = Take { bytes, at: 0 };
+    let n = r.u32()? as usize;
+    let mut units = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let region = r.u32()?;
+        let detailed = r.detailed()?;
+        let seconds = r.f64()?;
+        let collected = r.u64()?;
+        units.push(RegionUnit {
+            report: RegionReport { region, detailed },
+            seconds,
+            collected,
+        });
+    }
+    if r.at != bytes.len() {
+        return None;
+    }
+    Some(units)
+}
+
+fn push_detailed(out: &mut Vec<u8>, d: &DetailedResult) {
+    push_u64(out, d.instructions);
+    push_f64(out, d.cycles);
+    push_u64(out, d.mem_accesses);
+    for c in d.level_counts {
+        push_u64(out, c);
+    }
+    push_u64(out, d.branches);
+    push_u64(out, d.mispredicts);
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+pub(crate) struct Take<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) at: usize,
+}
+
+impl Take<'_> {
+    pub(crate) fn chunk(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.at.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let c = &self.bytes[self.at..end];
+        self.at = end;
+        Some(c)
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        let c = self.chunk(1)?;
+        Some(c[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        let c = self.chunk(4)?;
+        Some(u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        let c = self.chunk(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(c);
+        Some(u64::from_le_bytes(b))
+    }
+
+    pub(crate) fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let c = self.chunk(len)?;
+        String::from_utf8(c.to_vec()).ok()
+    }
+
+    pub(crate) fn byte_block(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Some(self.chunk(len)?.to_vec())
+    }
+
+    pub(crate) fn detailed(&mut self) -> Option<DetailedResult> {
+        let instructions = self.u64()?;
+        let cycles = self.f64()?;
+        let mem_accesses = self.u64()?;
+        let mut level_counts = [0u64; 4];
+        for c in &mut level_counts {
+            *c = self.u64()?;
+        }
+        let branches = self.u64()?;
+        let mispredicts = self.u64()?;
+        Some(DetailedResult {
+            instructions,
+            cycles,
+            mem_accesses,
+            level_counts,
+            branches,
+            mispredicts,
+        })
+    }
+
+    pub(crate) fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}

@@ -1,0 +1,233 @@
+//! Real-process end-to-end checks: the broker driving actual
+//! `shard-worker` binaries over child stdio and Unix sockets, with
+//! kills, deterministic cross-process quarantine, and journal interop
+//! with the in-process executor in both directions.
+
+use delorean_bench::BatchExecutor;
+use delorean_sampling::{FaultPolicy, StrategyReport};
+use delorean_shard::{Broker, BrokerConfig, JobRequest, ShardRun, SweepSpec};
+use delorean_trace::fault::{FaultKind, FaultPlan, FaultSite};
+use delorean_trace::Scale;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn base_spec() -> SweepSpec {
+    SweepSpec::new(Scale::tiny(), 3)
+        .with_suite_seed(5)
+        .with_workloads(&["hmmer", "mcf"])
+        .with_strategies(&["smarts", "coolsim", "delorean"])
+}
+
+fn reference(spec: &SweepSpec) -> Vec<Vec<StrategyReport>> {
+    let plan = spec.plan();
+    let strategies = spec.build_strategies().expect("strategies");
+    let workloads = spec.build_workloads().expect("workloads");
+    BatchExecutor::with_threads(2).run_matrix(&strategies, &workloads, &plan)
+}
+
+fn spawn_stdio_worker(broker: &Broker, extra_args: &[String]) -> Child {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_shard-worker"))
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn shard-worker");
+    let stdout = child.stdout.take().expect("worker stdout");
+    let stdin = child.stdin.take().expect("worker stdin");
+    broker.attach(stdout, stdin);
+    child
+}
+
+fn reap(mut children: Vec<Child>) {
+    for child in &mut children {
+        child.wait().expect("worker exit");
+    }
+}
+
+fn assert_matrix_eq(label: &str, run: &ShardRun, reference: &[Vec<StrategyReport>]) {
+    assert!(
+        run.run.quarantined.is_empty(),
+        "{label}: unexpected quarantine"
+    );
+    for (w, (row, ref_row)) in run.run.matrix.iter().zip(reference).enumerate() {
+        for (s, (cell, ref_cell)) in row.iter().zip(ref_row).enumerate() {
+            let report = cell
+                .as_ref()
+                .unwrap_or_else(|| panic!("{label}: cell w{w}/s{s} missing"));
+            assert_eq!(report.report, ref_cell.report, "{label}: cell w{w}/s{s}");
+        }
+    }
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("delorean-shard-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn stdio_workers_with_a_kill_match_the_reference() {
+    let spec = base_spec();
+    let expected = reference(&spec);
+    let broker = Broker::new(BrokerConfig::default());
+    let children = vec![
+        spawn_stdio_worker(&broker, &["--abandon-after".to_string(), "1".to_string()]),
+        spawn_stdio_worker(&broker, &[]),
+    ];
+    let run = broker.run_matrix(spec).expect("shard run");
+    broker.shutdown();
+    reap(children);
+    assert_matrix_eq("stdio-kill", &run, &expected);
+    assert!(
+        run.lease_losses >= 1,
+        "the killed worker's lease must be lost"
+    );
+}
+
+#[test]
+fn unix_socket_workers_match_the_reference() {
+    let spec = base_spec();
+    let expected = reference(&spec);
+    let socket = temp_path("sock");
+    let listener = UnixListener::bind(&socket).expect("bind socket");
+    let socket_arg = socket.to_str().expect("utf8 socket path").to_string();
+
+    let broker = Broker::new(BrokerConfig::default());
+    let mut children = Vec::new();
+    for _ in 0..2 {
+        children.push(
+            Command::new(env!("CARGO_BIN_EXE_shard-worker"))
+                .args(["--socket", &socket_arg])
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn socket worker"),
+        );
+        let (stream, _) = listener.accept().expect("accept worker");
+        let write = stream.try_clone().expect("clone socket");
+        broker.attach(stream, write);
+    }
+    let run = broker.run_matrix(spec).expect("shard run");
+    broker.shutdown();
+    reap(children);
+    let _ = std::fs::remove_file(&socket);
+    assert_matrix_eq("unix-socket", &run, &expected);
+}
+
+#[test]
+fn quarantine_is_identical_across_process_worker_counts() {
+    let spec = base_spec();
+    let policy = FaultPolicy::default();
+    let n_cells = spec.n_cells() as u64;
+    // Pure prediction: pick a seed arming a strict subset of cells.
+    let (seed, predicted) = (1u64..64)
+        .find_map(|seed| {
+            let plan = FaultPlan::new(seed)
+                .at(FaultSite::UnitEntry)
+                .every(2)
+                .strikes(policy.max_attempts())
+                .kinds(&[FaultKind::Panic]);
+            let armed: Vec<u32> = (0..n_cells)
+                .filter(|&cell| plan.fault_for(FaultSite::UnitEntry, cell, 0).is_some())
+                .map(|cell| cell as u32)
+                .collect();
+            (!armed.is_empty() && armed.len() < n_cells as usize).then_some((seed, armed))
+        })
+        .expect("a seed arming a strict subset of cells");
+    let fault_args: Vec<String> = [
+        "--fault-seed",
+        &seed.to_string(),
+        "--fault-every",
+        "2",
+        "--fault-strikes",
+        &policy.max_attempts().to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+
+    let expected_set: Vec<(u32, u32)> = predicted
+        .iter()
+        .map(|&cell| (cell, policy.max_attempts()))
+        .collect();
+    for n in [1usize, 2, 4] {
+        let broker = Broker::new(BrokerConfig::default());
+        let children: Vec<Child> = (0..n)
+            .map(|_| spawn_stdio_worker(&broker, &fault_args))
+            .collect();
+        let run = broker.run_matrix(spec.clone()).expect("shard run");
+        broker.shutdown();
+        reap(children);
+        let quarantined: Vec<(u32, u32)> = run
+            .run
+            .quarantined
+            .iter()
+            .map(|f| (f.unit, f.attempts))
+            .collect();
+        assert_eq!(
+            quarantined, expected_set,
+            "{n} process worker(s): quarantine must be scheduling-independent"
+        );
+    }
+}
+
+#[test]
+fn shard_journal_resumes_in_process_and_back() {
+    let spec = base_spec();
+    let expected = reference(&spec);
+    let plan = spec.plan();
+    let strategies = spec.build_strategies().expect("strategies");
+    let workloads = spec.build_workloads().expect("workloads");
+    let policy = FaultPolicy::default();
+
+    // Direction 1: a halted shard run's journal is finished by the
+    // in-process executor.
+    let journal = temp_path("interop1.dlj");
+    let broker = Broker::new(BrokerConfig::default());
+    let children = vec![spawn_stdio_worker(&broker, &[])];
+    let halted = broker
+        .submit(
+            JobRequest::new(spec.clone())
+                .with_journal(journal.clone())
+                .with_cell_budget(2),
+        )
+        .wait()
+        .expect("halted shard run");
+    broker.shutdown();
+    reap(children);
+    assert!(halted.run.executed_cells >= 2);
+    let finished = BatchExecutor::new()
+        .run_matrix_journaled(&strategies, &workloads, &plan, &policy, &journal)
+        .expect("in-process resume");
+    assert!(finished.quarantined.is_empty());
+    assert!(
+        finished.resumed_cells >= 2,
+        "in-process executor must restore the shard journal's prefix"
+    );
+    for (row, ref_row) in finished.matrix.iter().zip(&expected) {
+        for (cell, ref_cell) in row.iter().zip(ref_row) {
+            assert_eq!(cell.as_ref().expect("cell").report, ref_cell.report);
+        }
+    }
+    let _ = std::fs::remove_file(&journal);
+
+    // Direction 2: a complete in-process journal is resumed by the
+    // shard broker without executing anything.
+    let journal = temp_path("interop2.dlj");
+    let complete = BatchExecutor::new()
+        .run_matrix_journaled(&strategies, &workloads, &plan, &policy, &journal)
+        .expect("in-process journaled run");
+    assert!(complete.quarantined.is_empty());
+    let broker = Broker::new(BrokerConfig::default());
+    let replay = broker
+        .submit(JobRequest::new(spec.clone()).with_journal(journal.clone()))
+        .wait()
+        .expect("shard replay");
+    broker.shutdown();
+    assert_matrix_eq("journal-interop", &replay, &expected);
+    assert_eq!(replay.run.resumed_cells, spec.n_cells());
+    assert_eq!(replay.run.executed_cells, 0);
+    let _ = std::fs::remove_file(&journal);
+}

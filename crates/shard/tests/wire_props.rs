@@ -1,0 +1,239 @@
+//! Wire-protocol properties: every message kind round-trips bit for
+//! bit; transport damage (flipped bits, truncation) is a typed
+//! [`WireError`], never a panic; duplicate deliveries dedup broker-side
+//! to one identical report.
+
+use delorean_shard::wire::{self, Message, WireError, WireFault, FRAME_HEADER_BYTES};
+use delorean_shard::{Broker, BrokerConfig, SweepSpec};
+use delorean_trace::Scale;
+use std::io::Write;
+
+fn sample_messages() -> Vec<Message> {
+    vec![
+        Message::Hello { version: 1 },
+        Message::Job {
+            job: 3,
+            spec: SweepSpec::new(Scale::tiny(), 3)
+                .with_workloads(&["hmmer"])
+                .with_strategies(&["smarts", "delorean"])
+                .encode(),
+        },
+        Message::Lease {
+            job: 3,
+            cell: 7,
+            attempt: 2,
+            span: None,
+        },
+        Message::Lease {
+            job: 3,
+            cell: 7,
+            attempt: 0,
+            span: Some((1, 3)),
+        },
+        Message::CellDone {
+            job: 3,
+            cell: 7,
+            attempt: 1,
+            report: vec![1, 2, 3, 4, 5],
+        },
+        Message::SpanDone {
+            job: 3,
+            cell: 7,
+            attempt: 0,
+            lo: 1,
+            hi: 3,
+            units: vec![9, 8, 7],
+        },
+        Message::CellFailed {
+            job: 3,
+            cell: 7,
+            attempt: 2,
+            fault: WireFault {
+                kind: 1,
+                aux: 0,
+                detail: "tile 7 corrupt".to_string(),
+            },
+        },
+        Message::Shutdown,
+    ]
+}
+
+fn encode(msg: &Message) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    wire::send(&mut bytes, msg).expect("send to Vec");
+    bytes
+}
+
+#[test]
+fn every_message_kind_round_trips() {
+    for msg in sample_messages() {
+        let bytes = encode(&msg);
+        let back = wire::recv(&mut bytes.as_slice())
+            .expect("recv")
+            .expect("one frame");
+        assert_eq!(back, msg);
+    }
+}
+
+#[test]
+fn back_to_back_frames_stream_cleanly() {
+    let messages = sample_messages();
+    let mut bytes = Vec::new();
+    for msg in &messages {
+        wire::send(&mut bytes, msg).expect("send");
+    }
+    let mut read = bytes.as_slice();
+    for msg in &messages {
+        assert_eq!(wire::recv(&mut read).expect("recv").as_ref(), Some(msg));
+    }
+    assert!(wire::recv(&mut read).expect("clean EOF").is_none());
+}
+
+#[test]
+fn every_single_bit_flip_is_a_typed_error_or_a_different_message() {
+    for msg in sample_messages() {
+        let bytes = encode(&msg);
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut damaged = bytes.clone();
+                damaged[byte] ^= 1 << bit;
+                // Must never panic. Flips in the kind field (header
+                // bytes 4..8) may still decode — as a *different*
+                // message; any other flip breaks length or checksum
+                // integrity and must be a typed error.
+                match wire::recv(&mut damaged.as_slice()) {
+                    Ok(decoded) => {
+                        assert!(
+                            (4..8).contains(&byte),
+                            "flip at byte {byte} bit {bit} of {msg:?} was silently accepted"
+                        );
+                        assert_ne!(
+                            decoded.as_ref(),
+                            Some(&msg),
+                            "kind flip at byte {byte} decoded back to the original"
+                        );
+                    }
+                    Err(
+                        WireError::ChecksumMismatch { .. }
+                        | WireError::Truncated { .. }
+                        | WireError::Oversize { .. }
+                        | WireError::UnknownKind { .. }
+                        | WireError::Malformed { .. },
+                    ) => {}
+                    Err(other) => {
+                        panic!("flip at byte {byte} bit {bit}: unexpected error class {other:?}")
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_is_a_typed_error() {
+    for msg in sample_messages() {
+        let bytes = encode(&msg);
+        // Zero bytes is a clean EOF (no frame started) …
+        assert!(wire::recv(&mut &bytes[..0])
+            .expect("empty stream")
+            .is_none());
+        // … every other prefix is a torn frame.
+        for cut in 1..bytes.len() {
+            match wire::recv(&mut &bytes[..cut]) {
+                Err(WireError::Truncated { needed, got }) => {
+                    assert!(got < needed, "cut at {cut}: got {got} needed {needed}")
+                }
+                other => panic!("cut at {cut} of {msg:?}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn oversize_frames_are_rejected_without_allocation() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    assert_eq!(bytes.len(), FRAME_HEADER_BYTES);
+    match wire::recv(&mut bytes.as_slice()) {
+        Err(WireError::Oversize { len }) => assert_eq!(len, u32::MAX),
+        other => panic!("expected Oversize, got {other:?}"),
+    }
+}
+
+/// A scripted worker that answers every lease **twice** — the broker
+/// must dedup on the cell slot and produce one identical report.
+#[test]
+fn duplicate_deliveries_dedup_to_one_identical_report() {
+    let spec = SweepSpec::new(Scale::tiny(), 3)
+        .with_suite_seed(7)
+        .with_workloads(&["hmmer"])
+        .with_strategies(&["smarts", "delorean"]);
+    let plan = spec.plan();
+    let strategies = spec.build_strategies().expect("strategies");
+    let workloads = spec.build_workloads().expect("workloads");
+    let reference = delorean_bench::BatchExecutor::new().run_matrix(&strategies, &workloads, &plan);
+
+    let broker = Broker::new(BrokerConfig::default());
+    let (worker_read, broker_write) = std::io::pipe().expect("pipe");
+    let (broker_read, worker_write) = std::io::pipe().expect("pipe");
+    broker.attach(broker_read, broker_write);
+    let echoer = std::thread::spawn(move || duplicate_everything(worker_read, worker_write));
+
+    let run = broker.run_matrix(spec.clone()).expect("shard run");
+    broker.shutdown();
+    echoer.join().expect("worker thread");
+
+    assert!(run.run.quarantined.is_empty());
+    assert_eq!(run.run.executed_cells, spec.n_cells());
+    for (row, ref_row) in run.run.matrix.iter().zip(&reference) {
+        for (cell, ref_cell) in row.iter().zip(ref_row) {
+            assert_eq!(cell.as_ref().expect("cell").report, ref_cell.report);
+        }
+    }
+}
+
+fn duplicate_everything(mut read: impl std::io::Read, mut write: impl Write) {
+    use delorean_bench::journal::encode_cell;
+    wire::send(&mut write, &Message::Hello { version: 1 }).expect("hello");
+    let mut job_ctx = None;
+    loop {
+        let msg = match wire::recv(&mut read) {
+            Ok(Some(m)) => m,
+            Ok(None) | Err(_) => return,
+        };
+        match msg {
+            Message::Shutdown => return,
+            Message::Job { spec, .. } => {
+                let spec = SweepSpec::decode(&spec).expect("spec");
+                let strategies = spec.build_strategies().expect("strategies");
+                let workloads = spec.build_workloads().expect("workloads");
+                let plan = spec.plan();
+                job_ctx = Some((spec, plan, strategies, workloads));
+            }
+            Message::Lease {
+                job,
+                cell,
+                attempt,
+                span: _,
+            } => {
+                let (spec, plan, strategies, workloads) =
+                    job_ctx.as_ref().expect("job announced before lease");
+                let s = cell as usize % spec.strategies.len();
+                let w = cell as usize / spec.strategies.len();
+                let report = strategies[s].run(&workloads[w], plan).into_report();
+                let done = Message::CellDone {
+                    job,
+                    cell,
+                    attempt,
+                    report: encode_cell(cell, &report),
+                };
+                // Deliver twice: the duplicate must be deduped.
+                wire::send(&mut write, &done).expect("send");
+                wire::send(&mut write, &done).expect("send duplicate");
+            }
+            _ => {}
+        }
+    }
+}

@@ -903,6 +903,7 @@ pub struct TiledTrace {
     streaming: bool,
     channel_tiles: usize,
     batch_len: usize,
+    decoder_retry: crate::fault::FaultPolicy,
 }
 
 impl TiledTrace {
@@ -940,6 +941,7 @@ impl TiledTrace {
             streaming: false,
             channel_tiles: 4,
             batch_len: usize::MAX,
+            decoder_retry: crate::fault::FaultPolicy { retry_budget: 0 },
         }
     }
 
@@ -968,6 +970,19 @@ impl TiledTrace {
         self
     }
 
+    /// Retry budget for **decoder-thread deaths** on streaming cursors
+    /// handed out by this trace (default: no retries). Within the
+    /// budget a cursor whose background decoder dies respawns a fresh
+    /// decoder from its exact consumer position and the stream
+    /// continues byte-identically; past it the death surfaces as
+    /// [`TileError::DecoderFailed`] through
+    /// [`StreamingTileCursor::error`] as before. Decode *errors*
+    /// (corrupt tiles) are deterministic and are never retried.
+    pub fn with_decoder_retry(mut self, policy: crate::fault::FaultPolicy) -> Self {
+        self.decoder_retry = policy;
+        self
+    }
+
     /// The underlying tile file.
     pub fn file(&self) -> &TileFile {
         &self.file
@@ -987,6 +1002,7 @@ impl TiledTrace {
             self.channel_tiles,
             self.batch_len,
         )
+        .with_retry(self.decoder_retry)
     }
 }
 
@@ -1115,6 +1131,11 @@ impl AccessCursor for TiledCursor {
 /// early and [`error`](StreamingTileCursor::error) reports the cause.
 #[derive(Debug)]
 pub struct StreamingTileCursor {
+    file: Arc<TileFile>,
+    channel_tiles: usize,
+    batch_len: usize,
+    retry: crate::fault::FaultPolicy,
+    retries_used: u32,
     next: u64,
     end: u64,
     rx: Option<Receiver<Result<Vec<MemAccess>, TileError>>>,
@@ -1123,6 +1144,59 @@ pub struct StreamingTileCursor {
     cur_pos: usize,
     error: Option<TileError>,
     decoder: Option<JoinHandle<()>>,
+}
+
+/// The decoder half of a streaming cursor: a background thread feeding
+/// decoded batches over a bounded channel, recycling spent buffers. A
+/// standalone function so the consumer can respawn it from any position
+/// after a decoder death ([`StreamingTileCursor::with_retry`]).
+#[allow(clippy::type_complexity)]
+fn spawn_stream_decoder(
+    file: Arc<TileFile>,
+    start: u64,
+    end: u64,
+    channel_tiles: usize,
+    batch_len: usize,
+) -> (
+    Receiver<Result<Vec<MemAccess>, TileError>>,
+    Sender<Vec<MemAccess>>,
+    JoinHandle<()>,
+) {
+    let cap = channel_tiles.max(1);
+    let (tx, rx) = bounded::<Result<Vec<MemAccess>, TileError>>(cap);
+    let (recycle_tx, recycle_rx) = bounded::<Vec<MemAccess>>(cap + 2);
+    let decoder = std::thread::spawn(move || {
+        let count = file.record_count();
+        let tile_records = file.tile_records() as u64;
+        let mut pos = start;
+        while pos < end {
+            let rec = pos % count;
+            let tile = (rec / tile_records) as u32;
+            // Named fault-injection site: an armed plan can kill
+            // the decoder here, exercising the cursor's
+            // truncation-detection path below.
+            crate::fault::hit(crate::fault::FaultSite::DecoderThread, tile as u64);
+            // `check_tile` is a no-op on eagerly-verified files;
+            // otherwise errors propagate in-band: the cursor ends
+            // its stream and surfaces them.
+            if let Err(e) = file.check_tile(tile) {
+                let _ = tx.send(Err(e));
+                return;
+            }
+            let within = crate::cast::idx(rec - tile as u64 * tile_records);
+            let take = (file.tile_len(tile) as usize - within)
+                .min(batch_len)
+                .min((end - pos).min(usize::MAX as u64) as usize);
+            let mut batch = recycle_rx.try_recv().unwrap_or_default();
+            batch.clear();
+            file.decode_span(tile, within, take, pos, &mut batch);
+            pos += take as u64;
+            if tx.send(Ok(batch)).is_err() {
+                return; // cursor dropped mid-stream
+            }
+        }
+    });
+    (rx, recycle_tx, decoder)
 }
 
 impl StreamingTileCursor {
@@ -1145,62 +1219,47 @@ impl StreamingTileCursor {
         let batch_len = batch_len.max(1);
         let start = range.start;
         let end = range.end.max(range.start);
-        if start >= end {
-            return StreamingTileCursor {
-                next: start,
-                end,
-                rx: None,
-                recycle_tx: None,
-                cur: Vec::new(),
-                cur_pos: 0,
-                error: None,
-                decoder: None,
-            };
-        }
-        let cap = channel_tiles.max(1);
-        let (tx, rx) = bounded::<Result<Vec<MemAccess>, TileError>>(cap);
-        let (recycle_tx, recycle_rx) = bounded::<Vec<MemAccess>>(cap + 2);
-        let decoder = std::thread::spawn(move || {
-            let count = file.record_count();
-            let tile_records = file.tile_records() as u64;
-            let mut pos = start;
-            while pos < end {
-                let rec = pos % count;
-                let tile = (rec / tile_records) as u32;
-                // Named fault-injection site: an armed plan can kill
-                // the decoder here, exercising the cursor's
-                // truncation-detection path below.
-                crate::fault::hit(crate::fault::FaultSite::DecoderThread, tile as u64);
-                // `check_tile` is a no-op on eagerly-verified files;
-                // otherwise errors propagate in-band: the cursor ends
-                // its stream and surfaces them.
-                if let Err(e) = file.check_tile(tile) {
-                    let _ = tx.send(Err(e));
-                    return;
-                }
-                let within = crate::cast::idx(rec - tile as u64 * tile_records);
-                let take = (file.tile_len(tile) as usize - within)
-                    .min(batch_len)
-                    .min((end - pos).min(usize::MAX as u64) as usize);
-                let mut batch = recycle_rx.try_recv().unwrap_or_default();
-                batch.clear();
-                file.decode_span(tile, within, take, pos, &mut batch);
-                pos += take as u64;
-                if tx.send(Ok(batch)).is_err() {
-                    return; // cursor dropped mid-stream
-                }
-            }
-        });
+        let (rx, recycle_tx, decoder) = if start < end {
+            let (rx, recycle_tx, decoder) =
+                spawn_stream_decoder(Arc::clone(&file), start, end, channel_tiles, batch_len);
+            (Some(rx), Some(recycle_tx), Some(decoder))
+        } else {
+            (None, None, None)
+        };
         StreamingTileCursor {
+            file,
+            channel_tiles,
+            batch_len,
+            retry: crate::fault::FaultPolicy { retry_budget: 0 },
+            retries_used: 0,
             next: start,
             end,
-            rx: Some(rx),
-            recycle_tx: Some(recycle_tx),
+            rx,
+            recycle_tx,
             cur: Vec::new(),
             cur_pos: 0,
             error: None,
-            decoder: Some(decoder),
+            decoder,
         }
+    }
+
+    /// Consumer-side auto-retry for **decoder-thread deaths**: within
+    /// `policy`'s budget, a dead decoder (the channel disconnects with
+    /// records still due) is replaced by a fresh one spawned from the
+    /// cursor's exact position, and the stream continues
+    /// byte-identically; the budget exhausted, the death surfaces as
+    /// [`TileError::DecoderFailed`] exactly as with no retries.
+    /// In-band decode *errors* (corrupt tiles) are deterministic —
+    /// retrying cannot help — and always surface immediately.
+    pub fn with_retry(mut self, policy: crate::fault::FaultPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Decoder respawns consumed so far recovering from decoder
+    /// deaths.
+    pub fn retries_used(&self) -> u32 {
+        self.retries_used
     }
 
     /// The decode error that ended this cursor's stream early, if any.
@@ -1251,8 +1310,10 @@ impl AccessCursor for StreamingTileCursor {
                     // due (`next < end`) this is NOT a clean
                     // end-of-stream: the decoder died before finishing
                     // (it only returns early on a send to a dropped
-                    // cursor, which we are not). Join it and surface a
-                    // typed error instead of silently truncating.
+                    // cursor, which we are not). Join it, then either
+                    // respawn from the exact consumer position (within
+                    // the retry budget) or surface a typed error
+                    // instead of silently truncating.
                     Some(Err(_)) | None => {
                         if self.next < self.end {
                             let detail = match self.decoder.take() {
@@ -1262,6 +1323,20 @@ impl AccessCursor for StreamingTileCursor {
                                 },
                                 None => "decoder thread missing".to_string(),
                             };
+                            if self.retries_used < self.retry.retry_budget {
+                                self.retries_used += 1;
+                                let (rx, recycle_tx, decoder) = spawn_stream_decoder(
+                                    Arc::clone(&self.file),
+                                    self.next,
+                                    self.end,
+                                    self.channel_tiles,
+                                    self.batch_len,
+                                );
+                                self.rx = Some(rx);
+                                self.recycle_tx = Some(recycle_tx);
+                                self.decoder = Some(decoder);
+                                continue;
+                            }
                             self.error = Some(TileError::DecoderFailed { detail });
                         }
                         break;

@@ -22,6 +22,8 @@
 //! * [`core`] — DeLorean itself: DSW + TT (Scout, Explorers, Analyst),
 //!   design-space exploration.
 //! * [`mod@bench`] — the experiment harness regenerating every figure/table.
+//! * [`shard`] — the sweep broker/worker shard layer: distributed,
+//!   journaled matrices bitwise identical to the in-process executor.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +59,7 @@ pub use delorean_cache as cache;
 pub use delorean_core as core;
 pub use delorean_cpu as cpu;
 pub use delorean_sampling as sampling;
+pub use delorean_shard as shard;
 pub use delorean_statmodel as statmodel;
 pub use delorean_trace as trace;
 pub use delorean_virt as virt;
@@ -75,6 +78,9 @@ pub mod prelude {
         PartialReport, ProxyStateSource, RegionPlan, RegionScheduler, SamplingConfig,
         SamplingStrategy, SimulationReport, SmartsRunner, SpeculationExtras, StrategyReport,
         UnitFailure, UnitFault,
+    };
+    pub use delorean_shard::{
+        worker_loop, Broker, BrokerConfig, JobRequest, ShardRun, SweepSpec, WorkerOptions,
     };
     pub use delorean_trace::{
         pack_workload, spec2006, spec_workload, Scale, TiledTrace, Workload, WorkloadExt,

@@ -1,0 +1,306 @@
+//! Shard-layer determinism contract: a matrix swept through the broker
+//! and worker processes is **bitwise identical** to the in-process
+//! [`BatchExecutor`], whatever the worker count, kill pattern, or
+//! broker restarts — and the quarantined set under injected faults is
+//! identical for any scheduling.
+//!
+//! Workers here are threads running [`worker_loop`] over in-process
+//! pipes — same code path as the `shard-worker` binary, minus the
+//! process boundary (covered by `crates/shard/tests/process_e2e.rs`).
+
+use delorean::prelude::*;
+use delorean::shard::STRATEGY_NAMES;
+use delorean::trace::fault::{FaultKind, FaultPlan, FaultSite};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+fn base_spec() -> SweepSpec {
+    SweepSpec::new(Scale::tiny(), 3)
+        .with_suite_seed(7)
+        .with_workloads(&["hmmer", "mcf"])
+        .with_strategies(&STRATEGY_NAMES)
+}
+
+fn reference(spec: &SweepSpec) -> Vec<Vec<StrategyReport>> {
+    let plan = spec.plan();
+    let strategies = spec.build_strategies().expect("reference strategies");
+    let workloads = spec.build_workloads().expect("reference workloads");
+    BatchExecutor::with_threads(2).run_matrix(&strategies, &workloads, &plan)
+}
+
+/// Attach a worker thread to the broker over a pipe pair.
+fn attach_worker(broker: &Broker, opts: WorkerOptions) -> JoinHandle<()> {
+    let (worker_read, broker_write) = std::io::pipe().expect("pipe");
+    let (broker_read, worker_write) = std::io::pipe().expect("pipe");
+    broker.attach(broker_read, broker_write);
+    std::thread::spawn(move || {
+        let _ = worker_loop(worker_read, worker_write, &opts);
+    })
+}
+
+fn join_all(workers: Vec<JoinHandle<()>>) {
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+}
+
+fn assert_matrix_eq(label: &str, run: &ShardRun, reference: &[Vec<StrategyReport>]) {
+    assert!(
+        run.run.quarantined.is_empty(),
+        "{label}: unexpected quarantine: {:?}",
+        run.run
+            .quarantined
+            .iter()
+            .map(|f| f.unit)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(run.run.matrix.len(), reference.len(), "{label}: row count");
+    for (w, (row, ref_row)) in run.run.matrix.iter().zip(reference).enumerate() {
+        assert_eq!(row.len(), ref_row.len(), "{label}: row {w} width");
+        for (s, (cell, ref_cell)) in row.iter().zip(ref_row).enumerate() {
+            let report = cell
+                .as_ref()
+                .unwrap_or_else(|| panic!("{label}: cell w{w}/s{s} missing"));
+            assert_eq!(
+                report.report, ref_cell.report,
+                "{label}: cell w{w}/s{s} differs from the in-process executor"
+            );
+        }
+    }
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "delorean-shard-det-{}-{tag}.dlj",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn clean_runs_match_in_process_across_worker_counts() {
+    let spec = base_spec();
+    let expected = reference(&spec);
+    for n in [1usize, 2, 4] {
+        let broker = Broker::new(BrokerConfig::default());
+        let workers: Vec<_> = (0..n)
+            .map(|_| attach_worker(&broker, WorkerOptions::default()))
+            .collect();
+        let run = broker.run_matrix(spec.clone()).expect("shard run");
+        broker.shutdown();
+        join_all(workers);
+        assert_matrix_eq(&format!("clean/{n}w"), &run, &expected);
+        assert!(!run.halted);
+        assert_eq!(run.run.executed_cells, spec.n_cells());
+    }
+}
+
+#[test]
+fn killed_worker_mid_sweep_is_resumed_on_survivors() {
+    let spec = base_spec();
+    let expected = reference(&spec);
+    for survivors in [1usize, 2, 4] {
+        let broker = Broker::new(BrokerConfig::default());
+        let mut workers = vec![attach_worker(
+            &broker,
+            WorkerOptions {
+                abandon_after: Some(1),
+                ..WorkerOptions::default()
+            },
+        )];
+        workers.extend((0..survivors).map(|_| attach_worker(&broker, WorkerOptions::default())));
+        let run = broker.run_matrix(spec.clone()).expect("shard run");
+        broker.shutdown();
+        join_all(workers);
+        assert_matrix_eq(&format!("kill/{survivors}w"), &run, &expected);
+        assert!(
+            run.lease_losses >= 1,
+            "kill/{survivors}w: the abandoned lease should be counted"
+        );
+    }
+}
+
+#[test]
+fn broker_restart_resumes_journal_to_identical_matrix() {
+    let spec = base_spec();
+    let expected = reference(&spec);
+    for n in [1usize, 2, 4] {
+        let journal = temp_journal(&format!("restart{n}"));
+
+        // First broker: journal the sweep, halt after 3 completions.
+        let first = Broker::new(BrokerConfig::default());
+        let workers: Vec<_> = (0..n)
+            .map(|_| attach_worker(&first, WorkerOptions::default()))
+            .collect();
+        let halted = first
+            .submit(
+                JobRequest::new(spec.clone())
+                    .with_journal(journal.clone())
+                    .with_cell_budget(3),
+            )
+            .wait()
+            .expect("halted run");
+        first.shutdown();
+        join_all(workers);
+        assert!(halted.run.executed_cells >= 3);
+
+        // Second broker: resume the journal to completion.
+        let second = Broker::new(BrokerConfig::default());
+        let workers: Vec<_> = (0..n)
+            .map(|_| attach_worker(&second, WorkerOptions::default()))
+            .collect();
+        let resumed = second
+            .submit(JobRequest::new(spec.clone()).with_journal(journal.clone()))
+            .wait()
+            .expect("resumed run");
+        second.shutdown();
+        join_all(workers);
+        assert_matrix_eq(&format!("restart/{n}w"), &resumed, &expected);
+        assert!(
+            resumed.run.resumed_cells >= 3,
+            "restart/{n}w: journal prefix should restore the halted cells"
+        );
+
+        // Third broker: a complete journal resumes without executing.
+        let third = Broker::new(BrokerConfig::default());
+        let replay = third
+            .submit(JobRequest::new(spec.clone()).with_journal(journal.clone()))
+            .wait()
+            .expect("replayed run");
+        third.shutdown();
+        assert_matrix_eq(&format!("replay/{n}w"), &replay, &expected);
+        assert_eq!(replay.run.resumed_cells, spec.n_cells());
+        assert_eq!(replay.run.executed_cells, 0);
+        let _ = std::fs::remove_file(&journal);
+    }
+}
+
+#[test]
+fn span_leases_reduce_to_identical_reports() {
+    for split in [1u32, 2] {
+        let spec = base_spec()
+            .with_strategies(&["coolsim", "mrrl"])
+            .with_split_regions(split);
+        let expected = reference(&spec);
+        let broker = Broker::new(BrokerConfig::default());
+        let workers: Vec<_> = (0..2)
+            .map(|_| attach_worker(&broker, WorkerOptions::default()))
+            .collect();
+        let run = broker.run_matrix(spec.clone()).expect("shard run");
+        broker.shutdown();
+        join_all(workers);
+        assert_matrix_eq(&format!("span/k{split}"), &run, &expected);
+    }
+}
+
+#[test]
+fn quarantined_set_is_identical_for_any_worker_count() {
+    let spec = base_spec();
+    let expected = reference(&spec);
+    let policy = FaultPolicy::default();
+
+    // A plan whose strikes exceed the retry budget permanently fails
+    // the seed-selected cells. `fault_for` is pure, so the quarantined
+    // set is predictable before any worker runs; pick a seed where the
+    // prediction is neither empty nor the whole matrix.
+    let n_cells = spec.n_cells() as u64;
+    let (seed, predicted) = (1u64..64)
+        .find_map(|seed| {
+            let plan = FaultPlan::new(seed)
+                .at(FaultSite::UnitEntry)
+                .every(2)
+                .strikes(policy.max_attempts())
+                .kinds(&[FaultKind::Panic]);
+            let armed: Vec<u32> = (0..n_cells)
+                .filter(|&cell| plan.fault_for(FaultSite::UnitEntry, cell, 0).is_some())
+                .map(|cell| cell as u32)
+                .collect();
+            (!armed.is_empty() && armed.len() < n_cells as usize).then_some((seed, armed))
+        })
+        .expect("a seed arming a strict subset of cells");
+    let fault = FaultPlan::new(seed)
+        .at(FaultSite::UnitEntry)
+        .every(2)
+        .strikes(policy.max_attempts())
+        .kinds(&[FaultKind::Panic]);
+
+    for n in [1usize, 2, 4] {
+        let broker = Broker::new(BrokerConfig::default());
+        let workers: Vec<_> = (0..n)
+            .map(|_| {
+                attach_worker(
+                    &broker,
+                    WorkerOptions {
+                        fault: Some(fault),
+                        ..WorkerOptions::default()
+                    },
+                )
+            })
+            .collect();
+        let run = broker.run_matrix(spec.clone()).expect("shard run");
+        broker.shutdown();
+        join_all(workers);
+
+        let quarantined: Vec<(u32, u32)> = run
+            .run
+            .quarantined
+            .iter()
+            .map(|f| (f.unit, f.attempts))
+            .collect();
+        let expected_set: Vec<(u32, u32)> = predicted
+            .iter()
+            .map(|&cell| (cell, policy.max_attempts()))
+            .collect();
+        assert_eq!(
+            quarantined, expected_set,
+            "{n} worker(s): quarantine must match the pure fault-plan prediction"
+        );
+        for failure in &run.run.quarantined {
+            assert!(
+                matches!(failure.fault, UnitFault::Panicked { .. }),
+                "{n} worker(s): injected Panic must classify as Panicked, got {}",
+                failure.fault
+            );
+        }
+
+        // Non-quarantined cells still match the reference bit for bit.
+        let n_strategies = spec.strategies.len();
+        for (w, (row, ref_row)) in run.run.matrix.iter().zip(&expected).enumerate() {
+            for (s, (cell, ref_cell)) in row.iter().zip(ref_row).enumerate() {
+                let flat = (w * n_strategies + s) as u32;
+                match cell {
+                    Some(report) => {
+                        assert!(!predicted.contains(&flat));
+                        assert_eq!(report.report, ref_cell.report, "cell w{w}/s{s}");
+                    }
+                    None => assert!(predicted.contains(&flat), "cell w{w}/s{s} missing"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_clients_share_the_worker_pool() {
+    let spec_a = base_spec();
+    let spec_b = base_spec()
+        .with_suite_seed(11)
+        .with_workloads(&["bzip2", "astar"])
+        .with_strategies(&["smarts", "delorean"]);
+    let expected_a = reference(&spec_a);
+    let expected_b = reference(&spec_b);
+
+    let broker = Broker::new(BrokerConfig::default());
+    let workers: Vec<_> = (0..2)
+        .map(|_| attach_worker(&broker, WorkerOptions::default()))
+        .collect();
+    let ticket_a = broker.submit(JobRequest::new(spec_a));
+    let ticket_b = broker.submit(JobRequest::new(spec_b));
+    let run_b = ticket_b.wait().expect("job b");
+    let run_a = ticket_a.wait().expect("job a");
+    broker.shutdown();
+    join_all(workers);
+    assert_matrix_eq("multi-client/a", &run_a, &expected_a);
+    assert_matrix_eq("multi-client/b", &run_b, &expected_b);
+}
